@@ -1,0 +1,159 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Every bench regenerates one table or figure of the paper. Figures 9-12 all
+consume the same algorithms x datasets cross-validation grid, so that grid
+is computed once per benchmark session and memoised here.
+
+Scale control
+-------------
+``REPRO_SCALE`` (default 0.05) scales dataset sizes; ``REPRO_FOLDS``
+(default 2) sets the cross-validation folds; ``REPRO_BUDGET`` (default 120
+seconds) is the per-pair time budget standing in for the paper's 48-hour
+kill rule. Raise them for results closer to the published setting::
+
+    REPRO_SCALE=0.2 REPRO_FOLDS=5 pytest benchmarks/ --benchmark-only
+
+Reports
+-------
+Each bench prints its table and also writes it to
+``benchmarks/results/<name>.md`` so the output survives pytest's capture.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from pathlib import Path
+
+import numpy as np
+
+from repro.data import TimeSeriesDataset
+from repro.core import (
+    BenchmarkRunner,
+    RunReport,
+    category_names,
+    default_algorithms,
+    default_datasets,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+ALGORITHM_ORDER = (
+    "ECEC",
+    "ECO-K",
+    "ECTS",
+    "EDSC",
+    "TEASER",
+    "S-MINI",
+    "S-WEASEL",
+    "S-MLSTM",
+)
+
+
+def get_scale() -> float:
+    """Dataset scale factor from ``REPRO_SCALE``."""
+    return float(os.environ.get("REPRO_SCALE", "0.05"))
+
+
+def get_folds() -> int:
+    """Cross-validation folds from ``REPRO_FOLDS``."""
+    return int(os.environ.get("REPRO_FOLDS", "2"))
+
+
+def get_budget_seconds() -> float:
+    """Per-pair time budget from ``REPRO_BUDGET``."""
+    return float(os.environ.get("REPRO_BUDGET", "120"))
+
+
+@lru_cache(maxsize=4)
+def run_grid(
+    scale: float | None = None,
+    folds: int | None = None,
+    seed: int = 0,
+) -> RunReport:
+    """The full algorithms x datasets evaluation grid (memoised).
+
+    All of Figures 9-13 read from this one report, exactly as the paper's
+    figures all read from one experimental campaign.
+    """
+    scale = get_scale() if scale is None else scale
+    folds = get_folds() if folds is None else folds
+    runner = BenchmarkRunner(
+        default_algorithms(fast=True),
+        default_datasets(scale=scale, seed=seed),
+        n_folds=folds,
+        time_budget_seconds=get_budget_seconds(),
+        seed=seed,
+    )
+    return runner.run()
+
+
+def format_category_table(
+    table: dict[str, dict[str, float]],
+    metric_name: str,
+    decimals: int = 3,
+) -> str:
+    """Render a ``{category: {algorithm: value}}`` mapping as markdown."""
+    algorithms = [
+        name
+        for name in ALGORITHM_ORDER
+        if any(name in row for row in table.values())
+    ]
+    lines = [
+        f"## {metric_name}",
+        "",
+        "| category | " + " | ".join(algorithms) + " |",
+        "|" + "---|" * (len(algorithms) + 1),
+    ]
+    for category in category_names():
+        row = table.get(category)
+        if not row:
+            continue
+        cells = [
+            f"{row[name]:.{decimals}f}" if name in row else "--"
+            for name in algorithms
+        ]
+        lines.append(f"| {category} | " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def rank_per_category(
+    table: dict[str, dict[str, float]], reverse: bool = True
+) -> dict[str, list[str]]:
+    """Algorithms ranked best-first per category (``reverse=False`` for
+    lower-is-better metrics such as earliness and training time)."""
+    return {
+        category: sorted(row, key=row.get, reverse=reverse)
+        for category, row in table.items()
+    }
+
+
+def make_benchmark_dataset(
+    n_instances: int = 40,
+    length: int = 30,
+    n_variables: int = 1,
+    n_classes: int = 2,
+    seed: int = 0,
+) -> TimeSeriesDataset:
+    """A frequency-separated synthetic dataset for micro-benchmarks."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(length)
+    labels = np.arange(n_instances) % n_classes
+    rng.shuffle(labels)
+    values = np.empty((n_instances, n_variables, length))
+    for i, label in enumerate(labels):
+        for v in range(n_variables):
+            values[i, v] = np.sin(
+                (0.25 + 0.3 * label) * t + rng.uniform(0, 2 * np.pi)
+            ) + 0.15 * rng.normal(size=length)
+    return TimeSeriesDataset(values, labels, name="bench")
+
+
+def write_report(name: str, content: str) -> Path:
+    """Print a report and persist it under ``benchmarks/results/``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.md"
+    path.write_text(content + "\n", encoding="utf-8")
+    print(content)
+    print(f"[report written to {path}]")
+    return path

@@ -1,0 +1,48 @@
+"""Ablation — ECEC's accuracy/earliness trade-off parameter alpha.
+
+ECEC selects its confidence threshold by minimising
+``CF(theta) = alpha * (1 - accuracy) + (1 - alpha) * earliness``
+(Section 3.5; Table 4 uses alpha = 0.8). Sweeping alpha traces the
+trade-off curve: small alpha prioritises earliness, large alpha accuracy.
+The check asserts monotonicity of earliness along the sweep (within noise).
+"""
+
+from _harness import make_benchmark_dataset, write_report
+
+from repro.core.prediction import collect_predictions
+from repro.data import train_test_split
+from repro.etsc import ECEC
+from repro.stats import accuracy, earliness
+
+_ALPHAS = (0.0, 0.4, 0.8, 1.0)
+
+
+def _sweep(seed: int = 0):
+    dataset = make_benchmark_dataset(n_instances=60, length=30, seed=seed)
+    train, test = train_test_split(dataset, 0.3, seed=seed)
+    results = {}
+    for alpha in _ALPHAS:
+        model = ECEC(n_prefixes=6, alpha=alpha).train(train)
+        labels, prefixes = collect_predictions(model.predict(test))
+        results[alpha] = (
+            accuracy(test.labels, labels),
+            earliness(prefixes, test.length),
+        )
+    return results
+
+
+def test_ablation_ecec_alpha(benchmark):
+    """Accuracy/earliness along the alpha sweep."""
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    lines = [
+        "# Ablation — ECEC trade-off parameter alpha",
+        "",
+        "| alpha | accuracy | earliness |",
+        "|---|---|---|",
+    ]
+    for alpha, (acc, earl) in results.items():
+        lines.append(f"| {alpha} | {acc:.3f} | {earl:.3f} |")
+    write_report("ablation_ecec_alpha", "\n".join(lines))
+
+    # alpha=0 ignores accuracy entirely -> cannot be later than alpha=1.
+    assert results[0.0][1] <= results[1.0][1] + 1e-9

@@ -1,0 +1,54 @@
+"""Ablation — voting schemes for univariate algorithms on multivariate data.
+
+The paper applies majority voting with worst-voter earliness (Section 6.1)
+and lists "alternative voting schemes" as future work. This bench compares
+the three implemented schemes (majority / confidence / earliest) with ECEC
+members on a multivariate dataset. Structural check: the earliest scheme is
+never later than majority (it inherits the fastest voter's earliness by
+construction).
+"""
+
+from _harness import make_benchmark_dataset, write_report
+
+from repro.core import VotingEnsemble
+from repro.core.prediction import collect_predictions
+from repro.data import train_test_split
+from repro.etsc import ECEC
+from repro.stats import accuracy, earliness
+
+_SCHEMES = ("majority", "confidence", "earliest")
+
+
+def _run():
+    dataset = make_benchmark_dataset(
+        n_instances=50, length=30, n_variables=3, seed=0
+    )
+    train, test = train_test_split(dataset, 0.3, seed=0)
+    results = {}
+    for scheme in _SCHEMES:
+        ensemble = VotingEnsemble(
+            lambda: ECEC(n_prefixes=6), scheme=scheme
+        )
+        ensemble.train(train)
+        labels, prefixes = collect_predictions(ensemble.predict(test))
+        results[scheme] = (
+            accuracy(test.labels, labels),
+            earliness(prefixes, test.length),
+        )
+    return results
+
+
+def test_ablation_voting_schemes(benchmark):
+    """Accuracy/earliness of the three voting schemes."""
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lines = [
+        "# Ablation — voting schemes (ECEC members, 3 variables)",
+        "",
+        "| scheme | accuracy | earliness |",
+        "|---|---|---|",
+    ]
+    for scheme in _SCHEMES:
+        acc, earl = results[scheme]
+        lines.append(f"| {scheme} | {acc:.3f} | {earl:.3f} |")
+    write_report("ablation_voting", "\n".join(lines))
+    assert results["earliest"][1] <= results["majority"][1] + 1e-9

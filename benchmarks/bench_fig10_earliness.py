@@ -1,0 +1,50 @@
+"""Figure 10 — earliness per dataset category (lower is better).
+
+Prints the per-category mean earliness table and the earliest-first
+ranking. Shape checks assert the robust qualitative findings of Section
+6.2.2: the STRUT variants (which commit at a single validated truncation
+point) are substantially earlier than ECTS (whose RNN-stability rule is
+notoriously late), and every value is a valid ratio in (0, 1].
+"""
+
+import numpy as np
+from _harness import format_category_table, rank_per_category, run_grid, write_report
+
+from repro.core.charts import grouped_bars
+
+
+def test_fig10_earliness(benchmark):
+    """Per-category earliness (Figure 10)."""
+    report = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    table = report.metric_by_category("earliness")
+
+    content = [
+        "# Figure 10 — earliness per dataset category (lower is better)",
+        "",
+        format_category_table(table, "earliness"),
+        "",
+        "## earliest algorithm per category",
+        "",
+    ]
+    ranking = rank_per_category(table, reverse=False)
+    for category, ranked in ranking.items():
+        content.append(f"- {category}: {', '.join(ranked[:3])}")
+    content.extend(["", "## chart", "", "```", grouped_bars(table), "```"])
+    write_report("fig10_earliness", "\n".join(content))
+
+    values = [v for row in table.values() for v in row.values()]
+    assert all(0.0 < v <= 1.0 for v in values)
+
+    # Section 6.2.2 shape: selective truncation beats ECTS on earliness.
+    strut_mean = np.mean(
+        [
+            row[name]
+            for row in table.values()
+            for name in ("S-MINI", "S-WEASEL")
+            if name in row
+        ]
+    )
+    ects_mean = np.mean(
+        [row["ECTS"] for row in table.values() if "ECTS" in row]
+    )
+    assert strut_mean < ects_mean

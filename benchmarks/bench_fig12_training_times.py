@@ -1,0 +1,40 @@
+"""Figure 12 — training times per dataset category.
+
+Prints the per-category mean wall-clock training time (seconds here;
+the paper's y-axis is minutes) and the fastest-first ranking. The shape
+check asserts Section 6.2.4's most robust finding: S-WEASEL and ECO-K are
+among the fastest trainers, far cheaper than ECEC (which trains one WEASEL
+pipeline per ladder prefix, per variable).
+"""
+
+import numpy as np
+from _harness import format_category_table, rank_per_category, run_grid, write_report
+
+from repro.core.charts import grouped_bars
+
+
+def test_fig12_training_times(benchmark):
+    """Per-category training time (Figure 12)."""
+    report = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    table = report.metric_by_category("train_seconds")
+
+    content = [
+        "# Figure 12 — training time per dataset category (seconds)",
+        "",
+        format_category_table(table, "train seconds", decimals=2),
+        "",
+        "## fastest algorithm per category",
+        "",
+    ]
+    for category, ranked in rank_per_category(table, reverse=False).items():
+        content.append(f"- {category}: {', '.join(ranked[:3])}")
+    content.extend(["", "## chart", "", "```",
+                    grouped_bars(table, decimals=2), "```"])
+    write_report("fig12_training_times", "\n".join(content))
+
+    def overall(name):
+        values = [row[name] for row in table.values() if name in row]
+        return float(np.mean(values)) if values else float("inf")
+
+    assert overall("S-WEASEL") < overall("ECEC")
+    assert overall("ECO-K") < overall("ECEC")

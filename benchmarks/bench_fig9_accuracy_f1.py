@@ -1,0 +1,59 @@
+"""Figure 9 — accuracy and F1-score per dataset category.
+
+Runs the full algorithms x datasets cross-validation grid (shared with the
+other figure benches) and prints the per-category mean accuracy and F1
+tables the paper plots as bar charts, plus the per-category ranking. The
+shape checks assert the qualitative findings of Section 6.2.1 that are
+robust at reduced scale: ECEC sits in the top ranks on accuracy, and class
+imbalance drags F1 below accuracy on the 'Imbalanced' category.
+"""
+
+import numpy as np
+from _harness import format_category_table, rank_per_category, run_grid, write_report
+
+from repro.core.charts import grouped_bars
+
+
+def test_fig9_accuracy_f1(benchmark):
+    """Per-category accuracy and F1 (Figure 9)."""
+    report = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    accuracy_table = report.metric_by_category("accuracy")
+    f1_table = report.metric_by_category("f1")
+
+    content = [
+        "# Figure 9 — accuracy and F1-score per dataset category",
+        "",
+        format_category_table(accuracy_table, "accuracy"),
+        "",
+        format_category_table(f1_table, "F1-score"),
+        "",
+        "## best algorithm per category (accuracy)",
+        "",
+    ]
+    ranking = rank_per_category(accuracy_table)
+    for category, ranked in ranking.items():
+        content.append(f"- {category}: {', '.join(ranked[:3])}")
+    content.extend(["", "## chart (accuracy)", "", "```",
+                    grouped_bars(accuracy_table), "```"])
+    write_report("fig9_accuracy_f1", "\n".join(content))
+
+    # Shape check 1: ECEC reaches the top accuracy ranks in several
+    # categories. The paper has it first almost everywhere; at bench scale
+    # its confidence machinery is data-starved, so the asserted floor is
+    # top-3 in at least a quarter of the categories (EXPERIMENTS.md
+    # discusses the deviation; raise REPRO_SCALE to tighten it).
+    top3 = sum("ECEC" in ranked[:3] for ranked in ranking.values())
+    assert top3 >= len(ranking) / 4, ranking
+
+    # Shape check 2: imbalance costs F1 more than accuracy (Section 6.2.1).
+    imbalanced_accuracy = np.mean(list(accuracy_table["Imbalanced"].values()))
+    imbalanced_f1 = np.mean(list(f1_table["Imbalanced"].values()))
+    assert imbalanced_f1 <= imbalanced_accuracy + 0.02
+
+    # Shape check 3: every cell is a valid probability and the grid covers
+    # all eight categories.
+    values = [
+        value for row in accuracy_table.values() for value in row.values()
+    ]
+    assert all(0.0 <= value <= 1.0 for value in values)
+    assert len(accuracy_table) == 8

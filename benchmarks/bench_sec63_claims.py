@@ -1,0 +1,83 @@
+"""Section 6.3 — the results-overview claims, checked directly.
+
+Two claims are checked end-to-end rather than via the category tables:
+
+1. *"ECEC, ECO-K and TEASER outperform EDSC and ECTS"* — confirmed on the
+   overall harmonic mean by the Figure 11 bench; here the same ordering is
+   checked on plain accuracy.
+2. *"ETSC allows the early identification of 65% of simulations that are
+   not deemed interesting"* — replayed on the Biological dataset: the
+   fraction of non-interesting test simulations flagged as non-interesting
+   before the final time-point.
+"""
+
+import numpy as np
+from _harness import run_grid, write_report
+
+from repro import VotingEnsemble, train_test_split
+from repro.datasets import biological
+from repro.etsc import ECEC
+
+
+def _early_identification_rate(scale: float = 0.4, seed: int = 0) -> float:
+    dataset = biological.generate(scale=scale, seed=seed)
+    train, test = train_test_split(dataset, 0.3, seed=seed)
+    classifier = VotingEnsemble(lambda: ECEC(n_prefixes=8))
+    classifier.train(train)
+    predictions = classifier.predict(test)
+    non_interesting = test.labels == 0
+    flagged = np.asarray(
+        [
+            prediction.label == 0 and prediction.prefix_length < test.length
+            for prediction in predictions
+        ]
+    )
+    return float((flagged & non_interesting).sum() / non_interesting.sum())
+
+
+def test_sec63_ordering_claim(benchmark):
+    """Claim 1: "ECEC, ECO-K and TEASER outperform EDSC and ECTS".
+
+    Asserted exactly as the paper states it, on the overall harmonic mean:
+    each of the three modern methods individually beats both classic
+    baselines.
+    """
+    report = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    table = report.metric_by_category("harmonic_mean")
+
+    def overall(name):
+        values = [row[name] for row in table.values() if name in row]
+        return float(np.mean(values)) if values else float("nan")
+
+    modern = {name: overall(name) for name in ("ECEC", "ECO-K", "TEASER")}
+    classic = {name: overall(name) for name in ("EDSC", "ECTS")}
+    content = [
+        "# Section 6.3 — ordering claim (overall harmonic mean)",
+        "",
+        *(
+            f"- {name}: {value:.3f}"
+            for name, value in {**modern, **classic}.items()
+        ),
+    ]
+    write_report("sec63_ordering", "\n".join(content))
+    for modern_name, modern_value in modern.items():
+        for classic_name, classic_value in classic.items():
+            assert modern_value > classic_value, (
+                f"{modern_name} ({modern_value:.3f}) does not beat "
+                f"{classic_name} ({classic_value:.3f})"
+            )
+
+
+def test_sec63_biological_early_stop(benchmark):
+    """Claim 2: a large share of non-interesting simulations stop early."""
+    rate = benchmark.pedantic(
+        _early_identification_rate, rounds=1, iterations=1
+    )
+    write_report(
+        "sec63_biological",
+        "# Section 6.3 — early identification of non-interesting "
+        f"simulations\n\nmeasured: {rate:.0%} (paper reports ~65%)",
+    )
+    # The paper reports 65%; at reduced scale a broad band around the claim
+    # is the honest check (who-wins, not absolute numbers).
+    assert rate > 0.4

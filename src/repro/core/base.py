@@ -1,0 +1,151 @@
+"""Abstract interfaces of the evaluation framework (Section 5.5).
+
+The paper's extensibility contract is: *"To add a new algorithm, one needs
+to create a Python interface that implements the abstract class
+EarlyClassifier, and provide the algorithm functionality for train and
+predict methods."* :class:`EarlyClassifier` is that class. Full time-series
+classifiers (used inside STRUT, ECEC, TEASER) implement the smaller
+:class:`FullTSClassifier` interface.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..data.dataset import TimeSeriesDataset
+from ..exceptions import DataError, NotFittedError
+from .prediction import EarlyPrediction
+
+__all__ = ["EarlyClassifier", "FullTSClassifier"]
+
+
+class FullTSClassifier(ABC):
+    """A classifier for complete (fixed-length) time-series.
+
+    Implementations must accept any series length at ``train`` time and
+    classify series of the same length at ``predict`` time. STRUT retrains a
+    fresh instance per truncation length via :meth:`clone`.
+    """
+
+    @abstractmethod
+    def train(self, dataset: TimeSeriesDataset) -> "FullTSClassifier":
+        """Fit the classifier on the full-length training dataset."""
+
+    @abstractmethod
+    def predict(self, dataset: TimeSeriesDataset) -> np.ndarray:
+        """Predict one label per instance (same length as training series)."""
+
+    @abstractmethod
+    def clone(self) -> "FullTSClassifier":
+        """Return an unfitted copy with identical hyperparameters."""
+
+    def predict_proba(self, dataset: TimeSeriesDataset) -> np.ndarray:
+        """Per-class probabilities; default is a one-hot of ``predict``.
+
+        Columns follow ``self.classes_`` for implementations that expose it.
+        """
+        predictions = self.predict(dataset)
+        classes = getattr(self, "classes_", None)
+        if classes is None:
+            classes = np.unique(predictions)
+        classes = np.asarray(classes)
+        probabilities = np.zeros((len(predictions), len(classes)))
+        for i, label in enumerate(predictions):
+            probabilities[i, int(np.flatnonzero(classes == label)[0])] = 1.0
+        return probabilities
+
+
+class EarlyClassifier(ABC):
+    """An early time-series classifier.
+
+    The lifecycle is: construct with hyperparameters, :meth:`train` once on
+    a labelled dataset, then :meth:`predict` on (possibly incomplete) test
+    series. ``predict`` simulates the streaming setting: for each test
+    instance the classifier observes growing prefixes and commits at the
+    earliest point its internal trigger fires, returning an
+    :class:`EarlyPrediction` that records both the label and the consumed
+    prefix length.
+    """
+
+    #: Whether the algorithm natively consumes multivariate series. The
+    #: evaluation harness wraps univariate-only algorithms in the voting
+    #: ensemble of Section 6.1.
+    supports_multivariate: bool = False
+
+    def __init__(self) -> None:
+        self._trained_length: int | None = None
+        self._trained_variables: int | None = None
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _train(self, dataset: TimeSeriesDataset) -> None:
+        """Algorithm-specific fitting logic."""
+
+    @abstractmethod
+    def _predict(self, dataset: TimeSeriesDataset) -> list[EarlyPrediction]:
+        """Algorithm-specific early prediction for each instance."""
+
+    # ------------------------------------------------------------------
+    def train(self, dataset: TimeSeriesDataset) -> "EarlyClassifier":
+        """Fit the classifier on the labelled training dataset."""
+        if dataset.n_classes < 2:
+            raise DataError(
+                "training dataset must contain at least two classes"
+            )
+        if dataset.has_missing():
+            raise DataError(
+                "training dataset contains missing values; fill them first "
+                "with repro.data.fill_missing (the paper's Section 5.1 rule)"
+            )
+        if not self.supports_multivariate and dataset.n_variables != 1:
+            raise DataError(
+                f"{type(self).__name__} supports univariate input only; "
+                "wrap it in repro.core.voting.VotingEnsemble for "
+                "multivariate data"
+            )
+        self._train(dataset)
+        self._trained_length = dataset.length
+        self._trained_variables = dataset.n_variables
+        return self
+
+    def predict(self, dataset: TimeSeriesDataset) -> list[EarlyPrediction]:
+        """Early-classify every instance of ``dataset``.
+
+        The test series may be full length (the streaming simulation feeds
+        prefixes internally) but must match the training variable count and
+        must not be longer than the training series.
+        """
+        if self._trained_length is None:
+            raise NotFittedError(f"{type(self).__name__} used before train")
+        if dataset.n_variables != self._trained_variables:
+            raise DataError(
+                f"trained on {self._trained_variables} variables, "
+                f"got {dataset.n_variables}"
+            )
+        if dataset.length > self._trained_length:
+            raise DataError(
+                f"trained on length {self._trained_length}, got longer "
+                f"series of length {dataset.length}"
+            )
+        predictions = self._predict(dataset)
+        if len(predictions) != dataset.n_instances:
+            raise DataError(
+                f"{type(self).__name__} returned {len(predictions)} "
+                f"predictions for {dataset.n_instances} instances"
+            )
+        return predictions
+
+    # ------------------------------------------------------------------
+    @property
+    def is_trained(self) -> bool:
+        """Whether :meth:`train` has completed."""
+        return self._trained_length is not None
+
+    @property
+    def trained_length(self) -> int:
+        """Series length seen during training."""
+        if self._trained_length is None:
+            raise NotFittedError(f"{type(self).__name__} used before train")
+        return self._trained_length

@@ -1,0 +1,114 @@
+"""Plotting-free chart rendering for benchmark reports.
+
+The paper presents Figures 9-12 as grouped bar charts and Figure 13 as a
+heatmap. This module renders the same artefacts as Unicode text so the
+benches (and the CLI) can show them in a terminal and archive them in the
+markdown reports without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import DataError
+
+__all__ = ["horizontal_bars", "grouped_bars", "heatmap"]
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(value: float, maximum: float, width: int) -> str:
+    """A left-aligned bar of ``value / maximum`` scaled to ``width`` cells."""
+    if maximum <= 0:
+        return ""
+    fraction = max(0.0, min(1.0, value / maximum))
+    cells = fraction * width
+    full = int(cells)
+    remainder = cells - full
+    partial_index = int(round(remainder * (len(_BLOCKS) - 1)))
+    partial = _BLOCKS[partial_index] if partial_index > 0 else ""
+    return "█" * full + partial
+
+
+def horizontal_bars(
+    values: dict[str, float],
+    width: int = 40,
+    maximum: float | None = None,
+    decimals: int = 3,
+) -> str:
+    """Render ``{label: value}`` as labelled horizontal bars."""
+    if not values:
+        raise DataError("nothing to chart")
+    label_width = max(len(label) for label in values)
+    maximum = maximum if maximum is not None else max(values.values())
+    maximum = max(maximum, 1e-12)
+    lines = []
+    for label, value in values.items():
+        bar = _bar(value, maximum, width)
+        lines.append(
+            f"{label:<{label_width}} {value:>{decimals + 4}.{decimals}f} {bar}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bars(
+    table: dict[str, dict[str, float]],
+    width: int = 40,
+    decimals: int = 3,
+) -> str:
+    """Render ``{group: {label: value}}`` as per-group bar blocks.
+
+    All groups share one scale so bars are comparable across groups — the
+    property that makes the paper's per-category bar charts readable.
+    """
+    if not table:
+        raise DataError("nothing to chart")
+    maximum = max(
+        (value for row in table.values() for value in row.values()),
+        default=0.0,
+    )
+    blocks = []
+    for group, row in table.items():
+        blocks.append(f"{group}:")
+        blocks.append(
+            horizontal_bars(row, width=width, maximum=maximum,
+                            decimals=decimals)
+        )
+        blocks.append("")
+    return "\n".join(blocks).rstrip()
+
+
+def heatmap(
+    cells: dict[tuple[str, str], float | None],
+    feasible_below: float = 1.0,
+) -> str:
+    """Render Figure 13-style cells as a compact matrix.
+
+    ``cells[(row, column)]`` is the latency ratio; ``None`` marks failures
+    (the paper's hatched cells). Feasible cells show ``o``, infeasible
+    ``X``, failures ``#``, absences ``.``.
+    """
+    if not cells:
+        raise DataError("nothing to chart")
+    rows = sorted({row for row, _ in cells})
+    columns = sorted({column for _, column in cells})
+    row_width = max(len(row) for row in rows)
+    column_width = max(max(len(c) for c in columns), 4)
+    header = " " * row_width + " " + " ".join(
+        f"{column:>{column_width}}" for column in columns
+    )
+    lines = [header]
+    for row in rows:
+        rendered = []
+        for column in columns:
+            value = cells.get((row, column), "absent")
+            if value == "absent":
+                rendered.append("." .rjust(column_width))
+            elif value is None:
+                rendered.append("#".rjust(column_width))
+            elif value < feasible_below:
+                rendered.append("o".rjust(column_width))
+            else:
+                rendered.append("X".rjust(column_width))
+        lines.append(f"{row:<{row_width}} " + " ".join(rendered))
+    lines.append("")
+    lines.append("legend: o feasible, X too slow, # failed to train, . absent")
+    return "\n".join(lines)

@@ -1,0 +1,177 @@
+"""Command-line interface of the benchmarking framework.
+
+Mirrors the paper repository's ``cli.py``: pick algorithms and datasets,
+run the cross-validated comparison, and print per-pair scores plus the
+per-category aggregates. Installed as the ``etsc-bench`` console script.
+
+Examples
+--------
+List what is available::
+
+    etsc-bench --list
+
+Run two algorithms on two datasets at reduced scale::
+
+    etsc-bench --algorithms ECTS TEASER --datasets PowerCons Biological \
+        --scale 0.2 --folds 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .categorization import category_names
+from .registry import default_algorithms, default_datasets, extended_algorithms
+from .runner import BenchmarkRunner
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="etsc-bench",
+        description=(
+            "Evaluate early time-series classification algorithms "
+            "(EDBT 2024 framework reproduction)"
+        ),
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list registered algorithms and datasets, then exit",
+    )
+    parser.add_argument(
+        "--algorithms",
+        nargs="*",
+        default=None,
+        metavar="NAME",
+        help="algorithms to run (default: all registered)",
+    )
+    parser.add_argument(
+        "--datasets",
+        nargs="*",
+        default=None,
+        metavar="NAME",
+        help="datasets to run (default: all registered)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.1,
+        help="dataset size scale factor (1.0 = published sizes)",
+    )
+    parser.add_argument(
+        "--folds", type=int, default=5, help="cross-validation folds"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--budget-seconds",
+        type=float,
+        default=float("inf"),
+        help="per-pair time budget (the paper used 48 hours)",
+    )
+    parser.add_argument(
+        "--paper-params",
+        action="store_true",
+        help="use the full Table 4 parameters instead of the fast profile",
+    )
+    parser.add_argument(
+        "--extended",
+        action="store_true",
+        help="also run the extension algorithms (MORI-SR, FIXED-50)",
+    )
+    parser.add_argument(
+        "--save-report",
+        metavar="PATH",
+        default=None,
+        help="write the raw campaign results to a JSON file",
+    )
+    parser.add_argument(
+        "--significance",
+        action="store_true",
+        help="print Friedman/Nemenyi average-rank analysis of the run",
+    )
+    return parser
+
+
+def _print_category_table(report, metric: str, out) -> None:
+    table = report.metric_by_category(metric)
+    if not table:
+        return
+    algorithms = report.algorithms()
+    print(f"\n{metric} by dataset category:", file=out)
+    header = f"{'category':14s}" + "".join(
+        f"{name:>11s}" for name in algorithms
+    )
+    print(header, file=out)
+    for category in category_names():
+        row = table.get(category)
+        if not row:
+            continue
+        cells = "".join(
+            f"{row[name]:>11.3f}" if name in row else f"{'--':>11s}"
+            for name in algorithms
+        )
+        print(f"{category:14s}{cells}", file=out)
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """Entry point; returns a process exit code."""
+    out = out or sys.stdout
+    arguments = build_parser().parse_args(argv)
+    build_registry = (
+        extended_algorithms if arguments.extended else default_algorithms
+    )
+    algorithms = build_registry(fast=not arguments.paper_params)
+    datasets = default_datasets(scale=arguments.scale, seed=arguments.seed)
+
+    if arguments.list:
+        print("algorithms:", file=out)
+        for info in algorithms:
+            multivariate = "multivariate" if info.supports_multivariate else "univariate"
+            print(f"  {info.name:10s} {info.category:22s} {multivariate}", file=out)
+        print("datasets:", file=out)
+        for name in datasets.names():
+            print(f"  {name}", file=out)
+        return 0
+
+    runner = BenchmarkRunner(
+        algorithms,
+        datasets,
+        n_folds=arguments.folds,
+        time_budget_seconds=arguments.budget_seconds,
+        wide_threshold=max(2, int(1300 * arguments.scale)),
+        large_threshold=max(2, int(1000 * arguments.scale)),
+        seed=arguments.seed,
+        progress=lambda line: print(line, file=out),
+    )
+    report = runner.run(arguments.algorithms, arguments.datasets)
+    for metric in ("accuracy", "f1", "earliness", "harmonic_mean"):
+        _print_category_table(report, metric, out)
+    if report.failures:
+        print("\nfailures:", file=out)
+        for (algorithm, dataset), reason in report.failures.items():
+            print(f"  {algorithm} on {dataset}: {reason}", file=out)
+    if arguments.significance:
+        from ..exceptions import ReproError
+        from .significance import compare_algorithms
+
+        try:
+            analysis = compare_algorithms(report, metric="harmonic_mean")
+        except ReproError as error:
+            print(f"\nsignificance analysis unavailable: {error}", file=out)
+        else:
+            print("\naverage ranks (harmonic mean):", file=out)
+            print(analysis.to_markdown(), file=out)
+    if arguments.save_report:
+        from .results import save_report
+
+        save_report(report, arguments.save_report)
+        print(f"\nreport saved to {arguments.save_report}", file=out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    raise SystemExit(main())

@@ -1,0 +1,152 @@
+"""The cross-validated evaluation harness (Section 6.1).
+
+For every algorithm/dataset pair the paper runs stratified random-sampling
+5-fold cross-validation and reports accuracy, F1-score, earliness, the
+harmonic mean of accuracy and earliness, training time (minutes in the
+paper; seconds here, unit-converted by the benches), and testing time.
+:func:`evaluate` runs exactly that loop for one pair and returns a
+:class:`EvaluationResult` holding per-fold and mean scores.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..data.dataset import TimeSeriesDataset
+from ..data.splits import stratified_k_fold
+from ..exceptions import DataError
+from ..stats.metrics import accuracy, earliness, f1_score, harmonic_mean
+from .base import EarlyClassifier
+from .prediction import collect_predictions
+from .voting import wrap_for_dataset
+
+__all__ = ["FoldResult", "EvaluationResult", "evaluate", "evaluate_predictions"]
+
+
+@dataclass(frozen=True)
+class FoldResult:
+    """Scores of one cross-validation fold."""
+
+    accuracy: float
+    f1: float
+    earliness: float
+    harmonic_mean: float
+    train_seconds: float
+    test_seconds: float
+    n_test: int
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Aggregated scores of one (algorithm, dataset) evaluation."""
+
+    algorithm: str
+    dataset: str
+    folds: tuple[FoldResult, ...] = field(repr=False)
+
+    def _mean(self, attribute: str) -> float:
+        return float(np.mean([getattr(fold, attribute) for fold in self.folds]))
+
+    @property
+    def accuracy(self) -> float:
+        """Mean accuracy over folds."""
+        return self._mean("accuracy")
+
+    @property
+    def f1(self) -> float:
+        """Mean macro-F1 over folds."""
+        return self._mean("f1")
+
+    @property
+    def earliness(self) -> float:
+        """Mean earliness over folds (lower is better)."""
+        return self._mean("earliness")
+
+    @property
+    def harmonic_mean(self) -> float:
+        """Mean harmonic mean of accuracy and (1 - earliness)."""
+        return self._mean("harmonic_mean")
+
+    @property
+    def train_seconds(self) -> float:
+        """Mean wall-clock training time per fold, in seconds."""
+        return self._mean("train_seconds")
+
+    @property
+    def test_seconds(self) -> float:
+        """Mean wall-clock test time per fold, in seconds."""
+        return self._mean("test_seconds")
+
+    @property
+    def test_seconds_per_instance(self) -> float:
+        """Mean per-instance prediction latency (drives Figure 13)."""
+        totals = [fold.test_seconds for fold in self.folds]
+        counts = [fold.n_test for fold in self.folds]
+        return float(np.sum(totals) / max(np.sum(counts), 1))
+
+
+def evaluate_predictions(
+    dataset: TimeSeriesDataset,
+    labels: np.ndarray,
+    prefix_lengths: np.ndarray,
+    train_seconds: float = 0.0,
+    test_seconds: float = 0.0,
+) -> FoldResult:
+    """Score one fold's predictions with the Section 2.2 metrics."""
+    acc = accuracy(dataset.labels, labels)
+    f1 = f1_score(dataset.labels, labels)
+    earliness_value = earliness(prefix_lengths, dataset.length)
+    return FoldResult(
+        accuracy=acc,
+        f1=f1,
+        earliness=earliness_value,
+        harmonic_mean=harmonic_mean(acc, earliness_value),
+        train_seconds=train_seconds,
+        test_seconds=test_seconds,
+        n_test=dataset.n_instances,
+    )
+
+
+def evaluate(
+    factory: Callable[[], EarlyClassifier],
+    dataset: TimeSeriesDataset,
+    algorithm_name: str,
+    n_folds: int = 5,
+    seed: int = 0,
+) -> EvaluationResult:
+    """Stratified k-fold evaluation of one algorithm on one dataset.
+
+    ``factory`` builds a fresh unfitted classifier per fold; multivariate
+    datasets automatically route univariate algorithms through the voting
+    ensemble (Section 6.1).
+    """
+    smallest_class = int(
+        np.unique(dataset.labels, return_counts=True)[1].min()
+    )
+    folds = max(2, min(n_folds, smallest_class))
+    if folds < 2:
+        raise DataError("dataset too small for cross-validation")
+    fold_results: list[FoldResult] = []
+    for train_part, test_part in stratified_k_fold(dataset, folds, seed):
+        classifier = wrap_for_dataset(factory, dataset)
+        start = time.perf_counter()
+        classifier.train(train_part)
+        train_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        predictions = classifier.predict(test_part)
+        test_seconds = time.perf_counter() - start
+        labels, prefixes = collect_predictions(predictions)
+        fold_results.append(
+            evaluate_predictions(
+                test_part, labels, prefixes, train_seconds, test_seconds
+            )
+        )
+    return EvaluationResult(
+        algorithm=algorithm_name,
+        dataset=dataset.name,
+        folds=tuple(fold_results),
+    )

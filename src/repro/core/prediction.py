@@ -1,0 +1,61 @@
+"""Result types produced by early classifiers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import DataError
+
+__all__ = ["EarlyPrediction", "collect_predictions"]
+
+
+@dataclass(frozen=True)
+class EarlyPrediction:
+    """An early classification decision for one time-series instance.
+
+    Attributes
+    ----------
+    label:
+        Predicted class label.
+    prefix_length:
+        Number of time-points the classifier consumed before committing.
+    series_length:
+        Full length of the instance (for the earliness ratio).
+    confidence:
+        Optional classifier confidence in ``[0, 1]``; ``None`` when the
+        algorithm does not expose one.
+    """
+
+    label: int
+    prefix_length: int
+    series_length: int
+    confidence: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.prefix_length <= self.series_length:
+            raise DataError(
+                f"prefix_length {self.prefix_length} outside "
+                f"[1, {self.series_length}]"
+            )
+        if self.confidence is not None and not 0.0 <= self.confidence <= 1.0:
+            raise DataError(
+                f"confidence must be in [0, 1], got {self.confidence}"
+            )
+
+    @property
+    def earliness(self) -> float:
+        """Observed fraction ``l / L`` of the series (lower is better)."""
+        return self.prefix_length / self.series_length
+
+
+def collect_predictions(
+    predictions: list[EarlyPrediction],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split a prediction list into ``(labels, prefix_lengths)`` arrays."""
+    if not predictions:
+        raise DataError("no predictions to collect")
+    labels = np.asarray([p.label for p in predictions])
+    prefixes = np.asarray([p.prefix_length for p in predictions])
+    return labels, prefixes

@@ -1,0 +1,229 @@
+"""Statistical comparison of algorithms across datasets.
+
+The time-series bake-off studies the paper builds on ([4], [36]) compare
+classifiers by *average ranks* across datasets with the Friedman test and
+Nemenyi critical-difference analysis (Demsar, JMLR 2006). This module
+provides that toolchain for :class:`~repro.core.runner.RunReport` objects:
+
+* :func:`rank_matrix` — per-dataset ranks of each algorithm on a metric;
+* :func:`friedman_test` — the Friedman chi-squared statistic, the
+  Iman-Davenport F correction, and its p-value;
+* :func:`nemenyi_critical_difference` — the rank gap above which two
+  algorithms differ significantly;
+* :func:`compare_algorithms` — the full analysis in one call, rendered as
+  the familiar "average ranks + CD" summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from ..exceptions import DataError
+from .runner import RunReport
+
+__all__ = [
+    "rank_matrix",
+    "friedman_test",
+    "nemenyi_critical_difference",
+    "compare_algorithms",
+    "SignificanceReport",
+]
+
+# Studentised-range q_alpha / sqrt(2) values for the Nemenyi test at
+# alpha = 0.05, indexed by the number of compared algorithms (Demsar 2006,
+# Table 5.b).
+_NEMENYI_Q05 = {
+    2: 1.960,
+    3: 2.343,
+    4: 2.569,
+    5: 2.728,
+    6: 2.850,
+    7: 2.949,
+    8: 3.031,
+    9: 3.102,
+    10: 3.164,
+}
+
+
+def rank_matrix(
+    scores: np.ndarray, higher_is_better: bool = True
+) -> np.ndarray:
+    """Per-row ranks (1 = best) with ties sharing the average rank.
+
+    ``scores`` is ``(n_datasets, n_algorithms)``; NaN entries (failed
+    pairs) are ranked worst.
+    """
+    scores = np.asarray(scores, dtype=float)
+    if scores.ndim != 2:
+        raise DataError(f"scores must be 2-D, got shape {scores.shape}")
+    oriented = -scores if higher_is_better else scores.copy()
+    worst = np.nanmax(oriented) if np.isfinite(oriented).any() else 0.0
+    oriented = np.where(np.isnan(oriented), worst + 1.0, oriented)
+    return np.apply_along_axis(
+        lambda row: scipy_stats.rankdata(row, method="average"), 1, oriented
+    )
+
+
+def friedman_test(ranks: np.ndarray) -> tuple[float, float, float]:
+    """Friedman chi-squared, Iman-Davenport F, and the F-test p-value.
+
+    ``ranks`` is the output of :func:`rank_matrix`. Requires at least two
+    datasets and two algorithms.
+    """
+    ranks = np.asarray(ranks, dtype=float)
+    n_datasets, n_algorithms = ranks.shape
+    if n_datasets < 2 or n_algorithms < 2:
+        raise DataError(
+            "Friedman test needs >= 2 datasets and >= 2 algorithms"
+        )
+    mean_ranks = ranks.mean(axis=0)
+    chi_squared = (
+        12.0
+        * n_datasets
+        / (n_algorithms * (n_algorithms + 1))
+        * (
+            float(np.sum(mean_ranks**2))
+            - n_algorithms * (n_algorithms + 1) ** 2 / 4.0
+        )
+    )
+    denominator = n_datasets * (n_algorithms - 1) - chi_squared
+    if denominator <= 0:
+        # Perfectly consistent rankings: the F statistic diverges.
+        return chi_squared, float("inf"), 0.0
+    iman_davenport = (n_datasets - 1) * chi_squared / denominator
+    p_value = float(
+        scipy_stats.f.sf(
+            iman_davenport,
+            n_algorithms - 1,
+            (n_algorithms - 1) * (n_datasets - 1),
+        )
+    )
+    return float(chi_squared), float(iman_davenport), p_value
+
+
+def nemenyi_critical_difference(
+    n_algorithms: int, n_datasets: int, alpha: float = 0.05
+) -> float:
+    """The Nemenyi critical difference in average ranks at ``alpha=0.05``."""
+    if alpha != 0.05:
+        raise DataError("only alpha=0.05 critical values are tabulated")
+    if n_algorithms not in _NEMENYI_Q05:
+        raise DataError(
+            f"critical values tabulated for 2..10 algorithms, "
+            f"got {n_algorithms}"
+        )
+    if n_datasets < 2:
+        raise DataError("need >= 2 datasets")
+    q_alpha = _NEMENYI_Q05[n_algorithms]
+    return float(
+        q_alpha
+        * np.sqrt(n_algorithms * (n_algorithms + 1) / (6.0 * n_datasets))
+    )
+
+
+@dataclass(frozen=True)
+class SignificanceReport:
+    """Result of :func:`compare_algorithms`."""
+
+    algorithms: tuple[str, ...]
+    average_ranks: tuple[float, ...]
+    chi_squared: float
+    iman_davenport: float
+    p_value: float
+    critical_difference: float
+
+    def significantly_different(self, first: str, second: str) -> bool:
+        """Whether two algorithms' average ranks differ by more than CD."""
+        ranks = dict(zip(self.algorithms, self.average_ranks))
+        return abs(ranks[first] - ranks[second]) > self.critical_difference
+
+    def to_markdown(self) -> str:
+        """Render as the classic average-ranks summary."""
+        ordered = sorted(
+            zip(self.algorithms, self.average_ranks), key=lambda kv: kv[1]
+        )
+        lines = [
+            "| algorithm | average rank |",
+            "|---|---|",
+        ]
+        for name, rank in ordered:
+            lines.append(f"| {name} | {rank:.2f} |")
+        lines.append("")
+        lines.append(
+            f"Friedman chi2 = {self.chi_squared:.2f}, Iman-Davenport F = "
+            f"{self.iman_davenport:.2f}, p = {self.p_value:.4f}; Nemenyi "
+            f"CD (alpha=0.05) = {self.critical_difference:.2f}"
+        )
+        return "\n".join(lines)
+
+    def cd_diagram(self, width: int = 60) -> str:
+        """Text rendering of the Demsar critical-difference diagram.
+
+        An axis spans rank 1 to the number of algorithms; each algorithm's
+        marker sits at its average rank, and the CD bar in the first line
+        shows the rank gap below which differences are not significant.
+        """
+        n = len(self.algorithms)
+        span = max(n - 1, 1)
+
+        def column(rank: float) -> int:
+            return int(round((rank - 1.0) / span * (width - 1)))
+
+        cd_cells = max(1, int(round(self.critical_difference / span * (width - 1))))
+        lines = [
+            "CD " + "-" * min(cd_cells, width - 3),
+            "1" + " " * (width - 2) + f"{n}",
+        ]
+        axis = ["-"] * width
+        for rank in self.average_ranks:
+            axis[column(rank)] = "+"
+        lines.append("".join(axis))
+        for name, rank in sorted(
+            zip(self.algorithms, self.average_ranks), key=lambda kv: kv[1]
+        ):
+            pointer = [" "] * width
+            pointer[column(rank)] = "|"
+            lines.append("".join(pointer) + f" {name} ({rank:.2f})")
+        return "\n".join(lines)
+
+
+def compare_algorithms(
+    report: RunReport,
+    metric: str = "harmonic_mean",
+    higher_is_better: bool | None = None,
+) -> SignificanceReport:
+    """Average-rank significance analysis of one campaign's results.
+
+    Only algorithms evaluated on every dataset are comparable; pairs that
+    failed are ranked worst on that dataset (the standard treatment of
+    timeouts in the bake-off studies).
+    """
+    if higher_is_better is None:
+        higher_is_better = metric not in ("earliness", "train_seconds",
+                                          "test_seconds")
+    algorithms = report.algorithms()
+    datasets = report.datasets()
+    if len(algorithms) < 2 or len(datasets) < 2:
+        raise DataError(
+            "significance analysis needs >= 2 algorithms and >= 2 datasets"
+        )
+    scores = np.full((len(datasets), len(algorithms)), np.nan)
+    for i, dataset in enumerate(datasets):
+        for j, algorithm in enumerate(algorithms):
+            result = report.results.get((algorithm, dataset))
+            if result is not None:
+                scores[i, j] = float(getattr(result, metric))
+    ranks = rank_matrix(scores, higher_is_better)
+    chi_squared, iman_davenport, p_value = friedman_test(ranks)
+    critical = nemenyi_critical_difference(len(algorithms), len(datasets))
+    return SignificanceReport(
+        algorithms=tuple(algorithms),
+        average_ranks=tuple(float(r) for r in ranks.mean(axis=0)),
+        chi_squared=chi_squared,
+        iman_davenport=iman_davenport,
+        p_value=p_value,
+        critical_difference=critical,
+    )

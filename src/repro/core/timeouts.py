@@ -1,0 +1,66 @@
+"""Wall-clock preemption for long-running evaluations.
+
+The paper terminated any experiment that exceeded 48 hours (EDSC never
+finished the 'Wide' datasets). :func:`time_limit` provides that kill rule
+as a context manager built on ``SIGALRM``: entering arms a timer, and a
+running evaluation that exceeds it is interrupted with
+:class:`EvaluationTimeout`.
+
+``SIGALRM`` is only available on Unix and only in the main thread; outside
+those conditions the context manager degrades to a no-op (the runner then
+falls back to its cooperative after-the-fact budget check).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import signal
+import threading
+from typing import Iterator
+
+from ..exceptions import ReproError
+
+__all__ = ["EvaluationTimeout", "time_limit"]
+
+
+class EvaluationTimeout(ReproError):
+    """Raised inside :func:`time_limit` when the wall-clock budget expires."""
+
+
+def _alarm_supported() -> bool:
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+@contextlib.contextmanager
+def time_limit(seconds: float | None) -> Iterator[None]:
+    """Run the enclosed block under a wall-clock limit.
+
+    ``None`` or non-positive / infinite budgets disable the limit. Nested
+    use restores the previous handler and remaining timer on exit.
+    """
+    no_limit = (
+        seconds is None
+        or seconds <= 0
+        or seconds == float("inf")
+        or not _alarm_supported()
+    )
+    if no_limit:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise EvaluationTimeout(
+            f"evaluation exceeded the {seconds:.0f}s budget"
+        )
+
+    previous_handler = signal.signal(signal.SIGALRM, _on_alarm)
+    # setitimer accepts fractional seconds, unlike alarm().
+    previous_timer = signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, *(previous_timer or (0.0, 0.0)))
+        signal.signal(signal.SIGALRM, previous_handler)

@@ -1,0 +1,143 @@
+"""Hyperparameter tuning for ETSC algorithms (the paper's future work).
+
+Section 7 plans to "incorporate hyper parameter tuning techniques as in
+[MultiETSC]" — i.e. to select ETSC configurations automatically by their
+accuracy/earliness trade-off. :class:`GridSearchETSC` provides that:
+exhaustive search over a parameter grid, scoring each configuration by
+cross-validated harmonic mean (or accuracy/F1/earliness), then refitting
+the best configuration on the full training data.
+
+Example
+-------
+>>> from repro.etsc import TEASER
+>>> search = GridSearchETSC(
+...     lambda **kw: TEASER(**kw),
+...     {"n_prefixes": [5, 10], "nu": [0.05, 0.1]},
+... )
+>>> search.fit(dataset)                            # doctest: +SKIP
+>>> search.best_params_, search.best_score_        # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..data.dataset import TimeSeriesDataset
+from ..exceptions import ConfigurationError, NotFittedError, ReproError
+from .base import EarlyClassifier
+from .evaluation import evaluate
+from .prediction import EarlyPrediction
+from .voting import wrap_for_dataset
+
+__all__ = ["GridSearchETSC", "parameter_grid"]
+
+_METRICS = {
+    "harmonic_mean": True,  # metric name -> higher is better
+    "accuracy": True,
+    "f1": True,
+    "earliness": False,
+}
+
+
+def parameter_grid(
+    grid: Mapping[str, Sequence[Any]]
+) -> list[dict[str, Any]]:
+    """Expand ``{name: candidates}`` into the list of all combinations."""
+    if not grid:
+        return [{}]
+    names = list(grid)
+    for name in names:
+        if not isinstance(grid[name], (list, tuple)):
+            raise ConfigurationError(
+                f"grid entry {name!r} must be a list or tuple of candidates"
+            )
+        if len(grid[name]) == 0:
+            raise ConfigurationError(f"grid entry {name!r} is empty")
+    return [
+        dict(zip(names, combination))
+        for combination in itertools.product(*(grid[name] for name in names))
+    ]
+
+
+class GridSearchETSC:
+    """Exhaustive configuration search for an early classifier.
+
+    Parameters
+    ----------
+    factory:
+        Callable accepting the grid's keyword arguments and returning an
+        unfitted :class:`~repro.core.base.EarlyClassifier`.
+    grid:
+        Mapping of parameter name to candidate values.
+    metric:
+        Selection metric: ``"harmonic_mean"`` (default, the MultiETSC
+        objective), ``"accuracy"``, ``"f1"``, or ``"earliness"``.
+    n_folds:
+        Cross-validation folds per configuration.
+    seed:
+        Fold seed.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[..., EarlyClassifier],
+        grid: Mapping[str, Sequence[Any]],
+        metric: str = "harmonic_mean",
+        n_folds: int = 3,
+        seed: int = 0,
+    ) -> None:
+        if metric not in _METRICS:
+            raise ConfigurationError(
+                f"metric must be one of {sorted(_METRICS)}, got {metric!r}"
+            )
+        self.factory = factory
+        self.candidates = parameter_grid(grid)
+        self.metric = metric
+        self.n_folds = n_folds
+        self.seed = seed
+        self.results_: list[tuple[dict[str, Any], float]] = []
+        self.best_params_: dict[str, Any] | None = None
+        self.best_score_: float | None = None
+        self.best_estimator_: EarlyClassifier | None = None
+
+    def fit(self, dataset: TimeSeriesDataset) -> "GridSearchETSC":
+        """Score every configuration by CV, refit the best on all data."""
+        higher_is_better = _METRICS[self.metric]
+        self.results_ = []
+        for params in self.candidates:
+            try:
+                result = evaluate(
+                    lambda params=params: self.factory(**params),
+                    dataset,
+                    algorithm_name=str(params),
+                    n_folds=self.n_folds,
+                    seed=self.seed,
+                )
+            except ReproError:
+                # Configurations that cannot train simply score worst.
+                score = -np.inf if higher_is_better else np.inf
+            else:
+                score = float(getattr(result, self.metric))
+            self.results_.append((params, score))
+        ordered = sorted(
+            self.results_,
+            key=lambda item: item[1],
+            reverse=higher_is_better,
+        )
+        self.best_params_, self.best_score_ = ordered[0]
+        if not np.isfinite(self.best_score_):
+            raise ReproError("no configuration could be trained")
+        self.best_estimator_ = wrap_for_dataset(
+            lambda: self.factory(**self.best_params_), dataset
+        )
+        self.best_estimator_.train(dataset)
+        return self
+
+    def predict(self, dataset: TimeSeriesDataset) -> list[EarlyPrediction]:
+        """Early-classify with the refitted best configuration."""
+        if self.best_estimator_ is None:
+            raise NotFittedError("GridSearchETSC used before fit")
+        return self.best_estimator_.predict(dataset)

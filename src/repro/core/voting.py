@@ -1,0 +1,160 @@
+"""Per-variable voting for univariate algorithms on multivariate data.
+
+Section 6.1 of the paper: *"each univariate classifier is trained and tested
+separately for each variable of the input time-series. Upon collecting the
+output predictions (one per variable), the most popular one among the voters
+is chosen, nevertheless assigned with the worst earliness among them. In the
+case of equal votes, we select the first class label."* That is the
+``"majority"`` scheme and the default.
+
+The paper's future work proposes analysing alternative voting schemes; two
+are provided:
+
+* ``"confidence"`` — votes are weighted by each member's reported
+  confidence (members without one count as 0.5); earliness is still the
+  worst among the voters.
+* ``"earliest"`` — the decision of the earliest-committing voter wins
+  (ties by confidence), and the ensemble inherits *that* voter's earliness,
+  trading robustness for speed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..data.dataset import TimeSeriesDataset
+from ..exceptions import ConfigurationError
+from .base import EarlyClassifier
+from .prediction import EarlyPrediction
+
+__all__ = ["VotingEnsemble", "wrap_for_dataset"]
+
+
+_SCHEMES = ("majority", "confidence", "earliest")
+
+
+class VotingEnsemble(EarlyClassifier):
+    """Train one univariate early classifier per variable; vote per instance.
+
+    Parameters
+    ----------
+    member_factory:
+        Zero-argument callable producing an unfitted univariate
+        :class:`~repro.core.base.EarlyClassifier` for each variable.
+    scheme:
+        ``"majority"`` (the paper's Section 6.1 rule, default),
+        ``"confidence"``, or ``"earliest"`` — see the module docstring.
+    """
+
+    supports_multivariate = True
+
+    def __init__(
+        self,
+        member_factory: Callable[[], EarlyClassifier],
+        scheme: str = "majority",
+    ) -> None:
+        super().__init__()
+        if scheme not in _SCHEMES:
+            raise ConfigurationError(
+                f"scheme must be one of {_SCHEMES}, got {scheme!r}"
+            )
+        self.member_factory = member_factory
+        self.scheme = scheme
+        self.members_: list[EarlyClassifier] | None = None
+
+    def _train(self, dataset: TimeSeriesDataset) -> None:
+        members = []
+        for variable in range(dataset.n_variables):
+            member = self.member_factory()
+            if member.supports_multivariate is True and not hasattr(
+                member, "_train"
+            ):
+                raise ConfigurationError(
+                    "member_factory must produce EarlyClassifier instances"
+                )
+            member.train(dataset.variable(variable))
+            members.append(member)
+        self.members_ = members
+
+    @staticmethod
+    def _majority_vote(votes: list[EarlyPrediction]) -> EarlyPrediction:
+        """Majority label; ties break to the first (lowest) label; the
+        ensemble pays the worst earliness among its voters (Section 6.1)."""
+        labels = np.asarray([vote.label for vote in votes])
+        values, counts = np.unique(labels, return_counts=True)
+        winner = int(values[counts.argmax()])
+        worst_prefix = max(vote.prefix_length for vote in votes)
+        return EarlyPrediction(
+            label=winner,
+            prefix_length=worst_prefix,
+            series_length=votes[0].series_length,
+        )
+
+    @staticmethod
+    def _confidence_vote(votes: list[EarlyPrediction]) -> EarlyPrediction:
+        """Confidence-weighted label; worst earliness among the voters."""
+        weights: dict[int, float] = {}
+        for vote in votes:
+            confidence = 0.5 if vote.confidence is None else vote.confidence
+            weights[vote.label] = weights.get(vote.label, 0.0) + confidence
+        best = max(weights.items(), key=lambda item: (item[1], -item[0]))
+        worst_prefix = max(vote.prefix_length for vote in votes)
+        return EarlyPrediction(
+            label=int(best[0]),
+            prefix_length=worst_prefix,
+            series_length=votes[0].series_length,
+        )
+
+    @staticmethod
+    def _earliest_vote(votes: list[EarlyPrediction]) -> EarlyPrediction:
+        """The earliest voter's decision, with that voter's earliness."""
+        chosen = min(
+            votes,
+            key=lambda vote: (
+                vote.prefix_length,
+                -(vote.confidence if vote.confidence is not None else 0.5),
+                vote.label,
+            ),
+        )
+        return EarlyPrediction(
+            label=chosen.label,
+            prefix_length=chosen.prefix_length,
+            series_length=chosen.series_length,
+            confidence=chosen.confidence,
+        )
+
+    def _vote(self, votes: list[EarlyPrediction]) -> EarlyPrediction:
+        if self.scheme == "confidence":
+            return self._confidence_vote(votes)
+        if self.scheme == "earliest":
+            return self._earliest_vote(votes)
+        return self._majority_vote(votes)
+
+    def _predict(self, dataset: TimeSeriesDataset) -> list[EarlyPrediction]:
+        assert self.members_ is not None
+        per_variable = [
+            member.predict(dataset.variable(variable))
+            for variable, member in enumerate(self.members_)
+        ]
+        return [
+            self._vote([column[i] for column in per_variable])
+            for i in range(dataset.n_instances)
+        ]
+
+
+def wrap_for_dataset(
+    factory: Callable[[], EarlyClassifier], dataset: TimeSeriesDataset
+) -> EarlyClassifier:
+    """Build a classifier suited to ``dataset``'s variable count.
+
+    Univariate datasets get a bare instance; multivariate datasets get the
+    instance itself when it supports multivariate input, or a
+    :class:`VotingEnsemble` over per-variable copies otherwise — exactly the
+    dispatch rule of the paper's evaluation harness.
+    """
+    instance = factory()
+    if dataset.is_univariate or instance.supports_multivariate:
+        return instance
+    return VotingEnsemble(factory)

@@ -1,0 +1,174 @@
+"""Time-series data augmentation.
+
+Complements :mod:`repro.etsc.tsmote`: where T-SMOTE synthesises minority
+instances by interpolation, these transforms perturb existing instances —
+the standard toolkit for making small training sets (the norm in the UCR
+archive) go further. All functions are dataset-in/dataset-out, label-
+preserving, and seeded.
+
+* :func:`jitter` — additive Gaussian noise scaled to each variable's std;
+* :func:`scale` — per-instance random amplitude scaling;
+* :func:`time_warp` — smooth random re-timing via a monotone warp of the
+  time axis (linear interpolation back onto the original grid);
+* :func:`window_slice` — random crop re-stretched to the original length;
+* :func:`augment` — concatenate the original dataset with ``n_rounds``
+  augmented copies drawn from any mix of the above.
+
+.. warning::
+   Augmented copies are *near-duplicates* of their sources. Distance-based
+   early classifiers (ECTS and other 1-NN methods) treat a near-twin as a
+   stable nearest neighbour from the very first prefix, which collapses
+   their Minimum Prediction Lengths and makes them commit far too early.
+   Use augmentation with feature-based learners (boosting, WEASEL,
+   MiniROCKET, MLSTM-FCN); for imbalance specifically, prefer
+   :func:`repro.etsc.temporal_smote`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .dataset import TimeSeriesDataset
+
+__all__ = ["jitter", "scale", "time_warp", "window_slice", "augment"]
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def jitter(
+    dataset: TimeSeriesDataset,
+    strength: float = 0.05,
+    seed: int | np.random.Generator | None = 0,
+) -> TimeSeriesDataset:
+    """Add Gaussian noise of ``strength`` x per-variable std."""
+    if strength < 0:
+        raise ConfigurationError(f"strength must be >= 0, got {strength}")
+    rng = _rng(seed)
+    stds = dataset.values.std(axis=(0, 2), keepdims=True)
+    stds = np.where(stds < 1e-12, 1.0, stds)
+    noise = rng.normal(0.0, 1.0, dataset.values.shape) * strength * stds
+    return TimeSeriesDataset(
+        dataset.values + noise,
+        dataset.labels,
+        name=dataset.name,
+        frequency_seconds=dataset.frequency_seconds,
+    )
+
+
+def scale(
+    dataset: TimeSeriesDataset,
+    low: float = 0.8,
+    high: float = 1.2,
+    seed: int | np.random.Generator | None = 0,
+) -> TimeSeriesDataset:
+    """Multiply each instance by a random factor in ``[low, high]``."""
+    if not 0 < low <= high:
+        raise ConfigurationError(f"need 0 < low <= high, got [{low}, {high}]")
+    rng = _rng(seed)
+    factors = rng.uniform(low, high, size=(dataset.n_instances, 1, 1))
+    return TimeSeriesDataset(
+        dataset.values * factors,
+        dataset.labels,
+        name=dataset.name,
+        frequency_seconds=dataset.frequency_seconds,
+    )
+
+
+def _monotone_warp(length: int, knots: int, strength: float, rng: np.random.Generator) -> np.ndarray:
+    """A smooth monotone map of [0, L-1] onto itself."""
+    anchors = np.linspace(0.0, length - 1.0, knots)
+    perturbed = anchors + rng.normal(0.0, strength * length / knots, knots)
+    perturbed[0], perturbed[-1] = 0.0, length - 1.0
+    perturbed = np.maximum.accumulate(perturbed)  # enforce monotonicity
+    return np.interp(np.arange(length), anchors, perturbed)
+
+
+def time_warp(
+    dataset: TimeSeriesDataset,
+    strength: float = 0.2,
+    knots: int = 4,
+    seed: int | np.random.Generator | None = 0,
+) -> TimeSeriesDataset:
+    """Smoothly re-time each instance (classic magnitude-preserving warp)."""
+    if strength < 0:
+        raise ConfigurationError(f"strength must be >= 0, got {strength}")
+    if knots < 2:
+        raise ConfigurationError(f"knots must be >= 2, got {knots}")
+    rng = _rng(seed)
+    length = dataset.length
+    grid = np.arange(length, dtype=float)
+    warped = np.empty_like(dataset.values)
+    for i in range(dataset.n_instances):
+        mapping = _monotone_warp(length, knots, strength, rng)
+        for v in range(dataset.n_variables):
+            warped[i, v] = np.interp(mapping, grid, dataset.values[i, v])
+    return TimeSeriesDataset(
+        warped,
+        dataset.labels,
+        name=dataset.name,
+        frequency_seconds=dataset.frequency_seconds,
+    )
+
+
+def window_slice(
+    dataset: TimeSeriesDataset,
+    fraction: float = 0.8,
+    seed: int | np.random.Generator | None = 0,
+) -> TimeSeriesDataset:
+    """Crop a random window of ``fraction`` x L and stretch it back to L."""
+    if not 0.0 < fraction <= 1.0:
+        raise ConfigurationError(
+            f"fraction must be in (0, 1], got {fraction}"
+        )
+    rng = _rng(seed)
+    length = dataset.length
+    window = max(2, int(round(fraction * length)))
+    grid = np.arange(length, dtype=float)
+    sliced = np.empty_like(dataset.values)
+    for i in range(dataset.n_instances):
+        start = int(rng.integers(0, length - window + 1))
+        source = np.arange(start, start + window, dtype=float)
+        target = np.linspace(start, start + window - 1, length)
+        for v in range(dataset.n_variables):
+            sliced[i, v] = np.interp(
+                target, source, dataset.values[i, v, start : start + window]
+            )
+    return TimeSeriesDataset(
+        sliced,
+        dataset.labels,
+        name=dataset.name,
+        frequency_seconds=dataset.frequency_seconds,
+    )
+
+
+def augment(
+    dataset: TimeSeriesDataset,
+    transforms: Sequence[Callable[..., TimeSeriesDataset]] = (jitter, scale),
+    n_rounds: int = 1,
+    seed: int = 0,
+) -> TimeSeriesDataset:
+    """Original + ``n_rounds`` augmented copies per transform.
+
+    Each round applies every transform (with a distinct seed) to the
+    original dataset and stacks the results below it, multiplying the
+    instance count by ``1 + n_rounds * len(transforms)``.
+    """
+    if n_rounds < 1:
+        raise ConfigurationError(f"n_rounds must be >= 1, got {n_rounds}")
+    if not transforms:
+        raise ConfigurationError("at least one transform is required")
+    combined = dataset
+    offset = 0
+    for round_index in range(n_rounds):
+        for transform in transforms:
+            augmented = transform(dataset, seed=seed + offset)
+            combined = combined.concatenate(augmented)
+            offset += 1
+    return combined

@@ -1,0 +1,219 @@
+"""The :class:`TimeSeriesDataset` container used across the framework.
+
+Every algorithm in the framework — early classifiers, full time-series
+classifiers, and the evaluation harness — consumes time-series through this
+container. The internal layout is a dense numpy array of shape
+``(n_instances, n_variables, length)`` plus an integer label vector, which
+matches the paper's setting of equal-length series (Section 5 fills missing
+values before evaluation, mirrored here by
+:func:`repro.data.preprocessing.fill_missing`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..exceptions import DataError
+
+__all__ = ["TimeSeriesDataset"]
+
+
+def _as_3d(values: np.ndarray | Sequence) -> np.ndarray:
+    """Coerce input values into the canonical 3-D float layout."""
+    array = np.asarray(values, dtype=float)
+    if array.ndim == 2:
+        # Univariate shorthand: (n_instances, length) -> one variable.
+        array = array[:, np.newaxis, :]
+    if array.ndim != 3:
+        raise DataError(
+            f"time-series values must be 2-D or 3-D, got shape {array.shape}"
+        )
+    return array
+
+
+@dataclass(frozen=True)
+class TimeSeriesDataset:
+    """A labelled collection of equal-length (possibly multivariate) series.
+
+    Parameters
+    ----------
+    values:
+        Array of shape ``(n_instances, n_variables, length)``. A 2-D array
+        ``(n_instances, length)`` is accepted as univariate shorthand.
+    labels:
+        Integer class label per instance.
+    name:
+        Human-readable dataset name (used in reports and benchmarks).
+    frequency_seconds:
+        Sampling period of the series in seconds; drives the online
+        feasibility analysis of the paper's Figure 13. ``None`` when unknown.
+    """
+
+    values: np.ndarray
+    labels: np.ndarray
+    name: str = "unnamed"
+    frequency_seconds: float | None = None
+    _classes: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        values = _as_3d(self.values)
+        labels = np.asarray(self.labels)
+        if labels.ndim != 1:
+            raise DataError(f"labels must be 1-D, got shape {labels.shape}")
+        if len(labels) != values.shape[0]:
+            raise DataError(
+                f"{values.shape[0]} instances but {len(labels)} labels"
+            )
+        if values.shape[0] == 0:
+            raise DataError("dataset must contain at least one instance")
+        if values.shape[2] == 0:
+            raise DataError("time-series length must be positive")
+        if not np.issubdtype(labels.dtype, np.integer):
+            as_int = labels.astype(int)
+            if not np.array_equal(as_int, labels.astype(float)):
+                raise DataError("labels must be integers (class indices)")
+            labels = as_int
+        # Bypass the frozen guard once to store normalised arrays.
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "labels", labels)
+        object.__setattr__(self, "_classes", np.unique(labels))
+
+    # ------------------------------------------------------------------
+    # Shape accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_instances(self) -> int:
+        """Number of time-series instances (the paper's dataset *height*)."""
+        return self.values.shape[0]
+
+    @property
+    def n_variables(self) -> int:
+        """Number of variables per instance (1 for univariate data)."""
+        return self.values.shape[1]
+
+    @property
+    def length(self) -> int:
+        """Number of time-points per series (the paper's dataset *length*)."""
+        return self.values.shape[2]
+
+    @property
+    def classes(self) -> np.ndarray:
+        """Sorted array of the distinct class labels present."""
+        return self._classes
+
+    @property
+    def n_classes(self) -> int:
+        """Number of distinct class labels."""
+        return len(self._classes)
+
+    @property
+    def is_univariate(self) -> bool:
+        """Whether the dataset has exactly one variable."""
+        return self.n_variables == 1
+
+    def __len__(self) -> int:
+        return self.n_instances
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, int]]:
+        """Iterate over ``(series, label)`` pairs, series of shape (V, L)."""
+        for i in range(self.n_instances):
+            yield self.values[i], int(self.labels[i])
+
+    # ------------------------------------------------------------------
+    # Derived datasets
+    # ------------------------------------------------------------------
+    def select(self, indices: np.ndarray | Sequence[int]) -> "TimeSeriesDataset":
+        """Return the sub-dataset at the given instance indices."""
+        indices = np.asarray(indices)
+        return TimeSeriesDataset(
+            self.values[indices],
+            self.labels[indices],
+            name=self.name,
+            frequency_seconds=self.frequency_seconds,
+        )
+
+    def truncate(self, prefix_length: int) -> "TimeSeriesDataset":
+        """Return the dataset restricted to the first ``prefix_length`` points.
+
+        This is the elementary operation behind every prefix-based method in
+        the paper (ECEC, TEASER, STRUT, ...).
+        """
+        if not 1 <= prefix_length <= self.length:
+            raise DataError(
+                f"prefix_length must be in [1, {self.length}], "
+                f"got {prefix_length}"
+            )
+        return TimeSeriesDataset(
+            self.values[:, :, :prefix_length],
+            self.labels,
+            name=self.name,
+            frequency_seconds=self.frequency_seconds,
+        )
+
+    def variable(self, index: int) -> "TimeSeriesDataset":
+        """Return the univariate dataset for a single variable.
+
+        Used by the voting wrapper (Section 6.1) that runs one univariate
+        classifier per variable of a multivariate dataset.
+        """
+        if not 0 <= index < self.n_variables:
+            raise DataError(
+                f"variable index must be in [0, {self.n_variables}), "
+                f"got {index}"
+            )
+        return TimeSeriesDataset(
+            self.values[:, index : index + 1, :],
+            self.labels,
+            name=f"{self.name}[var={index}]",
+            frequency_seconds=self.frequency_seconds,
+        )
+
+    def with_labels(self, labels: np.ndarray) -> "TimeSeriesDataset":
+        """Return a copy of this dataset with replacement labels."""
+        return TimeSeriesDataset(
+            self.values,
+            labels,
+            name=self.name,
+            frequency_seconds=self.frequency_seconds,
+        )
+
+    def concatenate(self, other: "TimeSeriesDataset") -> "TimeSeriesDataset":
+        """Stack another dataset's instances below this one's."""
+        if other.n_variables != self.n_variables:
+            raise DataError("cannot concatenate: variable counts differ")
+        if other.length != self.length:
+            raise DataError("cannot concatenate: lengths differ")
+        return TimeSeriesDataset(
+            np.concatenate([self.values, other.values], axis=0),
+            np.concatenate([self.labels, other.labels]),
+            name=self.name,
+            frequency_seconds=self.frequency_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    # Statistics used by the Table 3 categorisation
+    # ------------------------------------------------------------------
+    def class_counts(self) -> dict[int, int]:
+        """Return a mapping of class label to number of instances."""
+        labels, counts = np.unique(self.labels, return_counts=True)
+        return {int(label): int(count) for label, count in zip(labels, counts)}
+
+    def class_imbalance_ratio(self) -> float:
+        """Most-populated over least-populated class size (paper's CIR)."""
+        counts = np.asarray(list(self.class_counts().values()), dtype=float)
+        return float(counts.max() / counts.min())
+
+    def coefficient_of_variation(self) -> float:
+        """Standard deviation over absolute mean of all values (paper's CoV)."""
+        flat = self.values[np.isfinite(self.values)]
+        mean = flat.mean()
+        if mean == 0:
+            return float("inf")
+        return float(flat.std() / abs(mean))
+
+    def has_missing(self) -> bool:
+        """Whether any value is NaN."""
+        return bool(np.isnan(self.values).any())

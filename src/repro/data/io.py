@@ -1,0 +1,214 @@
+"""Dataset file I/O in the formats the paper's framework accepts.
+
+Section 5.5: "measurements must be in .csv file format, where each row
+constitutes a time-series example of a single variable, and the first value
+of each row, the class label. Files of type .arff are also supported."
+
+* :func:`load_csv` / :func:`save_csv` — one file per variable, first column
+  is the class label, remaining columns the time-points. Empty cells encode
+  missing values (NaN).
+* :func:`load_multivariate_csv` — stitch several per-variable CSV files into
+  one multivariate dataset (labels must agree across files).
+* :func:`load_arff` / :func:`save_arff` — a pragmatic subset of ARFF:
+  numeric attributes for the time-points plus a nominal/numeric class
+  attribute in the final position.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import DataFormatError
+from .dataset import TimeSeriesDataset
+
+__all__ = [
+    "load_csv",
+    "save_csv",
+    "load_multivariate_csv",
+    "load_arff",
+    "save_arff",
+]
+
+
+def _parse_cell(cell: str) -> float:
+    cell = cell.strip()
+    if cell in ("", "?", "NaN", "nan"):
+        return float("nan")
+    try:
+        return float(cell)
+    except ValueError as error:
+        raise DataFormatError(f"cannot parse value {cell!r}") from error
+
+
+def load_csv(
+    path: str | os.PathLike,
+    name: str | None = None,
+    frequency_seconds: float | None = None,
+) -> TimeSeriesDataset:
+    """Load a univariate dataset from the paper's CSV layout.
+
+    Each row is one instance: ``label, x_0, x_1, ..., x_{L-1}``. All rows
+    must have the same length; blank lines are skipped.
+    """
+    rows: list[list[float]] = []
+    labels: list[int] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            cells = line.split(",")
+            if len(cells) < 2:
+                raise DataFormatError(
+                    f"{path}:{line_number}: row needs a label and at least "
+                    "one time-point"
+                )
+            label_value = _parse_cell(cells[0])
+            if np.isnan(label_value) or label_value != int(label_value):
+                raise DataFormatError(
+                    f"{path}:{line_number}: label {cells[0]!r} is not an "
+                    "integer"
+                )
+            labels.append(int(label_value))
+            rows.append([_parse_cell(cell) for cell in cells[1:]])
+    if not rows:
+        raise DataFormatError(f"{path}: no data rows")
+    lengths = {len(row) for row in rows}
+    if len(lengths) != 1:
+        raise DataFormatError(
+            f"{path}: rows have inconsistent lengths {sorted(lengths)}"
+        )
+    return TimeSeriesDataset(
+        np.asarray(rows, dtype=float),
+        np.asarray(labels, dtype=int),
+        name=name or os.path.splitext(os.path.basename(path))[0],
+        frequency_seconds=frequency_seconds,
+    )
+
+
+def save_csv(dataset: TimeSeriesDataset, path: str | os.PathLike, variable: int = 0) -> None:
+    """Write one variable of ``dataset`` in the paper's CSV layout."""
+    values = dataset.values[:, variable, :]
+    with open(path, "w", encoding="utf-8") as handle:
+        for label, row in zip(dataset.labels, values):
+            cells = [str(int(label))]
+            cells.extend("" if np.isnan(x) else repr(float(x)) for x in row)
+            handle.write(",".join(cells) + "\n")
+
+
+def load_multivariate_csv(
+    paths: Sequence[str | os.PathLike],
+    name: str = "multivariate",
+    frequency_seconds: float | None = None,
+) -> TimeSeriesDataset:
+    """Combine per-variable CSV files into one multivariate dataset.
+
+    All files must contain the same number of rows, the same series length,
+    and identical label columns.
+    """
+    if not paths:
+        raise DataFormatError("at least one CSV path is required")
+    parts = [load_csv(path) for path in paths]
+    first = parts[0]
+    for part, path in zip(parts[1:], list(paths)[1:]):
+        if part.n_instances != first.n_instances or part.length != first.length:
+            raise DataFormatError(f"{path}: shape differs from first file")
+        if not np.array_equal(part.labels, first.labels):
+            raise DataFormatError(f"{path}: labels differ from first file")
+    values = np.concatenate([part.values for part in parts], axis=1)
+    return TimeSeriesDataset(
+        values, first.labels, name=name, frequency_seconds=frequency_seconds
+    )
+
+
+_ARFF_ATTRIBUTE = re.compile(r"@attribute\s+(\S+)\s+(.+)", re.IGNORECASE)
+
+
+def load_arff(
+    path: str | os.PathLike,
+    name: str | None = None,
+    frequency_seconds: float | None = None,
+) -> TimeSeriesDataset:
+    """Load a univariate dataset from an ARFF file.
+
+    Supports numeric time-point attributes followed by one class attribute
+    (nominal ``{a,b,...}`` or numeric) as the last column — the layout used
+    by the UEA & UCR archive exports.
+    """
+    attributes: list[tuple[str, str]] = []
+    data_rows: list[str] = []
+    in_data = False
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("%"):
+                continue
+            if in_data:
+                data_rows.append(line)
+                continue
+            lowered = line.lower()
+            if lowered.startswith("@data"):
+                in_data = True
+            elif lowered.startswith("@attribute"):
+                match = _ARFF_ATTRIBUTE.match(line)
+                if not match:
+                    raise DataFormatError(f"{path}: bad attribute line {line!r}")
+                attributes.append((match.group(1), match.group(2).strip()))
+    if not attributes:
+        raise DataFormatError(f"{path}: no @attribute declarations")
+    if not data_rows:
+        raise DataFormatError(f"{path}: no data rows")
+
+    class_spec = attributes[-1][1]
+    nominal_values: list[str] | None = None
+    if class_spec.startswith("{") and class_spec.endswith("}"):
+        nominal_values = [v.strip() for v in class_spec[1:-1].split(",")]
+
+    rows: list[list[float]] = []
+    labels: list[int] = []
+    for line_number, line in enumerate(data_rows, start=1):
+        cells = [cell.strip() for cell in line.split(",")]
+        if len(cells) != len(attributes):
+            raise DataFormatError(
+                f"{path}: data row {line_number} has {len(cells)} cells, "
+                f"expected {len(attributes)}"
+            )
+        *point_cells, class_cell = cells
+        if nominal_values is not None:
+            try:
+                labels.append(nominal_values.index(class_cell))
+            except ValueError as error:
+                raise DataFormatError(
+                    f"{path}: unknown class value {class_cell!r}"
+                ) from error
+        else:
+            labels.append(int(float(class_cell)))
+        rows.append([_parse_cell(cell) for cell in point_cells])
+    return TimeSeriesDataset(
+        np.asarray(rows, dtype=float),
+        np.asarray(labels, dtype=int),
+        name=name or os.path.splitext(os.path.basename(path))[0],
+        frequency_seconds=frequency_seconds,
+    )
+
+
+def save_arff(
+    dataset: TimeSeriesDataset, path: str | os.PathLike, variable: int = 0
+) -> None:
+    """Write one variable of ``dataset`` as an ARFF file with a nominal class."""
+    values = dataset.values[:, variable, :]
+    class_values = ",".join(str(int(c)) for c in dataset.classes)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"@relation {dataset.name}\n")
+        for t in range(dataset.length):
+            handle.write(f"@attribute t{t} numeric\n")
+        handle.write(f"@attribute class {{{class_values}}}\n")
+        handle.write("@data\n")
+        for label, row in zip(dataset.labels, values):
+            cells = ["?" if np.isnan(x) else repr(float(x)) for x in row]
+            cells.append(str(int(label)))
+            handle.write(",".join(cells) + "\n")

@@ -1,0 +1,104 @@
+"""Train/test splitting and stratified k-fold cross-validation.
+
+The paper evaluates every algorithm with *stratified random sampling 5-fold
+cross-validation* (Section 6.1); :func:`stratified_k_fold` implements exactly
+that. A stratified holdout split (:func:`train_test_split`) is used inside
+algorithms that need an internal validation set (e.g. STRUT).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..exceptions import DataError
+from .dataset import TimeSeriesDataset
+
+__all__ = ["stratified_k_fold", "train_test_split", "stratified_indices"]
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def stratified_indices(
+    labels: np.ndarray,
+    n_folds: int,
+    seed: int | np.random.Generator | None = 0,
+) -> list[np.ndarray]:
+    """Partition instance indices into ``n_folds`` class-stratified folds.
+
+    Each class's indices are shuffled and dealt round-robin across folds, so
+    every fold's class distribution matches the full dataset's as closely as
+    integer counts allow.
+    """
+    labels = np.asarray(labels)
+    if n_folds < 2:
+        raise DataError(f"n_folds must be >= 2, got {n_folds}")
+    if n_folds > len(labels):
+        raise DataError(
+            f"n_folds={n_folds} exceeds number of instances {len(labels)}"
+        )
+    rng = _rng(seed)
+    folds: list[list[int]] = [[] for _ in range(n_folds)]
+    # Deal each class independently so folds stay stratified; rotate the
+    # starting fold per class to even out fold sizes.
+    offset = 0
+    for label in np.unique(labels):
+        class_indices = np.flatnonzero(labels == label)
+        rng.shuffle(class_indices)
+        for position, index in enumerate(class_indices):
+            folds[(position + offset) % n_folds].append(int(index))
+        offset += len(class_indices) % n_folds
+    return [np.asarray(sorted(fold), dtype=int) for fold in folds]
+
+
+def stratified_k_fold(
+    dataset: TimeSeriesDataset,
+    n_folds: int = 5,
+    seed: int | np.random.Generator | None = 0,
+) -> Iterator[tuple[TimeSeriesDataset, TimeSeriesDataset]]:
+    """Yield ``(train, test)`` dataset pairs for stratified k-fold CV."""
+    folds = stratified_indices(dataset.labels, n_folds, seed)
+    all_indices = np.arange(dataset.n_instances)
+    for fold in folds:
+        test_mask = np.zeros(dataset.n_instances, dtype=bool)
+        test_mask[fold] = True
+        yield dataset.select(all_indices[~test_mask]), dataset.select(fold)
+
+
+def train_test_split(
+    dataset: TimeSeriesDataset,
+    test_fraction: float = 0.25,
+    seed: int | np.random.Generator | None = 0,
+) -> tuple[TimeSeriesDataset, TimeSeriesDataset]:
+    """Stratified holdout split into ``(train, test)``.
+
+    Guarantees at least one instance of every class in each side whenever the
+    class has at least two instances; singleton classes go to the training
+    side so the model can at least learn them.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise DataError(
+            f"test_fraction must be in (0, 1), got {test_fraction}"
+        )
+    rng = _rng(seed)
+    labels = dataset.labels
+    train_indices: list[int] = []
+    test_indices: list[int] = []
+    for label in np.unique(labels):
+        class_indices = np.flatnonzero(labels == label)
+        rng.shuffle(class_indices)
+        if len(class_indices) == 1:
+            train_indices.extend(class_indices.tolist())
+            continue
+        n_test = int(round(test_fraction * len(class_indices)))
+        n_test = min(max(n_test, 1), len(class_indices) - 1)
+        test_indices.extend(class_indices[:n_test].tolist())
+        train_indices.extend(class_indices[n_test:].tolist())
+    return dataset.select(sorted(train_indices)), dataset.select(
+        sorted(test_indices)
+    )

@@ -1,0 +1,6 @@
+"""Synthetic generators for the paper's twelve evaluation datasets."""
+
+from . import biological, maritime, synthetic, ucr
+from .ucr import DATASET_NAMES
+
+__all__ = ["biological", "maritime", "synthetic", "ucr", "DATASET_NAMES"]

@@ -1,0 +1,116 @@
+"""The Biological dataset: tumour-cell drug-treatment simulations.
+
+The paper's dataset (Section 5.2) summarises PhysiBoSS tumour simulations
+by three time-evolving cell counts — Alive, Necrotic, Apoptotic — over 48
+time-points, labelled *interesting* when the treatment constrains tumour
+growth (about 20% of 644 runs). The original traces are not redistributable
+offline, so this module implements a mechanistic stand-in with the same
+phenomenology:
+
+* Alive cells grow logistically towards a carrying capacity.
+* A drug is administered in pulses (configurable onset, period, duration,
+  concentration — the paper's per-simulation treatment configuration) and
+  kills alive cells at a concentration-dependent rate; the kill onset is
+  delayed so that, as in the paper, classes only separate after roughly the
+  first 30% of the horizon.
+* Killed cells accumulate as Necrotic; natural cell death accumulates as
+  Apoptotic regardless of the drug.
+
+The *interesting* label applies the kind of expert rule the paper
+describes: a run is interesting when the final alive population is pushed
+well below its own peak (the tumour shrinks under treatment). Drug
+parameters are sampled so that roughly 20% of runs qualify, reproducing the
+published 80/20 imbalance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.dataset import TimeSeriesDataset
+from .synthetic import scaled_count
+
+__all__ = ["generate", "simulate_treatment", "N_INSTANCES", "N_TIMEPOINTS"]
+
+N_INSTANCES = 644
+N_TIMEPOINTS = 48
+# Interesting iff the final alive count drops below 30% of its own peak —
+# calibrated so ~20% of runs qualify, the published imbalance.
+_SHRINKAGE_RULE = 0.3
+
+
+def simulate_treatment(
+    rng: np.random.Generator,
+    n_timepoints: int = N_TIMEPOINTS,
+    initial_alive: float = 1100.0,
+) -> tuple[np.ndarray, int]:
+    """Run one tumour simulation; returns ``(series, label)``.
+
+    ``series`` has shape ``(3, n_timepoints)`` with rows Alive, Necrotic,
+    Apoptotic. The label is 1 (*interesting*) when the expert shrinkage
+    rule fires.
+    """
+    # Per-simulation treatment configuration (fixed during the run).
+    onset = int(rng.integers(n_timepoints // 5, n_timepoints // 2))
+    period = int(rng.integers(4, 10))
+    duration = int(rng.integers(1, period))
+    concentration = float(rng.gamma(shape=1.6, scale=0.5))
+
+    growth_rate = float(rng.uniform(0.03, 0.08))
+    capacity = initial_alive * float(rng.uniform(1.3, 2.0))
+    natural_death = float(rng.uniform(0.004, 0.010))
+    kill_efficiency = 0.09
+
+    alive = initial_alive * float(rng.uniform(0.9, 1.1))
+    necrotic = 0.0
+    apoptotic = 0.0
+    series = np.empty((3, n_timepoints))
+    for t in range(n_timepoints):
+        drug_active = t >= onset and ((t - onset) % period) < duration
+        growth = growth_rate * alive * (1.0 - alive / capacity)
+        apoptosis = natural_death * alive
+        kill = kill_efficiency * concentration * alive if drug_active else 0.0
+        kill = min(kill, alive)  # cannot kill more cells than exist
+        alive = max(alive + growth - apoptosis - kill, 0.0)
+        necrotic += kill
+        apoptotic += apoptosis
+        measurement_noise = rng.normal(0.0, 4.0, size=3)
+        series[0, t] = max(alive + measurement_noise[0], 0.0)
+        series[1, t] = max(necrotic + measurement_noise[1], 0.0)
+        series[2, t] = max(apoptotic + measurement_noise[2], 0.0)
+    label = int(series[0, -1] < _SHRINKAGE_RULE * series[0].max())
+    return series, label
+
+
+def generate(
+    scale: float = 1.0,
+    seed: int = 0,
+    n_timepoints: int = N_TIMEPOINTS,
+) -> TimeSeriesDataset:
+    """Generate the Biological dataset (644 x 3 x 48 at ``scale=1``).
+
+    Labels emerge from the simulation dynamics rather than being assigned,
+    so their ratio fluctuates mildly around the published 20% interesting.
+    """
+    rng = np.random.default_rng(seed)
+    n_instances = scaled_count(N_INSTANCES, scale, minimum=40)
+    values = np.empty((n_instances, 3, n_timepoints))
+    labels = np.empty(n_instances, dtype=int)
+    for i in range(n_instances):
+        values[i], labels[i] = simulate_treatment(rng, n_timepoints)
+    if len(np.unique(labels)) < 2:
+        # Pathological seed/scale combination: force two minority examples
+        # by re-running with stronger drugs until one run qualifies.
+        strong = np.random.default_rng(seed + 1)
+        index = 0
+        while len(np.unique(labels)) < 2 and index < n_instances:
+            series, label = simulate_treatment(strong, n_timepoints)
+            if label != labels[(index + 1) % n_instances]:
+                values[index], labels[index] = series, label
+            index += 1
+    return TimeSeriesDataset(
+        values,
+        labels,
+        name="Biological",
+        frequency_seconds=720.0,  # one measurement per simulated 12 min
+    )

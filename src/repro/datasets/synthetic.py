@@ -1,0 +1,139 @@
+"""Shared toolkit for the synthetic dataset generators.
+
+The twelve datasets of the paper cannot be downloaded offline, so each is
+replaced by a seeded generator matched to its published shape statistics
+(see DESIGN.md). The primitives here are the building blocks: oscillations,
+square pulse trains (which push the coefficient of variation up, producing
+'Unstable' datasets), transient bursts (astronomy-style light curves),
+daily-profile bumps (traffic/power data), trends, and label allocation with
+a target class-imbalance ratio.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DataError
+
+__all__ = [
+    "oscillation",
+    "pulse_train",
+    "transient_burst",
+    "daily_profile",
+    "linear_trend",
+    "allocate_labels",
+    "scaled_count",
+]
+
+
+def scaled_count(base: int, scale: float, minimum: int = 8) -> int:
+    """Scale an instance/length count, never dropping below ``minimum``."""
+    if scale <= 0:
+        raise DataError(f"scale must be positive, got {scale}")
+    return max(minimum, int(round(base * scale)))
+
+
+def oscillation(
+    length: int,
+    frequency: float,
+    amplitude: float = 1.0,
+    phase: float = 0.0,
+    rng: np.random.Generator | None = None,
+    noise: float = 0.0,
+) -> np.ndarray:
+    """A sinusoid with optional Gaussian noise."""
+    t = np.arange(length, dtype=float)
+    series = amplitude * np.sin(frequency * t + phase)
+    if noise > 0 and rng is not None:
+        series = series + rng.normal(0.0, noise, size=length)
+    return series
+
+
+def pulse_train(
+    length: int,
+    n_pulses: int,
+    width: int,
+    level: float,
+    rng: np.random.Generator,
+    base: float = 0.0,
+    jitter: float = 0.2,
+) -> np.ndarray:
+    """Square on/off pulses at random positions (appliance-style signal).
+
+    The large on/off level difference yields the high coefficient of
+    variation characteristic of the paper's 'Unstable' datasets.
+    """
+    series = np.full(length, base, dtype=float)
+    if n_pulses < 1 or width < 1:
+        return series
+    for _ in range(n_pulses):
+        start = int(rng.integers(0, max(1, length - width)))
+        pulse_level = level * (1.0 + jitter * rng.normal())
+        series[start : start + width] += max(pulse_level, 0.0)
+    return series
+
+
+def transient_burst(
+    length: int,
+    center: float,
+    rise: float,
+    decay: float,
+    amplitude: float,
+) -> np.ndarray:
+    """Fast-rise / exponential-decay burst (astronomical transient shape)."""
+    t = np.arange(length, dtype=float)
+    left = np.exp(-((t - center) ** 2) / (2.0 * max(rise, 1e-6) ** 2))
+    right = np.exp(-(t - center) / max(decay, 1e-6))
+    burst = np.where(t < center, left, right)
+    return amplitude * burst
+
+
+def daily_profile(
+    length: int,
+    peaks: list[tuple[float, float, float]],
+    base: float = 0.0,
+) -> np.ndarray:
+    """Sum of Gaussian bumps ``(position_fraction, width_fraction, height)``.
+
+    Models daily traffic/consumption profiles: morning and evening peaks at
+    class-dependent positions.
+    """
+    t = np.arange(length, dtype=float)
+    series = np.full(length, base, dtype=float)
+    for position, width, height in peaks:
+        center = position * length
+        sigma = max(width * length, 1e-6)
+        series += height * np.exp(-((t - center) ** 2) / (2.0 * sigma**2))
+    return series
+
+
+def linear_trend(length: int, slope: float, onset: float = 0.0) -> np.ndarray:
+    """A linear drift starting at the ``onset`` fraction of the series."""
+    t = np.arange(length, dtype=float)
+    start = onset * length
+    return slope * np.maximum(t - start, 0.0)
+
+
+def allocate_labels(
+    n_instances: int,
+    class_weights: list[float],
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Shuffled label vector with class proportions ``class_weights``.
+
+    Weights are normalised; every class receives at least two instances
+    (so stratified splitting remains possible) as long as the total allows.
+    """
+    weights = np.asarray(class_weights, dtype=float)
+    if weights.ndim != 1 or (weights <= 0).any():
+        raise DataError("class_weights must be positive")
+    weights = weights / weights.sum()
+    counts = np.maximum(np.round(weights * n_instances).astype(int), 2)
+    # Repair rounding so counts sum exactly to n_instances.
+    while counts.sum() > n_instances:
+        counts[counts.argmax()] -= 1
+    while counts.sum() < n_instances:
+        counts[counts.argmax()] += 1
+    labels = np.repeat(np.arange(len(weights)), counts)
+    rng.shuffle(labels)
+    return labels

@@ -1,0 +1,25 @@
+"""Helpers shared by the ETSC algorithm implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.dataset import TimeSeriesDataset
+from ..exceptions import DataError
+
+__all__ = ["validate_univariate"]
+
+
+def validate_univariate(dataset: TimeSeriesDataset) -> np.ndarray:
+    """Return the ``(n_instances, length)`` matrix of a univariate dataset.
+
+    The univariate-only algorithms (ECEC, ECONOMY-K, ECTS, EDSC, TEASER)
+    call this at the top of training; multivariate input should instead be
+    routed through :class:`repro.core.voting.VotingEnsemble`.
+    """
+    if dataset.n_variables != 1:
+        raise DataError(
+            "this algorithm is univariate; wrap it in "
+            "repro.core.voting.VotingEnsemble for multivariate data"
+        )
+    return dataset.values[:, 0, :]

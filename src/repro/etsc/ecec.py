@@ -1,0 +1,260 @@
+"""ECEC — Effective Confidence-based Early Classification (Lv et al., 2019).
+
+ECEC truncates training series into ``N`` overlapping prefixes and trains
+one WEASEL classifier per prefix length. Internal cross-validation yields
+out-of-fold predictions per prefix, from which ECEC estimates the
+*reliability* of each classifier: ``P(y = c | h_t(x) = c)`` per class. The
+confidence in the prediction at prefix ``t`` fuses every earlier classifier
+that agrees with it:
+
+    C_t = 1 - prod_{i <= t, h_i(x) = h_t(x)} (1 - reliability_i(h_t(x)))
+
+Candidate confidence thresholds are the midpoints of adjacent sorted
+out-of-fold confidences; each candidate is scored by replaying the early-
+stopping rule on the training data and evaluating
+
+    CF(theta) = alpha * (1 - accuracy) + (1 - alpha) * earliness
+
+(the paper's trade-off, ``alpha = 0.8``), and the minimiser becomes the
+global threshold. At test time, prefixes stream through the classifier
+ladder and the first prediction whose fused confidence reaches the
+threshold fires (forced at the final prefix).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import EarlyClassifier
+from ..core.prediction import EarlyPrediction
+from ..data.dataset import TimeSeriesDataset
+from ..data.splits import stratified_indices
+from ..exceptions import ConfigurationError
+from ..stats.metrics import accuracy as accuracy_score
+from ..tsc.weasel import WEASEL
+from ..transform.windows import prefix_lengths
+from .common import validate_univariate
+
+__all__ = ["ECEC"]
+
+
+class ECEC(EarlyClassifier):
+    """Confidence-fused prefix-classifier ladder over WEASEL.
+
+    Parameters
+    ----------
+    n_prefixes:
+        Ladder size ``N`` (Table 4 uses 20).
+    alpha:
+        Accuracy-vs-earliness trade-off in the threshold cost
+        (Table 4 uses 0.8).
+    n_folds:
+        Internal cross-validation folds for reliability estimation.
+    max_threshold_candidates:
+        Cap on evaluated thresholds (midpoints are subsampled evenly
+        beyond this, bounding the ``O(candidates * N * height)`` selection).
+    weasel_factory:
+        Zero-argument callable building the per-prefix classifier;
+        defaults to the framework's WEASEL configuration.
+    """
+
+    supports_multivariate = False
+
+    def __init__(
+        self,
+        n_prefixes: int = 20,
+        alpha: float = 0.8,
+        n_folds: int = 3,
+        max_threshold_candidates: int = 60,
+        weasel_factory=None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if n_prefixes < 1:
+            raise ConfigurationError("n_prefixes must be >= 1")
+        if not 0.0 <= alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be in [0, 1], got {alpha}")
+        if n_folds < 2:
+            raise ConfigurationError("n_folds must be >= 2")
+        self.n_prefixes = n_prefixes
+        self.alpha = alpha
+        self.n_folds = n_folds
+        self.max_threshold_candidates = max_threshold_candidates
+        self.weasel_factory = weasel_factory or (
+            lambda: WEASEL(n_window_sizes=3, chi2_top_k=100)
+        )
+        self.seed = seed
+        self._ladder: list[int] | None = None
+        self._classifiers: list[WEASEL] | None = None
+        self._reliability: dict[tuple[int, int], float] | None = None
+        self.threshold_: float | None = None
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def _out_of_fold_predictions(
+        self, dataset: TimeSeriesDataset, ladder: list[int]
+    ) -> np.ndarray:
+        """Out-of-fold label predictions, shape ``(n_prefixes, n_instances)``."""
+        n = dataset.n_instances
+        predictions = np.zeros((len(ladder), n), dtype=dataset.labels.dtype)
+        smallest_class = int(np.unique(dataset.labels, return_counts=True)[1].min())
+        n_folds = max(2, min(self.n_folds, smallest_class, n))
+        folds = stratified_indices(dataset.labels, n_folds, self.seed)
+        all_indices = np.arange(n)
+        for fold in folds:
+            test_mask = np.zeros(n, dtype=bool)
+            test_mask[fold] = True
+            train_part = dataset.select(all_indices[~test_mask])
+            test_part = dataset.select(fold)
+            if train_part.n_classes < 2:
+                # Degenerate fold: fall back to the majority label.
+                values, counts = np.unique(
+                    train_part.labels, return_counts=True
+                )
+                predictions[:, fold] = values[counts.argmax()]
+                continue
+            for row, prefix in enumerate(ladder):
+                classifier = self.weasel_factory()
+                classifier.train(train_part.truncate(prefix))
+                predictions[row, fold] = classifier.predict(
+                    test_part.truncate(prefix)
+                )
+        return predictions
+
+    @staticmethod
+    def _fit_reliability(
+        oof: np.ndarray, labels: np.ndarray
+    ) -> dict[tuple[int, int], float]:
+        """``P(y = c | h_t(x) = c)`` per (prefix row, class)."""
+        reliability: dict[tuple[int, int], float] = {}
+        for row in range(oof.shape[0]):
+            for label in np.unique(labels):
+                predicted_c = oof[row] == label
+                if predicted_c.any():
+                    value = float(
+                        (labels[predicted_c] == label).mean()
+                    )
+                else:
+                    value = 0.0
+                reliability[(row, int(label))] = value
+        return reliability
+
+    def _fused_confidence(
+        self, predictions_so_far: np.ndarray, reliability_lookup
+    ) -> float:
+        """Confidence of the latest prediction given earlier agreements."""
+        current = predictions_so_far[-1]
+        complement = 1.0
+        for row, label in enumerate(predictions_so_far):
+            if label == current:
+                complement *= 1.0 - reliability_lookup(row, int(current))
+        return 1.0 - complement
+
+    def _training_confidences(
+        self, oof: np.ndarray
+    ) -> np.ndarray:
+        """Fused confidence per (prefix row, instance) on the OOF table."""
+        assert self._reliability is not None
+        n_rows, n = oof.shape
+        confidences = np.zeros((n_rows, n))
+        lookup = lambda row, label: self._reliability.get((row, label), 0.0)
+        for instance in range(n):
+            for row in range(n_rows):
+                confidences[row, instance] = self._fused_confidence(
+                    oof[: row + 1, instance], lookup
+                )
+        return confidences
+
+    def _select_threshold(
+        self,
+        oof: np.ndarray,
+        confidences: np.ndarray,
+        labels: np.ndarray,
+        ladder: list[int],
+        full_length: int,
+    ) -> float:
+        """Replay the stopping rule per candidate threshold; keep the best."""
+        flat = np.unique(confidences.ravel())
+        if flat.size < 2:
+            return float(flat[0]) if flat.size else 0.5
+        candidates = 0.5 * (flat[1:] + flat[:-1])
+        if candidates.size > self.max_threshold_candidates:
+            picks = np.linspace(
+                0, candidates.size - 1, self.max_threshold_candidates
+            ).astype(int)
+            candidates = candidates[picks]
+        ladder_array = np.asarray(ladder, dtype=float)
+        best_cost = np.inf
+        best_threshold = float(candidates[0])
+        n_rows, n = oof.shape
+        for theta in candidates:
+            fired = confidences >= theta
+            fired[-1, :] = True  # forced decision at the last prefix
+            first_row = fired.argmax(axis=0)
+            predicted = oof[first_row, np.arange(n)]
+            acc = accuracy_score(labels, predicted)
+            earliness_value = float(
+                (ladder_array[first_row] / full_length).mean()
+            )
+            cost = self.alpha * (1.0 - acc) + (1.0 - self.alpha) * earliness_value
+            if cost < best_cost:
+                best_cost = cost
+                best_threshold = float(theta)
+        return best_threshold
+
+    def _train(self, dataset: TimeSeriesDataset) -> None:
+        validate_univariate(dataset)
+        ladder = prefix_lengths(dataset.length, self.n_prefixes)
+        self._ladder = ladder
+        oof = self._out_of_fold_predictions(dataset, ladder)
+        self._reliability = self._fit_reliability(oof, dataset.labels)
+        confidences = self._training_confidences(oof)
+        self.threshold_ = self._select_threshold(
+            oof, confidences, dataset.labels, ladder, dataset.length
+        )
+        # Final classifiers are refit on the full training data per prefix.
+        self._classifiers = []
+        for prefix in ladder:
+            classifier = self.weasel_factory()
+            classifier.train(dataset.truncate(prefix))
+            self._classifiers.append(classifier)
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def _predict(self, dataset: TimeSeriesDataset) -> list[EarlyPrediction]:
+        assert self._ladder is not None and self._classifiers is not None
+        assert self._reliability is not None and self.threshold_ is not None
+        lookup = lambda row, label: self._reliability.get((row, label), 0.0)
+        reachable_rows = [
+            row
+            for row, prefix in enumerate(self._ladder)
+            if prefix <= dataset.length
+        ] or [0]
+        predictions: list[EarlyPrediction] = []
+        for i in range(dataset.n_instances):
+            instance = dataset.select([i])
+            history: list[int] = []
+            decided: EarlyPrediction | None = None
+            for position, row in enumerate(reachable_rows):
+                prefix = min(self._ladder[row], dataset.length)
+                label = int(
+                    self._classifiers[row].predict(instance.truncate(prefix))[0]
+                )
+                history.append(label)
+                confidence = self._fused_confidence(
+                    np.asarray(history), lookup
+                )
+                is_last = position == len(reachable_rows) - 1
+                if confidence >= self.threshold_ or is_last:
+                    decided = EarlyPrediction(
+                        label=label,
+                        prefix_length=prefix,
+                        series_length=dataset.length,
+                        confidence=min(max(confidence, 0.0), 1.0),
+                    )
+                    break
+            assert decided is not None
+            predictions.append(decided)
+        return predictions

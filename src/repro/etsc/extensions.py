@@ -1,0 +1,282 @@
+"""Extension algorithms beyond the paper's evaluated five.
+
+Section 7 plans to grow the framework with further ETSC methods. Two are
+provided here, registered via :func:`repro.core.registry.extended_algorithms`:
+
+* :class:`MoriSR` — the stopping-rule approach of Mori et al. (2017),
+  "Reliable early classification of time series based on discriminating the
+  classes over time" (the paper's reference [28]). A probabilistic
+  classifier is trained per prefix checkpoint; prediction halts when the
+  learned linear stopping rule
+
+      gamma_1 * p1 + gamma_2 * (p1 - p2) + gamma_3 * (l / L)  >  0
+
+  fires, where ``p1``/``p2`` are the two largest posteriors and ``l/L`` the
+  observed fraction. The gammas are selected on a training replay by
+  minimising ``alpha * (1 - accuracy) + (1 - alpha) * earliness``.
+
+* :class:`FixedPrefix` — the trivial baseline that always commits after a
+  fixed fraction of the series, classifying with a single classifier
+  trained at that length. Useful as a sanity floor for earliness studies.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from ..core.base import EarlyClassifier
+from ..core.prediction import EarlyPrediction
+from ..data.dataset import TimeSeriesDataset
+from ..exceptions import ConfigurationError
+from ..stats.boosting import GradientBoostingClassifier
+from ..stats.metrics import accuracy as accuracy_score
+from ..transform.windows import prefix_lengths
+from .common import validate_univariate
+
+__all__ = ["MoriSR", "FixedPrefix"]
+
+
+class MoriSR(EarlyClassifier):
+    """Stopping-rule early classifier (Mori et al., 2017).
+
+    Parameters
+    ----------
+    n_checkpoints:
+        Number of prefix checkpoints (one probabilistic classifier each).
+    alpha:
+        Accuracy-vs-earliness weight of the rule-selection cost.
+    gamma_grid:
+        Candidate values per gamma coefficient; the rule search is the
+        Cartesian cube of this grid.
+    n_estimators:
+        Boosting rounds of each checkpoint classifier.
+    """
+
+    supports_multivariate = False
+
+    def __init__(
+        self,
+        n_checkpoints: int = 8,
+        alpha: float = 0.8,
+        gamma_grid: tuple[float, ...] = (-1.0, -0.5, 0.0, 0.5, 1.0),
+        n_estimators: int = 15,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if n_checkpoints < 1:
+            raise ConfigurationError("n_checkpoints must be >= 1")
+        if not 0.0 <= alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be in [0, 1], got {alpha}")
+        if not gamma_grid:
+            raise ConfigurationError("gamma_grid must not be empty")
+        self.n_checkpoints = n_checkpoints
+        self.alpha = alpha
+        self.gamma_grid = tuple(gamma_grid)
+        self.n_estimators = n_estimators
+        self.seed = seed
+        self._checkpoints: list[int] | None = None
+        self._classifiers: list[GradientBoostingClassifier] | None = None
+        self.gammas_: tuple[float, float, float] | None = None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _rule_fires(
+        gammas: tuple[float, float, float],
+        p1: float,
+        p2: float,
+        fraction: float,
+    ) -> bool:
+        value = (
+            gammas[0] * p1 + gammas[1] * (p1 - p2) + gammas[2] * fraction
+        )
+        return value > 0.0
+
+    def _posterior_features(
+        self, dataset: TimeSeriesDataset
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per checkpoint: predicted label, p1, p2 for every instance."""
+        assert self._checkpoints is not None and self._classifiers is not None
+        n = dataset.n_instances
+        n_rows = len(self._checkpoints)
+        labels = np.zeros((n_rows, n), dtype=int)
+        p1 = np.zeros((n_rows, n))
+        p2 = np.zeros((n_rows, n))
+        for row, (checkpoint, classifier) in enumerate(
+            zip(self._checkpoints, self._classifiers)
+        ):
+            if checkpoint > dataset.length:
+                # Unreachable for these (shorter) series; rows stay zero and
+                # are never consulted because _predict restricts itself to
+                # reachable checkpoints.
+                continue
+            probabilities = classifier.predict_proba(
+                dataset.values[:, 0, :checkpoint]
+            )
+            order = np.sort(probabilities, axis=1)
+            best = probabilities.argmax(axis=1)
+            labels[row] = classifier.classes_[best]
+            p1[row] = order[:, -1]
+            p2[row] = order[:, -2] if probabilities.shape[1] > 1 else 0.0
+        return labels, p1, p2
+
+    def _replay_cost(
+        self,
+        gammas: tuple[float, float, float],
+        labels: np.ndarray,
+        p1: np.ndarray,
+        p2: np.ndarray,
+        true_labels: np.ndarray,
+        full_length: int,
+    ) -> float:
+        assert self._checkpoints is not None
+        n_rows, n = labels.shape
+        final_labels = labels[-1].copy()
+        prefixes = np.full(n, float(self._checkpoints[-1]))
+        for instance in range(n):
+            for row in range(n_rows):
+                fraction = self._checkpoints[row] / full_length
+                is_last = row == n_rows - 1
+                fires = self._rule_fires(
+                    gammas, p1[row, instance], p2[row, instance], fraction
+                )
+                if fires or is_last:
+                    final_labels[instance] = labels[row, instance]
+                    prefixes[instance] = self._checkpoints[row]
+                    break
+        acc = accuracy_score(true_labels, final_labels)
+        earliness_value = float((prefixes / full_length).mean())
+        return self.alpha * (1 - acc) + (1 - self.alpha) * earliness_value
+
+    def _fit_checkpoint_classifiers(self, dataset: TimeSeriesDataset) -> None:
+        assert self._checkpoints is not None
+        self._classifiers = []
+        for checkpoint in self._checkpoints:
+            classifier = GradientBoostingClassifier(
+                n_estimators=self.n_estimators, seed=self.seed
+            )
+            classifier.fit(dataset.values[:, 0, :checkpoint], dataset.labels)
+            self._classifiers.append(classifier)
+
+    def _train(self, dataset: TimeSeriesDataset) -> None:
+        validate_univariate(dataset)
+        self._checkpoints = prefix_lengths(dataset.length, self.n_checkpoints)
+        # Select the stopping rule on held-out posteriors: training-set
+        # posteriors from boosted trees are overconfident and would favour
+        # rules that fire far too early.
+        from ..data.splits import train_test_split
+        from ..exceptions import DataError
+
+        try:
+            fit_part, validation = train_test_split(dataset, 0.3, self.seed)
+            if fit_part.n_classes < 2 or validation.n_classes < 2:
+                raise DataError("split lost a class")
+        except DataError:
+            fit_part, validation = dataset, dataset
+        self._fit_checkpoint_classifiers(fit_part)
+        labels, p1, p2 = self._posterior_features(validation)
+        best_cost = np.inf
+        best_gammas = (1.0, 0.0, 0.0)
+        for gammas in itertools.product(self.gamma_grid, repeat=3):
+            cost = self._replay_cost(
+                gammas, labels, p1, p2, validation.labels, validation.length
+            )
+            if cost < best_cost:
+                best_cost = cost
+                best_gammas = gammas
+        self.gammas_ = best_gammas
+        # Final classifiers are refit on all training data.
+        self._fit_checkpoint_classifiers(dataset)
+
+    def _predict(self, dataset: TimeSeriesDataset) -> list[EarlyPrediction]:
+        assert self._checkpoints is not None and self.gammas_ is not None
+        labels, p1, p2 = self._posterior_features(dataset)
+        reachable = [
+            row
+            for row, checkpoint in enumerate(self._checkpoints)
+            if checkpoint <= dataset.length
+        ]
+        if not reachable:
+            raise ConfigurationError(
+                f"test series of length {dataset.length} are shorter than "
+                f"the first checkpoint ({self._checkpoints[0]})"
+            )
+        predictions: list[EarlyPrediction] = []
+        for instance in range(dataset.n_instances):
+            decided: EarlyPrediction | None = None
+            for position, row in enumerate(reachable):
+                prefix = self._checkpoints[row]
+                fraction = prefix / dataset.length
+                is_last = position == len(reachable) - 1
+                fires = self._rule_fires(
+                    self.gammas_,
+                    p1[row, instance],
+                    p2[row, instance],
+                    fraction,
+                )
+                if fires or is_last:
+                    decided = EarlyPrediction(
+                        label=int(labels[row, instance]),
+                        prefix_length=prefix,
+                        series_length=dataset.length,
+                        confidence=float(p1[row, instance]),
+                    )
+                    break
+            assert decided is not None
+            predictions.append(decided)
+        return predictions
+
+
+class FixedPrefix(EarlyClassifier):
+    """Always classify after a fixed fraction of the series.
+
+    The simplest possible earliness policy; pairs with STRUT to show the
+    value of *searching* for the truncation point instead of fixing it.
+    """
+
+    supports_multivariate = False
+
+    def __init__(
+        self,
+        fraction: float = 0.5,
+        n_estimators: int = 15,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigurationError(
+                f"fraction must be in (0, 1], got {fraction}"
+            )
+        self.fraction = fraction
+        self.n_estimators = n_estimators
+        self.seed = seed
+        self._prefix: int | None = None
+        self._classifier: GradientBoostingClassifier | None = None
+
+    def _train(self, dataset: TimeSeriesDataset) -> None:
+        validate_univariate(dataset)
+        self._prefix = max(1, int(round(self.fraction * dataset.length)))
+        self._classifier = GradientBoostingClassifier(
+            n_estimators=self.n_estimators, seed=self.seed
+        )
+        self._classifier.fit(
+            dataset.values[:, 0, : self._prefix], dataset.labels
+        )
+
+    def _predict(self, dataset: TimeSeriesDataset) -> list[EarlyPrediction]:
+        assert self._prefix is not None and self._classifier is not None
+        if dataset.length < self._prefix:
+            raise ConfigurationError(
+                f"FixedPrefix committed to {self._prefix} time-points; test "
+                f"series of length {dataset.length} are too short"
+            )
+        labels = self._classifier.predict(dataset.values[:, 0, : self._prefix])
+        return [
+            EarlyPrediction(
+                label=int(label),
+                prefix_length=self._prefix,
+                series_length=dataset.length,
+            )
+            for label in labels
+        ]

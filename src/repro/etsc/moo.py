@@ -1,0 +1,141 @@
+"""Multi-objective configuration search over accuracy and earliness.
+
+MOO-ETSC (Mori et al., 2019 — the paper's reference [29], listed among the
+planned framework additions) treats early classification as bi-objective:
+maximise accuracy, minimise earliness, and present the user the *Pareto
+front* of configurations rather than a single scalarised winner.
+
+This module provides that machinery over any configurable early classifier:
+
+* :func:`pareto_front` — the non-dominated subset of
+  ``(accuracy, earliness)`` points;
+* :class:`MultiObjectiveETSC` — evaluates a configuration grid by
+  cross-validation, keeps the Pareto-optimal configurations, and refits the
+  *knee* configuration (the front point closest to the ideal
+  ``(accuracy=1, earliness=0)``) for prediction. The full front stays
+  available for users with different trade-off preferences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..core.base import EarlyClassifier
+from ..core.evaluation import evaluate
+from ..core.prediction import EarlyPrediction
+from ..core.tuning import parameter_grid
+from ..core.voting import wrap_for_dataset
+from ..data.dataset import TimeSeriesDataset
+from ..exceptions import NotFittedError, ReproError
+
+__all__ = ["pareto_front", "MultiObjectiveETSC", "ConfigurationPoint"]
+
+
+@dataclass(frozen=True)
+class ConfigurationPoint:
+    """One evaluated configuration with its bi-objective scores."""
+
+    params: dict[str, Any]
+    accuracy: float
+    earliness: float
+
+    def dominates(self, other: "ConfigurationPoint") -> bool:
+        """Pareto dominance: at least as good on both, better on one."""
+        at_least = (
+            self.accuracy >= other.accuracy
+            and self.earliness <= other.earliness
+        )
+        strictly = (
+            self.accuracy > other.accuracy
+            or self.earliness < other.earliness
+        )
+        return at_least and strictly
+
+    def distance_to_ideal(self) -> float:
+        """Euclidean distance to the ideal point (accuracy 1, earliness 0)."""
+        return float(
+            np.hypot(1.0 - self.accuracy, self.earliness)
+        )
+
+
+def pareto_front(points: Sequence[ConfigurationPoint]) -> list[ConfigurationPoint]:
+    """Non-dominated subset, sorted by earliness (earliest first)."""
+    front = [
+        point
+        for point in points
+        if not any(other.dominates(point) for other in points)
+    ]
+    return sorted(front, key=lambda p: (p.earliness, -p.accuracy))
+
+
+class MultiObjectiveETSC(EarlyClassifier):
+    """Pareto search over a configuration grid, predicting from the knee.
+
+    Parameters
+    ----------
+    factory:
+        Callable accepting the grid's keyword arguments and returning an
+        unfitted early classifier.
+    grid:
+        Mapping of parameter name to candidate values.
+    n_folds:
+        Cross-validation folds per configuration.
+    seed:
+        Fold seed.
+    """
+
+    supports_multivariate = True
+
+    def __init__(
+        self,
+        factory: Callable[..., EarlyClassifier],
+        grid: Mapping[str, Sequence[Any]],
+        n_folds: int = 3,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        self.factory = factory
+        self.candidates = parameter_grid(grid)
+        self.n_folds = n_folds
+        self.seed = seed
+        self.points_: list[ConfigurationPoint] = []
+        self.front_: list[ConfigurationPoint] = []
+        self.knee_: ConfigurationPoint | None = None
+        self._model: EarlyClassifier | None = None
+
+    def _train(self, dataset: TimeSeriesDataset) -> None:
+        self.points_ = []
+        for params in self.candidates:
+            try:
+                result = evaluate(
+                    lambda params=params: self.factory(**params),
+                    dataset,
+                    algorithm_name=str(params),
+                    n_folds=self.n_folds,
+                    seed=self.seed,
+                )
+            except ReproError:
+                continue  # untrainable configurations simply drop out
+            self.points_.append(
+                ConfigurationPoint(
+                    params=params,
+                    accuracy=result.accuracy,
+                    earliness=result.earliness,
+                )
+            )
+        if not self.points_:
+            raise ReproError("no configuration could be trained")
+        self.front_ = pareto_front(self.points_)
+        self.knee_ = min(self.front_, key=lambda p: p.distance_to_ideal())
+        self._model = wrap_for_dataset(
+            lambda: self.factory(**self.knee_.params), dataset
+        )
+        self._model.train(dataset)
+
+    def _predict(self, dataset: TimeSeriesDataset) -> list[EarlyPrediction]:
+        if self._model is None:
+            raise NotFittedError("MultiObjectiveETSC used before train")
+        return self._model.predict(dataset)

@@ -1,0 +1,156 @@
+"""SPRT-style sequential early classification (density-ratio stopping).
+
+SDRE (Ebihara et al., 2023 — the paper's reference [9], listed among the
+planned framework additions) grounds early classification in sequential
+hypothesis testing: accumulate the log-likelihood ratio of the observed
+prefix under the two class hypotheses and stop when it crosses a Wald
+boundary. :class:`SPRTClassifier` implements the classical version of that
+idea:
+
+* training fits per-time-point class-conditional Gaussians (diagonal, one
+  per variable) — the density model;
+* prediction accumulates the pointwise log-likelihood ratio
+  ``log p(x_t | class 1) - log p(x_t | class 0)`` plus the log-prior odds,
+  and commits when the sum crosses ``+threshold`` (class 1) or
+  ``-threshold`` (class 0), with a forced maximum-a-posteriori decision at
+  the final time-point;
+* ``threshold`` defaults to the Wald boundary ``log((1 - error) / error)``
+  for a target error rate.
+
+Binary-class only (the likelihood *ratio* is inherently pairwise); the
+framework's registry treats it as an extension, and multiclass datasets
+should use the other algorithms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import EarlyClassifier
+from ..core.prediction import EarlyPrediction
+from ..data.dataset import TimeSeriesDataset
+from ..exceptions import ConfigurationError, DataError
+from .common import validate_univariate
+
+__all__ = ["SPRTClassifier"]
+
+
+class SPRTClassifier(EarlyClassifier):
+    """Sequential probability-ratio early classifier (binary classes).
+
+    Parameters
+    ----------
+    error_rate:
+        Target error probability; the stopping threshold is the symmetric
+        Wald boundary ``log((1 - error_rate) / error_rate)``.
+    min_std:
+        Variance floor for the per-time-point Gaussians (regularisation
+        against degenerate training columns).
+    max_llr_per_step:
+        Clip on each step's log-likelihood-ratio contribution; guards the
+        accumulation against single-point outliers under the (deliberately
+        simple) Gaussian model.
+    """
+
+    supports_multivariate = True
+
+    def __init__(
+        self,
+        error_rate: float = 0.05,
+        min_std: float = 1e-3,
+        max_llr_per_step: float = 10.0,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < error_rate < 0.5:
+            raise ConfigurationError(
+                f"error_rate must be in (0, 0.5), got {error_rate}"
+            )
+        if min_std <= 0:
+            raise ConfigurationError(f"min_std must be positive, got {min_std}")
+        if max_llr_per_step <= 0:
+            raise ConfigurationError("max_llr_per_step must be positive")
+        self.error_rate = error_rate
+        self.min_std = min_std
+        self.max_llr_per_step = max_llr_per_step
+        self._classes: np.ndarray | None = None
+        self._means: np.ndarray | None = None  # (2, V, L)
+        self._stds: np.ndarray | None = None  # (2, V, L)
+        self._log_prior_odds: float = 0.0
+
+    @property
+    def threshold(self) -> float:
+        """The symmetric Wald stopping boundary."""
+        return float(np.log((1.0 - self.error_rate) / self.error_rate))
+
+    # ------------------------------------------------------------------
+    def _train(self, dataset: TimeSeriesDataset) -> None:
+        if dataset.n_classes != 2:
+            raise DataError(
+                "SPRTClassifier is binary-class (the likelihood ratio is "
+                f"pairwise); got {dataset.n_classes} classes"
+            )
+        self._classes = dataset.classes
+        means = np.empty((2, dataset.n_variables, dataset.length))
+        stds = np.empty_like(means)
+        for index, label in enumerate(self._classes):
+            members = dataset.values[dataset.labels == label]
+            means[index] = members.mean(axis=0)
+            stds[index] = np.maximum(members.std(axis=0), self.min_std)
+        self._means = means
+        self._stds = stds
+        counts = dataset.class_counts()
+        self._log_prior_odds = float(
+            np.log(counts[int(self._classes[1])])
+            - np.log(counts[int(self._classes[0])])
+        )
+
+    def _step_llr(self, point: np.ndarray, t: int) -> float:
+        """Log-likelihood ratio of one time-point (class 1 over class 0)."""
+        assert self._means is not None and self._stds is not None
+        log_likelihoods = []
+        for index in range(2):
+            mean = self._means[index, :, t]
+            std = self._stds[index, :, t]
+            log_likelihoods.append(
+                float(
+                    np.sum(
+                        -0.5 * ((point - mean) / std) ** 2 - np.log(std)
+                    )
+                )
+            )
+        llr = log_likelihoods[1] - log_likelihoods[0]
+        return float(
+            np.clip(llr, -self.max_llr_per_step, self.max_llr_per_step)
+        )
+
+    def _predict(self, dataset: TimeSeriesDataset) -> list[EarlyPrediction]:
+        assert self._classes is not None
+        boundary = self.threshold
+        predictions: list[EarlyPrediction] = []
+        for i in range(dataset.n_instances):
+            series = dataset.values[i]
+            log_odds = self._log_prior_odds
+            decided: EarlyPrediction | None = None
+            for t in range(dataset.length):
+                log_odds += self._step_llr(series[:, t], t)
+                if log_odds >= boundary or log_odds <= -boundary:
+                    label = self._classes[1 if log_odds > 0 else 0]
+                    confidence = float(1.0 / (1.0 + np.exp(-abs(log_odds))))
+                    decided = EarlyPrediction(
+                        label=int(label),
+                        prefix_length=t + 1,
+                        series_length=dataset.length,
+                        confidence=confidence,
+                    )
+                    break
+            if decided is None:
+                # Forced MAP decision at the final time-point.
+                label = self._classes[1 if log_odds > 0 else 0]
+                decided = EarlyPrediction(
+                    label=int(label),
+                    prefix_length=dataset.length,
+                    series_length=dataset.length,
+                    confidence=float(1.0 / (1.0 + np.exp(-abs(log_odds)))),
+                )
+            predictions.append(decided)
+        return predictions

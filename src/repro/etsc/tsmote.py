@@ -1,0 +1,150 @@
+"""T-SMOTE-style temporal oversampling for imbalanced early classification.
+
+The paper plans to add T-SMOTE (Zhao et al., IJCAI 2022) to the framework:
+class imbalance hurts every evaluated algorithm's F1 (Section 6.2.1), and
+T-SMOTE counters it by synthesising minority-class series before training.
+
+:func:`temporal_smote` implements the core oversampling: each synthetic
+minority instance is a convex combination of a real minority series and one
+of its k nearest minority neighbours (computed on the full series,
+variable-wise), which preserves temporal structure far better than
+value-wise noise. :class:`TSMOTEWrapper` applies the oversampling to the
+training data of any wrapped early classifier, leaving prediction untouched
+— so any of the framework's algorithms can be made imbalance-aware.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..core.base import EarlyClassifier
+from ..core.prediction import EarlyPrediction
+from ..data.dataset import TimeSeriesDataset
+from ..exceptions import ConfigurationError, DataError
+
+__all__ = ["temporal_smote", "TSMOTEWrapper"]
+
+
+def temporal_smote(
+    dataset: TimeSeriesDataset,
+    target_ratio: float = 1.0,
+    n_neighbors: int = 3,
+    seed: int = 0,
+) -> TimeSeriesDataset:
+    """Oversample minority classes towards ``target_ratio``.
+
+    ``target_ratio`` is the desired (minority size / majority size) after
+    oversampling, in ``(0, 1]``; 1.0 fully balances the dataset. Synthetic
+    instances interpolate a minority series with one of its ``n_neighbors``
+    nearest same-class series at a uniform random mixing weight. Classes
+    with a single instance are replicated with small jitter instead (no
+    neighbour exists to interpolate with).
+    """
+    if not 0.0 < target_ratio <= 1.0:
+        raise ConfigurationError(
+            f"target_ratio must be in (0, 1], got {target_ratio}"
+        )
+    if n_neighbors < 1:
+        raise ConfigurationError(
+            f"n_neighbors must be >= 1, got {n_neighbors}"
+        )
+    rng = np.random.default_rng(seed)
+    counts = dataset.class_counts()
+    majority_size = max(counts.values())
+    target_size = max(1, int(round(target_ratio * majority_size)))
+
+    new_values: list[np.ndarray] = []
+    new_labels: list[int] = []
+    for label, count in counts.items():
+        deficit = target_size - count
+        if deficit <= 0:
+            continue
+        members = np.flatnonzero(dataset.labels == label)
+        member_values = dataset.values[members]  # (m, V, L)
+        flattened = member_values.reshape(len(members), -1)
+        if len(members) == 1:
+            scale = float(np.std(flattened)) or 1.0
+            for _ in range(deficit):
+                jitter = rng.normal(0.0, 0.01 * scale, member_values[0].shape)
+                new_values.append(member_values[0] + jitter)
+                new_labels.append(int(label))
+            continue
+        # k nearest same-class neighbours on the flattened series.
+        differences = (
+            flattened[:, None, :] - flattened[None, :, :]
+        )
+        distances = np.einsum("ijk,ijk->ij", differences, differences)
+        np.fill_diagonal(distances, np.inf)
+        k = min(n_neighbors, len(members) - 1)
+        neighbor_indices = np.argsort(distances, axis=1)[:, :k]
+        for _ in range(deficit):
+            anchor = int(rng.integers(len(members)))
+            neighbor = int(rng.choice(neighbor_indices[anchor]))
+            weight = float(rng.uniform(0.0, 1.0))
+            synthetic = (
+                (1.0 - weight) * member_values[anchor]
+                + weight * member_values[neighbor]
+            )
+            new_values.append(synthetic)
+            new_labels.append(int(label))
+    if not new_values:
+        return dataset
+    values = np.concatenate(
+        [dataset.values, np.stack(new_values)], axis=0
+    )
+    labels = np.concatenate([dataset.labels, np.asarray(new_labels)])
+    return TimeSeriesDataset(
+        values,
+        labels,
+        name=dataset.name,
+        frequency_seconds=dataset.frequency_seconds,
+    )
+
+
+class TSMOTEWrapper(EarlyClassifier):
+    """Train any early classifier on a T-SMOTE-balanced dataset.
+
+    Parameters
+    ----------
+    base_factory:
+        Zero-argument callable producing the wrapped unfitted classifier.
+    target_ratio, n_neighbors, seed:
+        Forwarded to :func:`temporal_smote`.
+    """
+
+    def __init__(
+        self,
+        base_factory: Callable[[], EarlyClassifier],
+        target_ratio: float = 1.0,
+        n_neighbors: int = 3,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        self.base_factory = base_factory
+        self.target_ratio = target_ratio
+        self.n_neighbors = n_neighbors
+        self.seed = seed
+        self.base_: EarlyClassifier | None = None
+
+    @property
+    def supports_multivariate(self) -> bool:  # type: ignore[override]
+        """Mirrors the wrapped classifier's variable support."""
+        probe = self.base_ if self.base_ is not None else self.base_factory()
+        return probe.supports_multivariate
+
+    def _train(self, dataset: TimeSeriesDataset) -> None:
+        balanced = temporal_smote(
+            dataset,
+            target_ratio=self.target_ratio,
+            n_neighbors=self.n_neighbors,
+            seed=self.seed,
+        )
+        self.base_ = self.base_factory()
+        self.base_.train(balanced)
+
+    def _predict(self, dataset: TimeSeriesDataset) -> list[EarlyPrediction]:
+        if self.base_ is None:
+            raise DataError("TSMOTEWrapper used before train")
+        return self.base_.predict(dataset)

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the :mod:`repro` ETSC evaluation framework.
+
+All errors raised intentionally by this library derive from
+:class:`ReproError`, so callers can guard any framework interaction with a
+single ``except ReproError`` clause while still letting programming errors
+(``TypeError`` and friends) surface normally.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the framework."""
+
+
+class DataError(ReproError):
+    """Raised when an input dataset is malformed or inconsistent.
+
+    Examples include: mismatched number of labels and instances, non-finite
+    values where the consumer requires finite input, or an empty dataset
+    handed to an estimator.
+    """
+
+
+class DataFormatError(DataError):
+    """Raised when a dataset file cannot be parsed (CSV/ARFF loaders)."""
+
+
+class NotFittedError(ReproError):
+    """Raised when ``predict`` is called on an estimator before ``fit``."""
+
+
+class ConvergenceError(ReproError):
+    """Raised when an iterative solver fails to make progress.
+
+    Solvers in :mod:`repro.stats` generally prefer returning their best
+    iterate over raising, so this error is reserved for cases where no valid
+    iterate exists at all (e.g. k-means asked for more clusters than points).
+    """
+
+
+class ConfigurationError(ReproError):
+    """Raised when an algorithm is constructed with invalid hyperparameters."""
+
+
+class RegistryError(ReproError):
+    """Raised on unknown names or duplicate registrations in a registry."""

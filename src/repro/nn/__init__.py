@@ -1,0 +1,32 @@
+"""Minimal neural-network framework (layers, LSTM, losses, optimisers)."""
+
+from .layers import (
+    BatchNorm1D,
+    Conv1D,
+    Dense,
+    Dropout,
+    GlobalAveragePooling1D,
+    Layer,
+    ReLU,
+    SqueezeExcite,
+)
+from .losses import softmax_cross_entropy
+from .lstm import LSTM
+from .network import MLSTMFCNNetwork
+from .optim import SGD, Adam
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "Conv1D",
+    "BatchNorm1D",
+    "ReLU",
+    "Dropout",
+    "GlobalAveragePooling1D",
+    "SqueezeExcite",
+    "LSTM",
+    "MLSTMFCNNetwork",
+    "softmax_cross_entropy",
+    "Adam",
+    "SGD",
+]

@@ -1,0 +1,333 @@
+"""Minimal neural-network layers with manual backpropagation.
+
+Just enough of a framework to express MLSTM-FCN (Karim et al., 2019): 1-D
+convolutions, batch normalisation, ReLU, dropout, squeeze-and-excite blocks,
+global average pooling, and dense heads. Every layer implements
+
+* ``forward(inputs, training)`` — returns outputs and caches what backward
+  needs;
+* ``backward(gradient)`` — returns the gradient w.r.t. the inputs and fills
+  ``self.gradients``;
+* ``parameters()`` — ``{name: array}`` of trainable tensors, mirrored by
+  ``self.gradients`` after a backward pass.
+
+Convolutional tensors are channels-first: ``(batch, channels, length)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DataError
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "Conv1D",
+    "BatchNorm1D",
+    "ReLU",
+    "Dropout",
+    "GlobalAveragePooling1D",
+    "SqueezeExcite",
+]
+
+
+class Layer:
+    """Base class: parameter bookkeeping plus the forward/backward contract."""
+
+    def __init__(self) -> None:
+        self.weights: dict[str, np.ndarray] = {}
+        self.gradients: dict[str, np.ndarray] = {}
+
+    def parameters(self) -> dict[str, np.ndarray]:
+        """Trainable tensors by name."""
+        return self.weights
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        """Compute outputs (and cache for backward when training)."""
+        raise NotImplementedError
+
+    def backward(self, gradient: np.ndarray) -> np.ndarray:
+        """Backpropagate; returns gradient w.r.t. the forward inputs."""
+        raise NotImplementedError
+
+
+def _glorot(rng: np.random.Generator, shape: tuple[int, ...], fan_in: int, fan_out: int) -> np.ndarray:
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+class Dense(Layer):
+    """Affine layer ``y = x @ W + b`` on 2-D inputs."""
+
+    def __init__(self, n_inputs: int, n_outputs: int, seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.weights = {
+            "W": _glorot(rng, (n_inputs, n_outputs), n_inputs, n_outputs),
+            "b": np.zeros(n_outputs),
+        }
+        self._inputs: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        self._inputs = inputs if training else None
+        return inputs @ self.weights["W"] + self.weights["b"]
+
+    def backward(self, gradient: np.ndarray) -> np.ndarray:
+        assert self._inputs is not None, "backward before training forward"
+        self.gradients = {
+            "W": self._inputs.T @ gradient,
+            "b": gradient.sum(axis=0),
+        }
+        return gradient @ self.weights["W"].T
+
+
+class Conv1D(Layer):
+    """Same-padded 1-D convolution on ``(batch, channels, length)`` tensors.
+
+    Implemented by im2col: the padded input unfolds into a
+    ``(batch, in_channels * kernel, length)`` tensor so both passes are
+    matrix products.
+    """
+
+    def __init__(
+        self, in_channels: int, out_channels: int, kernel_size: int, seed: int = 0
+    ) -> None:
+        super().__init__()
+        if kernel_size < 1:
+            raise DataError(f"kernel_size must be >= 1, got {kernel_size}")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        rng = np.random.default_rng(seed)
+        fan_in = in_channels * kernel_size
+        self.weights = {
+            "W": _glorot(
+                rng,
+                (out_channels, in_channels, kernel_size),
+                fan_in,
+                out_channels,
+            ),
+            "b": np.zeros(out_channels),
+        }
+        self._columns: np.ndarray | None = None
+        self._input_shape: tuple[int, ...] | None = None
+
+    def _im2col(self, inputs: np.ndarray) -> np.ndarray:
+        batch, channels, length = inputs.shape
+        pad_left = (self.kernel_size - 1) // 2
+        pad_right = self.kernel_size - 1 - pad_left
+        padded = np.pad(inputs, ((0, 0), (0, 0), (pad_left, pad_right)))
+        columns = np.empty((batch, channels, self.kernel_size, length))
+        for offset in range(self.kernel_size):
+            columns[:, :, offset, :] = padded[:, :, offset : offset + length]
+        return columns.reshape(batch, channels * self.kernel_size, length)
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        if inputs.ndim != 3 or inputs.shape[1] != self.in_channels:
+            raise DataError(
+                f"Conv1D expected (batch, {self.in_channels}, length), "
+                f"got {inputs.shape}"
+            )
+        columns = self._im2col(inputs)
+        if training:
+            self._columns = columns
+            self._input_shape = inputs.shape
+        kernel = self.weights["W"].reshape(self.out_channels, -1)
+        return np.einsum("of,bfl->bol", kernel, columns) + self.weights["b"][
+            None, :, None
+        ]
+
+    def backward(self, gradient: np.ndarray) -> np.ndarray:
+        assert self._columns is not None and self._input_shape is not None
+        kernel = self.weights["W"].reshape(self.out_channels, -1)
+        weight_gradient = np.einsum("bol,bfl->of", gradient, self._columns)
+        self.gradients = {
+            "W": weight_gradient.reshape(self.weights["W"].shape),
+            "b": gradient.sum(axis=(0, 2)),
+        }
+        column_gradient = np.einsum("of,bol->bfl", kernel, gradient)
+        # col2im: scatter-add the unfolded gradients back to input positions.
+        batch, channels, length = self._input_shape
+        pad_left = (self.kernel_size - 1) // 2
+        pad_right = self.kernel_size - 1 - pad_left
+        padded = np.zeros((batch, channels, length + pad_left + pad_right))
+        column_gradient = column_gradient.reshape(
+            batch, channels, self.kernel_size, length
+        )
+        for offset in range(self.kernel_size):
+            padded[:, :, offset : offset + length] += column_gradient[
+                :, :, offset, :
+            ]
+        return padded[:, :, pad_left : pad_left + length]
+
+
+class BatchNorm1D(Layer):
+    """Per-channel batch normalisation for ``(batch, channels, length)``.
+
+    Keeps exponential running statistics for inference mode.
+    """
+
+    def __init__(self, channels: int, momentum: float = 0.9, epsilon: float = 1e-5) -> None:
+        super().__init__()
+        self.momentum = momentum
+        self.epsilon = epsilon
+        self.weights = {"gamma": np.ones(channels), "beta": np.zeros(channels)}
+        self.running_mean = np.zeros(channels)
+        self.running_var = np.ones(channels)
+        self._cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            mean = inputs.mean(axis=(0, 2))
+            var = inputs.var(axis=(0, 2))
+            self.running_mean = (
+                self.momentum * self.running_mean + (1 - self.momentum) * mean
+            )
+            self.running_var = (
+                self.momentum * self.running_var + (1 - self.momentum) * var
+            )
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.epsilon)
+        normalised = (inputs - mean[None, :, None]) * inv_std[None, :, None]
+        if training:
+            self._cache = (normalised, inv_std, inputs)
+        return (
+            self.weights["gamma"][None, :, None] * normalised
+            + self.weights["beta"][None, :, None]
+        )
+
+    def backward(self, gradient: np.ndarray) -> np.ndarray:
+        assert self._cache is not None
+        normalised, inv_std, inputs = self._cache
+        n = inputs.shape[0] * inputs.shape[2]
+        self.gradients = {
+            "gamma": (gradient * normalised).sum(axis=(0, 2)),
+            "beta": gradient.sum(axis=(0, 2)),
+        }
+        gamma = self.weights["gamma"][None, :, None]
+        grad_normalised = gradient * gamma
+        sum_grad = grad_normalised.sum(axis=(0, 2), keepdims=True)
+        sum_grad_norm = (grad_normalised * normalised).sum(
+            axis=(0, 2), keepdims=True
+        )
+        return (
+            inv_std[None, :, None]
+            / n
+            * (n * grad_normalised - sum_grad - normalised * sum_grad_norm)
+        )
+
+
+class ReLU(Layer):
+    """Elementwise rectifier."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        mask = inputs > 0
+        if training:
+            self._mask = mask
+        return inputs * mask
+
+    def backward(self, gradient: np.ndarray) -> np.ndarray:
+        assert self._mask is not None
+        return gradient * self._mask
+
+
+class Dropout(Layer):
+    """Inverted dropout (identity at inference)."""
+
+    def __init__(self, rate: float, seed: int = 0) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise DataError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = np.random.default_rng(seed)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return inputs
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(inputs.shape) < keep) / keep
+        return inputs * self._mask
+
+    def backward(self, gradient: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return gradient
+        return gradient * self._mask
+
+
+class GlobalAveragePooling1D(Layer):
+    """Mean over the time axis: ``(B, C, L) -> (B, C)``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._length: int | None = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        self._length = inputs.shape[2]
+        return inputs.mean(axis=2)
+
+    def backward(self, gradient: np.ndarray) -> np.ndarray:
+        assert self._length is not None
+        return np.repeat(
+            gradient[:, :, None] / self._length, self._length, axis=2
+        )
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return np.where(x >= 0, 1.0 / (1.0 + np.exp(-x)), np.exp(x) / (1.0 + np.exp(x)))
+
+
+class SqueezeExcite(Layer):
+    """Squeeze-and-Excite channel recalibration (Hu et al., 2018).
+
+    ``(B, C, L)`` -> global average over L -> Dense(C -> C/r) -> ReLU ->
+    Dense(C/r -> C) -> sigmoid -> channel-wise rescale of the input.
+    """
+
+    def __init__(self, channels: int, reduction: int = 4, seed: int = 0) -> None:
+        super().__init__()
+        hidden = max(1, channels // reduction)
+        rng = np.random.default_rng(seed)
+        self.weights = {
+            "W1": _glorot(rng, (channels, hidden), channels, hidden),
+            "b1": np.zeros(hidden),
+            "W2": _glorot(rng, (hidden, channels), hidden, channels),
+            "b2": np.zeros(channels),
+        }
+        self._cache: tuple | None = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        squeezed = inputs.mean(axis=2)  # (B, C)
+        hidden_pre = squeezed @ self.weights["W1"] + self.weights["b1"]
+        hidden = np.maximum(hidden_pre, 0.0)
+        excite = _sigmoid(hidden @ self.weights["W2"] + self.weights["b2"])
+        if training:
+            self._cache = (inputs, squeezed, hidden_pre, hidden, excite)
+        return inputs * excite[:, :, None]
+
+    def backward(self, gradient: np.ndarray) -> np.ndarray:
+        assert self._cache is not None
+        inputs, squeezed, hidden_pre, hidden, excite = self._cache
+        length = inputs.shape[2]
+        input_gradient = gradient * excite[:, :, None]
+        excite_gradient = (gradient * inputs).sum(axis=2)  # (B, C)
+        pre_sigmoid = excite_gradient * excite * (1.0 - excite)
+        self.gradients = {
+            "W2": hidden.T @ pre_sigmoid,
+            "b2": pre_sigmoid.sum(axis=0),
+        }
+        hidden_gradient = (pre_sigmoid @ self.weights["W2"].T) * (
+            hidden_pre > 0
+        )
+        self.gradients["W1"] = squeezed.T @ hidden_gradient
+        self.gradients["b1"] = hidden_gradient.sum(axis=0)
+        squeeze_gradient = hidden_gradient @ self.weights["W1"].T  # (B, C)
+        input_gradient += squeeze_gradient[:, :, None] / length
+        return input_gradient

@@ -1,0 +1,33 @@
+"""Losses for the neural-network substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DataError
+from ..stats.linear import softmax
+
+__all__ = ["softmax_cross_entropy"]
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, one_hot: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy of softmax(logits) against one-hot targets.
+
+    Returns ``(loss, gradient)`` where the gradient is w.r.t. the logits —
+    the fused form ``(softmax - one_hot) / batch`` that avoids the unstable
+    intermediate Jacobian.
+    """
+    logits = np.asarray(logits, dtype=float)
+    one_hot = np.asarray(one_hot, dtype=float)
+    if logits.shape != one_hot.shape:
+        raise DataError(
+            f"logits {logits.shape} and targets {one_hot.shape} differ"
+        )
+    batch = logits.shape[0]
+    probabilities = softmax(logits)
+    log_probabilities = np.log(np.clip(probabilities, 1e-12, None))
+    loss = float(-np.sum(one_hot * log_probabilities) / batch)
+    gradient = (probabilities - one_hot) / batch
+    return loss, gradient

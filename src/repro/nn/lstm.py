@@ -1,0 +1,132 @@
+"""An LSTM layer with full backpropagation through time.
+
+MLSTM-FCN's recurrent branch consumes the series as ``(batch, time,
+features)`` and passes the final hidden state onwards. This implementation
+backpropagates from that final state through every timestep (no truncation),
+with the usual fused gate parameterisation: a single ``(D + H, 4H)`` weight
+matrix producing input/forget/cell/output pre-activations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DataError
+from .layers import Layer, _sigmoid
+
+__all__ = ["LSTM"]
+
+
+class LSTM(Layer):
+    """Single-layer LSTM returning the last hidden state.
+
+    Parameters
+    ----------
+    n_inputs:
+        Feature dimension ``D`` of each timestep.
+    n_units:
+        Hidden dimension ``H``.
+    seed:
+        Weight-initialisation seed.
+    """
+
+    def __init__(self, n_inputs: int, n_units: int, seed: int = 0) -> None:
+        super().__init__()
+        if n_units < 1:
+            raise DataError(f"n_units must be >= 1, got {n_units}")
+        self.n_inputs = n_inputs
+        self.n_units = n_units
+        rng = np.random.default_rng(seed)
+        scale = 1.0 / np.sqrt(n_inputs + n_units)
+        bias = np.zeros(4 * n_units)
+        # Standard trick: forget-gate bias starts at 1 so gradients flow
+        # early in training.
+        bias[n_units : 2 * n_units] = 1.0
+        self.weights = {
+            "W": rng.uniform(
+                -scale, scale, size=(n_inputs + n_units, 4 * n_units)
+            ),
+            "b": bias,
+        }
+        self._cache: dict | None = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the recurrence; returns the final hidden state ``(B, H)``."""
+        if inputs.ndim != 3 or inputs.shape[2] != self.n_inputs:
+            raise DataError(
+                f"LSTM expected (batch, time, {self.n_inputs}), "
+                f"got {inputs.shape}"
+            )
+        batch, n_steps, _ = inputs.shape
+        hidden = np.zeros((batch, self.n_units))
+        cell = np.zeros((batch, self.n_units))
+        steps: list[dict] = []
+        h = self.n_units
+        for t in range(n_steps):
+            combined = np.concatenate([inputs[:, t, :], hidden], axis=1)
+            gates = combined @ self.weights["W"] + self.weights["b"]
+            input_gate = _sigmoid(gates[:, :h])
+            forget_gate = _sigmoid(gates[:, h : 2 * h])
+            candidate = np.tanh(gates[:, 2 * h : 3 * h])
+            output_gate = _sigmoid(gates[:, 3 * h :])
+            previous_cell = cell
+            cell = forget_gate * cell + input_gate * candidate
+            tanh_cell = np.tanh(cell)
+            hidden = output_gate * tanh_cell
+            if training:
+                steps.append(
+                    {
+                        "combined": combined,
+                        "i": input_gate,
+                        "f": forget_gate,
+                        "g": candidate,
+                        "o": output_gate,
+                        "c_prev": previous_cell,
+                        "tanh_c": tanh_cell,
+                    }
+                )
+        self._cache = {"steps": steps, "shape": inputs.shape} if training else None
+        return hidden
+
+    def backward(self, gradient: np.ndarray) -> np.ndarray:
+        """BPTT from the final-hidden-state gradient ``(B, H)``.
+
+        Returns the gradient w.r.t. the input sequence ``(B, T, D)``.
+        """
+        assert self._cache is not None, "backward before training forward"
+        steps = self._cache["steps"]
+        batch, n_steps, n_inputs = self._cache["shape"]
+        h = self.n_units
+        weight_gradient = np.zeros_like(self.weights["W"])
+        bias_gradient = np.zeros_like(self.weights["b"])
+        input_gradient = np.zeros((batch, n_steps, n_inputs))
+        hidden_gradient = gradient
+        cell_gradient = np.zeros((batch, h))
+        for t in range(n_steps - 1, -1, -1):
+            step = steps[t]
+            cell_gradient = cell_gradient + hidden_gradient * step["o"] * (
+                1.0 - step["tanh_c"] ** 2
+            )
+            gate_gradients = np.concatenate(
+                [
+                    cell_gradient * step["g"] * step["i"] * (1.0 - step["i"]),
+                    cell_gradient
+                    * step["c_prev"]
+                    * step["f"]
+                    * (1.0 - step["f"]),
+                    cell_gradient * step["i"] * (1.0 - step["g"] ** 2),
+                    hidden_gradient
+                    * step["tanh_c"]
+                    * step["o"]
+                    * (1.0 - step["o"]),
+                ],
+                axis=1,
+            )
+            weight_gradient += step["combined"].T @ gate_gradients
+            bias_gradient += gate_gradients.sum(axis=0)
+            combined_gradient = gate_gradients @ self.weights["W"].T
+            input_gradient[:, t, :] = combined_gradient[:, :n_inputs]
+            hidden_gradient = combined_gradient[:, n_inputs:]
+            cell_gradient = cell_gradient * step["f"]
+        self.gradients = {"W": weight_gradient, "b": bias_gradient}
+        return input_gradient

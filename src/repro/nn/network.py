@@ -1,0 +1,170 @@
+"""The MLSTM-FCN network assembly and its training loop.
+
+MLSTM-FCN (Karim et al., 2019) runs two branches over the same multivariate
+series and concatenates them before a dense softmax head:
+
+* the *FCN* branch — three Conv1D/BatchNorm/ReLU blocks, the first two
+  followed by squeeze-and-excite, closed by global average pooling;
+* the *LSTM* branch — the series transposed to ``(batch, time, variables)``
+  through an LSTM, keeping the final hidden state, then dropout.
+
+The reference model uses an attention-augmented LSTM and 128/256/128
+filters; this implementation uses a plain LSTM and smaller defaults so that
+training in pure numpy stays tractable (documented in DESIGN.md). The class
+here is the raw network; the :class:`~repro.tsc.mlstm_fcn.MLSTMFCN`
+classifier wraps it in the :class:`~repro.core.base.FullTSClassifier`
+interface.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.preprocessing import LabelEncoder
+from ..exceptions import DataError, NotFittedError
+from .layers import (
+    BatchNorm1D,
+    Conv1D,
+    Dense,
+    Dropout,
+    GlobalAveragePooling1D,
+    Layer,
+    ReLU,
+    SqueezeExcite,
+)
+from .losses import softmax_cross_entropy
+from .lstm import LSTM
+
+__all__ = ["MLSTMFCNNetwork"]
+
+
+class MLSTMFCNNetwork:
+    """Trainable MLSTM-FCN graph over ``(batch, variables, length)`` input.
+
+    Parameters
+    ----------
+    n_variables, n_classes:
+        Input and output dimensions.
+    filters:
+        Channel counts of the three convolution blocks.
+    kernel_sizes:
+        Kernel widths of the three convolution blocks (paper: 8, 5, 3).
+    lstm_units:
+        Hidden size of the recurrent branch (paper grid: 8, 64, 128).
+    dropout:
+        Dropout rate after the LSTM.
+    seed:
+        Initialisation and shuffling seed.
+    """
+
+    def __init__(
+        self,
+        n_variables: int,
+        n_classes: int,
+        filters: tuple[int, int, int] = (16, 32, 16),
+        kernel_sizes: tuple[int, int, int] = (8, 5, 3),
+        lstm_units: int = 8,
+        dropout: float = 0.2,
+        seed: int = 0,
+    ) -> None:
+        if n_classes < 2:
+            raise DataError(f"n_classes must be >= 2, got {n_classes}")
+        self.n_variables = n_variables
+        self.n_classes = n_classes
+        f1, f2, f3 = filters
+        k1, k2, k3 = kernel_sizes
+        self.conv1 = Conv1D(n_variables, f1, k1, seed=seed)
+        self.bn1 = BatchNorm1D(f1)
+        self.relu1 = ReLU()
+        self.se1 = SqueezeExcite(f1, seed=seed + 1)
+        self.conv2 = Conv1D(f1, f2, k2, seed=seed + 2)
+        self.bn2 = BatchNorm1D(f2)
+        self.relu2 = ReLU()
+        self.se2 = SqueezeExcite(f2, seed=seed + 3)
+        self.conv3 = Conv1D(f2, f3, k3, seed=seed + 4)
+        self.bn3 = BatchNorm1D(f3)
+        self.relu3 = ReLU()
+        self.pool = GlobalAveragePooling1D()
+        self.lstm = LSTM(n_variables, lstm_units, seed=seed + 5)
+        self.lstm_dropout = Dropout(dropout, seed=seed + 6)
+        self.head = Dense(f3 + lstm_units, n_classes, seed=seed + 7)
+        self._fcn_layers: list[Layer] = [
+            self.conv1,
+            self.bn1,
+            self.relu1,
+            self.se1,
+            self.conv2,
+            self.bn2,
+            self.relu2,
+            self.se2,
+            self.conv3,
+            self.bn3,
+            self.relu3,
+            self.pool,
+        ]
+        self._fcn_width = f3
+        self._seed = seed
+
+    def layers(self) -> list[Layer]:
+        """All layers with trainable parameters, in forward order."""
+        return self._fcn_layers + [self.lstm, self.lstm_dropout, self.head]
+
+    # ------------------------------------------------------------------
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        """Logits of shape ``(batch, n_classes)``."""
+        if inputs.ndim != 3 or inputs.shape[1] != self.n_variables:
+            raise DataError(
+                f"expected (batch, {self.n_variables}, length), "
+                f"got {inputs.shape}"
+            )
+        fcn = inputs
+        for layer in self._fcn_layers:
+            fcn = layer.forward(fcn, training)
+        recurrent = self.lstm.forward(
+            np.transpose(inputs, (0, 2, 1)), training
+        )
+        recurrent = self.lstm_dropout.forward(recurrent, training)
+        combined = np.concatenate([fcn, recurrent], axis=1)
+        return self.head.forward(combined, training)
+
+    def backward(self, logit_gradient: np.ndarray) -> None:
+        """Backpropagate through both branches (gradients land in layers)."""
+        combined_gradient = self.head.backward(logit_gradient)
+        fcn_gradient = combined_gradient[:, : self._fcn_width]
+        recurrent_gradient = combined_gradient[:, self._fcn_width :]
+        recurrent_gradient = self.lstm_dropout.backward(recurrent_gradient)
+        self.lstm.backward(recurrent_gradient)
+        gradient = fcn_gradient
+        for layer in reversed(self._fcn_layers):
+            gradient = layer.backward(gradient)
+
+    # ------------------------------------------------------------------
+    def train_epochs(
+        self,
+        inputs: np.ndarray,
+        one_hot: np.ndarray,
+        optimizer,
+        n_epochs: int,
+        batch_size: int,
+    ) -> list[float]:
+        """Mini-batch training; returns the mean loss per epoch."""
+        rng = np.random.default_rng(self._seed)
+        n = inputs.shape[0]
+        losses = []
+        layers = self.layers()
+        for _ in range(n_epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            n_batches = 0
+            for start in range(0, n, batch_size):
+                batch = order[start : start + batch_size]
+                if len(batch) < 2:
+                    continue  # BatchNorm needs more than one sample
+                logits = self.forward(inputs[batch], training=True)
+                loss, gradient = softmax_cross_entropy(logits, one_hot[batch])
+                self.backward(gradient)
+                optimizer.step(layers)
+                epoch_loss += loss
+                n_batches += 1
+            losses.append(epoch_loss / max(n_batches, 1))
+        return losses

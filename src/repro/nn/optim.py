@@ -1,0 +1,77 @@
+"""Optimisers for the neural-network substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DataError
+from .layers import Layer
+
+__all__ = ["Adam", "SGD"]
+
+
+class SGD:
+    """Plain stochastic gradient descent with optional momentum."""
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.0) -> None:
+        if learning_rate <= 0:
+            raise DataError(f"learning_rate must be positive, got {learning_rate}")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self._velocity: dict[tuple[int, str], np.ndarray] = {}
+
+    def step(self, layers: list[Layer]) -> None:
+        """Apply one update to every layer's parameters from its gradients."""
+        for layer in layers:
+            for name, value in layer.parameters().items():
+                gradient = layer.gradients.get(name)
+                if gradient is None:
+                    continue
+                key = (id(layer), name)
+                velocity = self._velocity.get(key, np.zeros_like(value))
+                velocity = self.momentum * velocity - self.learning_rate * gradient
+                self._velocity[key] = velocity
+                value += velocity
+
+
+class Adam:
+    """Adam optimiser (Kingma & Ba, 2015) over layer parameter dicts."""
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        if learning_rate <= 0:
+            raise DataError(f"learning_rate must be positive, got {learning_rate}")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._first: dict[tuple[int, str], np.ndarray] = {}
+        self._second: dict[tuple[int, str], np.ndarray] = {}
+        self._step_count = 0
+
+    def step(self, layers: list[Layer]) -> None:
+        """Apply one Adam update to every layer's parameters."""
+        self._step_count += 1
+        correction1 = 1.0 - self.beta1**self._step_count
+        correction2 = 1.0 - self.beta2**self._step_count
+        for layer in layers:
+            for name, value in layer.parameters().items():
+                gradient = layer.gradients.get(name)
+                if gradient is None:
+                    continue
+                key = (id(layer), name)
+                first = self._first.get(key, np.zeros_like(value))
+                second = self._second.get(key, np.zeros_like(value))
+                first = self.beta1 * first + (1.0 - self.beta1) * gradient
+                second = self.beta2 * second + (1.0 - self.beta2) * gradient**2
+                self._first[key] = first
+                self._second[key] = second
+                update = (first / correction1) / (
+                    np.sqrt(second / correction2) + self.epsilon
+                )
+                value -= self.learning_rate * update

@@ -1,0 +1,87 @@
+"""Distance functions shared by the distance-based algorithms.
+
+ECTS matches prefixes by Euclidean distance; EDSC aligns shapelets against
+every subseries of a candidate series and takes the minimum distance. Both
+primitives live here, vectorised over numpy, so that the algorithm modules
+stay readable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DataError
+
+__all__ = [
+    "euclidean",
+    "squared_euclidean",
+    "pairwise_squared_euclidean",
+    "min_subseries_distance",
+    "sliding_window_view",
+]
+
+
+def euclidean(a: np.ndarray, b: np.ndarray) -> float:
+    """Euclidean distance between two equal-length vectors."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape:
+        raise DataError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return float(np.sqrt(np.sum((a - b) ** 2)))
+
+
+def squared_euclidean(a: np.ndarray, b: np.ndarray) -> float:
+    """Squared Euclidean distance (cheaper when only ordering matters)."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape:
+        raise DataError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return float(np.sum((a - b) ** 2))
+
+
+def pairwise_squared_euclidean(rows: np.ndarray, others: np.ndarray | None = None) -> np.ndarray:
+    """All-pairs squared Euclidean distances between row vectors.
+
+    Returns an ``(n, m)`` matrix for ``rows`` of shape ``(n, d)`` and
+    ``others`` of shape ``(m, d)`` (``others`` defaults to ``rows``). Uses
+    the expanded form ``|a|^2 - 2ab + |b|^2`` and clips tiny negative values
+    caused by floating-point cancellation.
+    """
+    rows = np.asarray(rows, dtype=float)
+    if rows.ndim != 2:
+        raise DataError(f"rows must be 2-D, got shape {rows.shape}")
+    others = rows if others is None else np.asarray(others, dtype=float)
+    if others.ndim != 2 or others.shape[1] != rows.shape[1]:
+        raise DataError(
+            f"others must be 2-D with {rows.shape[1]} columns, "
+            f"got shape {others.shape}"
+        )
+    row_norms = np.einsum("ij,ij->i", rows, rows)
+    other_norms = np.einsum("ij,ij->i", others, others)
+    distances = row_norms[:, None] - 2.0 * rows @ others.T + other_norms[None, :]
+    return np.maximum(distances, 0.0)
+
+
+def sliding_window_view(series: np.ndarray, window: int) -> np.ndarray:
+    """Return the ``(L - window + 1, window)`` matrix of all subseries."""
+    series = np.asarray(series, dtype=float)
+    if series.ndim != 1:
+        raise DataError(f"series must be 1-D, got shape {series.shape}")
+    if not 1 <= window <= series.size:
+        raise DataError(
+            f"window must be in [1, {series.size}], got {window}"
+        )
+    return np.lib.stride_tricks.sliding_window_view(series, window)
+
+
+def min_subseries_distance(series: np.ndarray, pattern: np.ndarray) -> float:
+    """Minimum Euclidean distance from ``pattern`` to any aligned subseries.
+
+    This is EDSC's "best matching distance": the pattern slides across the
+    series and the smallest alignment distance is returned. The series must
+    be at least as long as the pattern.
+    """
+    pattern = np.asarray(pattern, dtype=float)
+    windows = sliding_window_view(series, pattern.size)
+    differences = windows - pattern[None, :]
+    return float(np.sqrt(np.min(np.einsum("ij,ij->i", differences, differences))))

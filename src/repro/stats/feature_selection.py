@@ -1,0 +1,95 @@
+"""Univariate feature selection for bag-of-patterns matrices.
+
+WEASEL prunes its (very sparse, very wide) word-count matrix with a
+chi-squared test against the class labels before the logistic-regression
+head. :func:`chi2_scores` implements the classic count-based chi-squared
+statistic; :class:`SelectKBest` keeps the strongest columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.preprocessing import LabelEncoder
+from ..exceptions import DataError, NotFittedError
+
+__all__ = ["chi2_scores", "SelectKBest", "information_gain"]
+
+
+def chi2_scores(features: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Chi-squared statistic of each non-negative feature vs the labels.
+
+    Follows the usual text-classification formulation: observed per-class
+    feature mass vs the expectation under independence. Columns with zero
+    total mass score zero.
+    """
+    features = np.asarray(features, dtype=float)
+    if features.ndim != 2:
+        raise DataError(f"expected a 2-D matrix, got shape {features.shape}")
+    if (features < 0).any():
+        raise DataError("chi2 requires non-negative features")
+    encoded = LabelEncoder().fit_transform(labels)
+    n_classes = int(encoded.max()) + 1
+    one_hot = np.zeros((len(encoded), n_classes))
+    one_hot[np.arange(len(encoded)), encoded] = 1.0
+
+    observed = one_hot.T @ features  # (n_classes, n_features)
+    class_fraction = one_hot.mean(axis=0)  # (n_classes,)
+    feature_mass = features.sum(axis=0)  # (n_features,)
+    expected = class_fraction[:, None] * feature_mass[None, :]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        terms = np.where(expected > 0, (observed - expected) ** 2 / expected, 0.0)
+    return terms.sum(axis=0)
+
+
+def information_gain(values: np.ndarray, labels: np.ndarray, split: float) -> float:
+    """Entropy reduction of splitting ``values`` at ``split``.
+
+    Used by the SFA binning (MCB with information-gain boundaries) to choose
+    discretisation thresholds that discriminate the classes.
+    """
+    values = np.asarray(values, dtype=float)
+    labels = np.asarray(labels)
+
+    def entropy(subset: np.ndarray) -> float:
+        if subset.size == 0:
+            return 0.0
+        _, counts = np.unique(subset, return_counts=True)
+        proportions = counts / counts.sum()
+        return float(-np.sum(proportions * np.log2(proportions)))
+
+    mask = values <= split
+    n = len(values)
+    left, right = labels[mask], labels[~mask]
+    weighted = (len(left) * entropy(left) + len(right) * entropy(right)) / n
+    return entropy(labels) - weighted
+
+
+class SelectKBest:
+    """Keep the ``k`` columns with the highest chi-squared score."""
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise DataError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.selected_: np.ndarray | None = None
+        self.scores_: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "SelectKBest":
+        """Score all columns and remember the top ``k`` indices."""
+        self.scores_ = chi2_scores(features, labels)
+        k = min(self.k, len(self.scores_))
+        top = np.argpartition(self.scores_, -k)[-k:]
+        self.selected_ = np.sort(top)
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Restrict ``features`` to the selected columns."""
+        if self.selected_ is None:
+            raise NotFittedError("SelectKBest used before fit")
+        features = np.asarray(features, dtype=float)
+        return features[:, self.selected_]
+
+    def fit_transform(self, features: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """Fit on ``(features, labels)`` then transform ``features``."""
+        return self.fit(features, labels).transform(features)

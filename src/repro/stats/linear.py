@@ -1,0 +1,154 @@
+"""Regularised logistic regression (binary and multinomial).
+
+WEASEL, TEASER, and ECEC all end in a "fast linear-time logistic regression
+classifier" over bag-of-patterns counts; MiniROCKET ends in a linear head
+over PPV features. This module provides that head: softmax regression with
+L2 regularisation, trained by L-BFGS with an analytic gradient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize
+
+from ..data.preprocessing import LabelEncoder
+from ..exceptions import DataError, NotFittedError
+
+__all__ = ["LogisticRegression", "softmax"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise numerically-stable softmax."""
+    logits = np.asarray(logits, dtype=float)
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exponentials = np.exp(shifted)
+    return exponentials / exponentials.sum(axis=-1, keepdims=True)
+
+
+class LogisticRegression:
+    """Multinomial logistic regression with L2 regularisation.
+
+    Parameters
+    ----------
+    l2:
+        Regularisation strength applied to the weights (not the intercept).
+    max_iter:
+        L-BFGS iteration budget.
+    fit_intercept:
+        Whether to learn a per-class bias term.
+    """
+
+    def __init__(
+        self,
+        l2: float = 1e-3,
+        max_iter: int = 200,
+        fit_intercept: bool = True,
+    ) -> None:
+        if l2 < 0:
+            raise DataError(f"l2 must be >= 0, got {l2}")
+        self.l2 = l2
+        self.max_iter = max_iter
+        self.fit_intercept = fit_intercept
+        self.weights_: np.ndarray | None = None  # (n_features, n_classes)
+        self.intercept_: np.ndarray | None = None  # (n_classes,)
+        self._encoder = LabelEncoder()
+
+    @property
+    def classes_(self) -> np.ndarray:
+        """Distinct class labels seen during fit."""
+        if self._encoder.classes_ is None:
+            raise NotFittedError("LogisticRegression used before fit")
+        return self._encoder.classes_
+
+    # ------------------------------------------------------------------
+    def _loss_and_gradient(
+        self,
+        flat: np.ndarray,
+        features: np.ndarray,
+        one_hot: np.ndarray,
+    ) -> tuple[float, np.ndarray]:
+        n_samples, n_features = features.shape
+        n_classes = one_hot.shape[1]
+        weights = flat[: n_features * n_classes].reshape(n_features, n_classes)
+        intercept = (
+            flat[n_features * n_classes :]
+            if self.fit_intercept
+            else np.zeros(n_classes)
+        )
+        probabilities = softmax(features @ weights + intercept)
+        log_probabilities = np.log(np.clip(probabilities, 1e-12, None))
+        loss = -np.sum(one_hot * log_probabilities) / n_samples
+        loss += 0.5 * self.l2 * float(np.sum(weights * weights))
+        error = (probabilities - one_hot) / n_samples
+        weight_gradient = features.T @ error + self.l2 * weights
+        pieces = [weight_gradient.ravel()]
+        if self.fit_intercept:
+            pieces.append(error.sum(axis=0))
+        return loss, np.concatenate(pieces)
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LogisticRegression":
+        """Fit the model by minimising regularised cross-entropy."""
+        features = np.asarray(features, dtype=float)
+        if features.ndim != 2:
+            raise DataError(
+                f"expected a 2-D feature matrix, got shape {features.shape}"
+            )
+        encoded = self._encoder.fit_transform(labels)
+        if len(encoded) != features.shape[0]:
+            raise DataError("features and labels must have equal length")
+        n_classes = len(self._encoder.classes_)
+        if n_classes < 2:
+            # Degenerate single-class training set: predict it always.
+            self.weights_ = np.zeros((features.shape[1], 1))
+            self.intercept_ = np.zeros(1)
+            return self
+        one_hot = np.zeros((len(encoded), n_classes))
+        one_hot[np.arange(len(encoded)), encoded] = 1.0
+
+        n_parameters = features.shape[1] * n_classes
+        if self.fit_intercept:
+            n_parameters += n_classes
+        initial = np.zeros(n_parameters)
+        result = optimize.minimize(
+            self._loss_and_gradient,
+            initial,
+            args=(features, one_hot),
+            jac=True,
+            method="L-BFGS-B",
+            options={"maxiter": self.max_iter},
+        )
+        flat = result.x
+        self.weights_ = flat[: features.shape[1] * n_classes].reshape(
+            features.shape[1], n_classes
+        )
+        self.intercept_ = (
+            flat[features.shape[1] * n_classes :]
+            if self.fit_intercept
+            else np.zeros(n_classes)
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        """Raw per-class scores ``X @ W + b``."""
+        if self.weights_ is None or self.intercept_ is None:
+            raise NotFittedError("LogisticRegression used before fit")
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        if features.shape[1] != self.weights_.shape[0]:
+            raise DataError(
+                f"expected {self.weights_.shape[0]} features, "
+                f"got {features.shape[1]}"
+            )
+        return features @ self.weights_ + self.intercept_
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Per-class probabilities (columns follow ``classes_``)."""
+        scores = self.decision_function(features)
+        if scores.shape[1] == 1:
+            return np.ones_like(scores)
+        return softmax(scores)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Most probable class label per row."""
+        probabilities = self.predict_proba(features)
+        return self._encoder.inverse_transform(probabilities.argmax(axis=1))

@@ -1,0 +1,130 @@
+"""Evaluation metrics defined in Section 2.2 of the paper.
+
+* :func:`accuracy` — fraction of correct predictions.
+* :func:`f1_score` — macro-averaged per-class F1 (the paper's definition
+  sums per-class F1 and divides by ``|C|``).
+* :func:`earliness` — mean fraction ``l / L`` of observed time-points at
+  prediction time; lower is better.
+* :func:`harmonic_mean` — harmonic mean of accuracy and ``1 - earliness``.
+* :func:`confusion_matrix` — the table everything else derives from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DataError
+
+__all__ = [
+    "confusion_matrix",
+    "accuracy",
+    "f1_score",
+    "earliness",
+    "harmonic_mean",
+    "precision_recall_f1",
+]
+
+
+def _validate_pair(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape or y_true.ndim != 1:
+        raise DataError(
+            f"y_true and y_pred must be 1-D and equal-length, got "
+            f"{y_true.shape} and {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise DataError("metrics need at least one prediction")
+    return y_true, y_pred
+
+
+def confusion_matrix(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    classes: np.ndarray | None = None,
+) -> np.ndarray:
+    """Return the ``K x K`` confusion matrix ``M[i, j]``.
+
+    ``M[i, j]`` counts instances of true class ``classes[i]`` predicted as
+    ``classes[j]``. When ``classes`` is omitted it is the sorted union of the
+    labels appearing in either vector.
+    """
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    if classes is None:
+        classes = np.unique(np.concatenate([y_true, y_pred]))
+    classes = np.asarray(classes)
+    index = {int(label): i for i, label in enumerate(classes)}
+    matrix = np.zeros((len(classes), len(classes)), dtype=int)
+    for true, pred in zip(y_true, y_pred):
+        matrix[index[int(true)], index[int(pred)]] += 1
+    return matrix
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of predictions equal to the true label."""
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def precision_recall_f1(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    classes: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-class precision, recall, and F1 arrays (zero where undefined)."""
+    matrix = confusion_matrix(y_true, y_pred, classes)
+    true_positive = np.diag(matrix).astype(float)
+    predicted = matrix.sum(axis=0).astype(float)
+    actual = matrix.sum(axis=1).astype(float)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        precision = np.where(predicted > 0, true_positive / predicted, 0.0)
+        recall = np.where(actual > 0, true_positive / actual, 0.0)
+        denominator = precision + recall
+        f1 = np.where(
+            denominator > 0, 2.0 * precision * recall / denominator, 0.0
+        )
+    return precision, recall, f1
+
+
+def f1_score(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    classes: np.ndarray | None = None,
+) -> float:
+    """Macro-averaged F1-score as defined in Section 2.2.
+
+    Averages per-class ``TP / (TP + (FP + FN) / 2)`` over the distinct class
+    labels; classes absent from ``y_true`` and ``y_pred`` contribute zero.
+    """
+    _, _, per_class = precision_recall_f1(y_true, y_pred, classes)
+    return float(per_class.mean())
+
+
+def earliness(prefix_lengths: np.ndarray, full_length: int | np.ndarray) -> float:
+    """Mean observed-prefix fraction ``l / L`` over a batch of predictions.
+
+    ``full_length`` may be a scalar (equal-length dataset) or a per-instance
+    vector. The maximum value 1.0 means every prediction needed the whole
+    series; lower is better.
+    """
+    prefix_lengths = np.asarray(prefix_lengths, dtype=float)
+    full_length = np.asarray(full_length, dtype=float)
+    if np.any(prefix_lengths < 1) or np.any(prefix_lengths > full_length):
+        raise DataError("prefix lengths must lie in [1, full_length]")
+    return float(np.mean(prefix_lengths / full_length))
+
+
+def harmonic_mean(accuracy_value: float, earliness_value: float) -> float:
+    """Harmonic mean of accuracy and ``1 - earliness`` (Section 2.2).
+
+    Zero when either the accuracy is zero or the full series was needed
+    (earliness 1.0); otherwise the usual ``2ab / (a + b)``.
+    """
+    if not 0.0 <= accuracy_value <= 1.0:
+        raise DataError(f"accuracy must be in [0, 1], got {accuracy_value}")
+    if not 0.0 <= earliness_value <= 1.0:
+        raise DataError(f"earliness must be in [0, 1], got {earliness_value}")
+    timeliness = 1.0 - earliness_value
+    if accuracy_value + timeliness == 0.0:
+        return 0.0
+    return 2.0 * accuracy_value * timeliness / (accuracy_value + timeliness)

@@ -1,0 +1,81 @@
+"""k-nearest-neighbour classification over row vectors.
+
+ECTS is built on 1-NN over prefixes; this module provides the generic
+classifier plus the nearest-neighbour index queries ECTS needs to construct
+reverse-nearest-neighbour (RNN) sets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DataError, NotFittedError
+from .distance import pairwise_squared_euclidean
+
+__all__ = ["KNeighborsClassifier", "nearest_neighbor_indices"]
+
+
+def nearest_neighbor_indices(rows: np.ndarray) -> np.ndarray:
+    """For each row, the index of its nearest *other* row.
+
+    Ties break towards the lowest index, which keeps the RNN construction in
+    ECTS deterministic.
+    """
+    rows = np.asarray(rows, dtype=float)
+    if rows.shape[0] < 2:
+        raise DataError("need at least two rows for nearest neighbours")
+    distances = pairwise_squared_euclidean(rows)
+    np.fill_diagonal(distances, np.inf)
+    return distances.argmin(axis=1)
+
+
+class KNeighborsClassifier:
+    """Brute-force k-NN with majority voting (ties -> smallest label)."""
+
+    def __init__(self, n_neighbors: int = 1) -> None:
+        if n_neighbors < 1:
+            raise DataError(f"n_neighbors must be >= 1, got {n_neighbors}")
+        self.n_neighbors = n_neighbors
+        self._rows: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+        self.classes_: np.ndarray | None = None
+
+    def fit(self, rows: np.ndarray, labels: np.ndarray) -> "KNeighborsClassifier":
+        """Memorise the training rows and labels."""
+        rows = np.asarray(rows, dtype=float)
+        labels = np.asarray(labels)
+        if rows.ndim != 2:
+            raise DataError(f"expected a 2-D matrix, got shape {rows.shape}")
+        if rows.shape[0] != labels.shape[0]:
+            raise DataError("rows and labels must have equal length")
+        if rows.shape[0] < self.n_neighbors:
+            raise DataError(
+                f"need at least {self.n_neighbors} training rows, "
+                f"got {rows.shape[0]}"
+            )
+        self._rows = rows
+        self._labels = labels
+        self.classes_ = np.unique(labels)
+        return self
+
+    def kneighbors(self, rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(distances, indices)`` of the k nearest training rows."""
+        if self._rows is None:
+            raise NotFittedError("KNeighborsClassifier used before fit")
+        rows = np.atleast_2d(np.asarray(rows, dtype=float))
+        distances = pairwise_squared_euclidean(rows, self._rows)
+        order = np.argsort(distances, axis=1, kind="stable")[:, : self.n_neighbors]
+        sorted_distances = np.take_along_axis(distances, order, axis=1)
+        return np.sqrt(sorted_distances), order
+
+    def predict(self, rows: np.ndarray) -> np.ndarray:
+        """Majority vote over the k nearest training labels."""
+        if self._labels is None:
+            raise NotFittedError("KNeighborsClassifier used before fit")
+        _, indices = self.kneighbors(rows)
+        neighbor_labels = self._labels[indices]
+        predictions = np.empty(len(indices), dtype=self._labels.dtype)
+        for i, votes in enumerate(neighbor_labels):
+            values, counts = np.unique(votes, return_counts=True)
+            predictions[i] = values[counts.argmax()]
+        return predictions

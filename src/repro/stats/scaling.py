@@ -1,0 +1,44 @@
+"""Feature scaling for the tabular substrates.
+
+The linear models train best on standardised features; :class:`StandardScaler`
+learns per-column mean/std on the training matrix and applies the same affine
+transform at prediction time (constant columns pass through unchanged).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DataError, NotFittedError
+
+__all__ = ["StandardScaler"]
+
+
+class StandardScaler:
+    """Column-wise standardisation to zero mean and unit variance."""
+
+    def __init__(self, epsilon: float = 1e-12) -> None:
+        self.epsilon = epsilon
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, matrix: np.ndarray) -> "StandardScaler":
+        """Learn per-column mean and standard deviation."""
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2:
+            raise DataError(f"expected a 2-D matrix, got shape {matrix.shape}")
+        self.mean_ = matrix.mean(axis=0)
+        std = matrix.std(axis=0)
+        self.scale_ = np.where(std < self.epsilon, 1.0, std)
+        return self
+
+    def transform(self, matrix: np.ndarray) -> np.ndarray:
+        """Apply the learned standardisation."""
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("StandardScaler used before fit")
+        matrix = np.asarray(matrix, dtype=float)
+        return (matrix - self.mean_) / self.scale_
+
+    def fit_transform(self, matrix: np.ndarray) -> np.ndarray:
+        """Fit on ``matrix`` then transform it."""
+        return self.fit(matrix).transform(matrix)

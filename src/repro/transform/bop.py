@@ -1,0 +1,134 @@
+"""Bag-of-patterns feature construction over SFA words.
+
+WEASEL's feature vector for a series is the histogram of its SFA words
+(unigrams) and of pairs of adjacent non-overlapping words (bigrams), pooled
+over several window lengths. :class:`BagOfPatterns` builds the count matrix
+for one window length; :func:`stack_bags` concatenates several.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DataError, NotFittedError
+from .sfa import SFATransformer
+from .windows import extract_windows
+
+__all__ = ["BagOfPatterns", "stack_bags"]
+
+
+class BagOfPatterns:
+    """Word/bigram count features for one window length.
+
+    The transformer learns an SFA discretisation on the training windows and
+    a vocabulary mapping observed (window-length-tagged) words to feature
+    columns. Unseen words at transform time are dropped, mirroring the usual
+    bag-of-words behaviour.
+
+    Parameters
+    ----------
+    window:
+        Sliding-window width.
+    word_length, alphabet_size, binning:
+        Forwarded to :class:`~repro.transform.sfa.SFATransformer`.
+    use_bigrams:
+        Also count pairs of words one window-width apart.
+    """
+
+    def __init__(
+        self,
+        window: int,
+        word_length: int = 4,
+        alphabet_size: int = 4,
+        binning: str = "information-gain",
+        use_bigrams: bool = True,
+    ) -> None:
+        if window < 1:
+            raise DataError(f"window must be >= 1, got {window}")
+        self.window = window
+        self.use_bigrams = use_bigrams
+        self._sfa = SFATransformer(
+            word_length=word_length,
+            alphabet_size=alphabet_size,
+            binning=binning,
+        )
+        self.vocabulary_: dict[int, int] | None = None
+
+    # ------------------------------------------------------------------
+    def _series_tokens(self, words: np.ndarray, owners: np.ndarray, n_series: int) -> list[np.ndarray]:
+        """Split the flat word array back into per-series word sequences."""
+        tokens: list[np.ndarray] = []
+        for series_index in range(n_series):
+            tokens.append(words[owners == series_index])
+        return tokens
+
+    def _emit_tokens(self, word_sequence: np.ndarray) -> np.ndarray:
+        """Unigram (and optionally bigram) token codes for one series."""
+        base = self._sfa.vocabulary_size
+        unigrams = word_sequence
+        if not self.use_bigrams or word_sequence.size <= self.window:
+            return unigrams
+        # Bigrams pair each word with the word one window-width earlier,
+        # offset into a disjoint code range.
+        left = word_sequence[: -self.window]
+        right = word_sequence[self.window :]
+        bigrams = base + left * base + right
+        return np.concatenate([unigrams, bigrams])
+
+    # ------------------------------------------------------------------
+    def fit(self, series_matrix: np.ndarray, labels: np.ndarray) -> "BagOfPatterns":
+        """Learn SFA bins and the token vocabulary from training series."""
+        series_matrix = np.asarray(series_matrix, dtype=float)
+        windows, owners = extract_windows(series_matrix, self.window)
+        window_labels = np.asarray(labels)[owners]
+        words = self._sfa.fit_transform_words(windows, window_labels)
+        vocabulary: dict[int, int] = {}
+        for sequence in self._series_tokens(words, owners, series_matrix.shape[0]):
+            for token in self._emit_tokens(sequence):
+                token = int(token)
+                if token not in vocabulary:
+                    vocabulary[token] = len(vocabulary)
+        self.vocabulary_ = vocabulary
+        return self
+
+    def transform(self, series_matrix: np.ndarray) -> np.ndarray:
+        """Count matrix of shape ``(n_series, len(vocabulary_))``."""
+        if self.vocabulary_ is None:
+            raise NotFittedError("BagOfPatterns used before fit")
+        series_matrix = np.asarray(series_matrix, dtype=float)
+        if series_matrix.shape[1] < self.window:
+            # Series shorter than the window contribute no tokens at all.
+            return np.zeros((series_matrix.shape[0], len(self.vocabulary_)))
+        windows, owners = extract_windows(series_matrix, self.window)
+        words = self._sfa.transform_words(windows)
+        counts = np.zeros(
+            (series_matrix.shape[0], len(self.vocabulary_)), dtype=float
+        )
+        for series_index, sequence in enumerate(
+            self._series_tokens(words, owners, series_matrix.shape[0])
+        ):
+            for token in self._emit_tokens(sequence):
+                column = self.vocabulary_.get(int(token))
+                if column is not None:
+                    counts[series_index, column] += 1.0
+        return counts
+
+    def fit_transform(self, series_matrix: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """Fit on the series then return their count matrix."""
+        return self.fit(series_matrix, labels).transform(series_matrix)
+
+    @property
+    def n_features(self) -> int:
+        """Vocabulary size after fit."""
+        if self.vocabulary_ is None:
+            raise NotFittedError("BagOfPatterns used before fit")
+        return len(self.vocabulary_)
+
+
+def stack_bags(
+    bags: list[BagOfPatterns], series_matrix: np.ndarray
+) -> np.ndarray:
+    """Concatenate the count matrices of several fitted bags column-wise."""
+    if not bags:
+        raise DataError("stack_bags needs at least one bag")
+    return np.concatenate([bag.transform(series_matrix) for bag in bags], axis=1)

@@ -1,0 +1,141 @@
+"""Interval-feature time-series classification (Time Series Forest style).
+
+The bake-off taxonomy the paper references groups full-TSC methods into
+dictionary-based (WEASEL), convolution-based (MiniROCKET), deep
+(MLSTM-FCN), distance-based (1-NN-DTW) — and *interval-based*, represented
+here. Following the Time Series Forest idea (Deng et al., 2013), each
+series is summarised by simple statistics (mean, standard deviation, slope)
+over random intervals, and a gradient-boosted classifier consumes the
+resulting feature matrix. It completes the framework's coverage of the
+major full-TSC families and slots into STRUT like any other backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import FullTSClassifier
+from ..data.dataset import TimeSeriesDataset
+from ..exceptions import ConfigurationError, DataError, NotFittedError
+from ..stats.boosting import GradientBoostingClassifier
+
+__all__ = ["IntervalForest"]
+
+
+class IntervalForest(FullTSClassifier):
+    """Random-interval statistics + gradient boosting.
+
+    Parameters
+    ----------
+    n_intervals:
+        Random intervals sampled per variable.
+    min_interval:
+        Minimum interval width in time-points.
+    n_estimators:
+        Boosting rounds of the head classifier.
+    seed:
+        Interval-sampling and boosting seed.
+    """
+
+    def __init__(
+        self,
+        n_intervals: int = 16,
+        min_interval: int = 3,
+        n_estimators: int = 30,
+        seed: int = 0,
+    ) -> None:
+        if n_intervals < 1:
+            raise ConfigurationError(
+                f"n_intervals must be >= 1, got {n_intervals}"
+            )
+        if min_interval < 2:
+            raise ConfigurationError(
+                f"min_interval must be >= 2, got {min_interval}"
+            )
+        self.n_intervals = n_intervals
+        self.min_interval = min_interval
+        self.n_estimators = n_estimators
+        self.seed = seed
+        self._intervals: list[tuple[int, int, int]] | None = None
+        self._head: GradientBoostingClassifier | None = None
+        self._length: int | None = None
+
+    def clone(self) -> "IntervalForest":
+        """Unfitted copy with identical hyperparameters."""
+        return IntervalForest(
+            n_intervals=self.n_intervals,
+            min_interval=self.min_interval,
+            n_estimators=self.n_estimators,
+            seed=self.seed,
+        )
+
+    @property
+    def classes_(self) -> np.ndarray:
+        """Distinct class labels seen during training."""
+        if self._head is None:
+            raise NotFittedError("IntervalForest used before train")
+        return self._head.classes_
+
+    # ------------------------------------------------------------------
+    def _sample_intervals(self, n_variables: int, length: int) -> list[tuple[int, int, int]]:
+        rng = np.random.default_rng(self.seed)
+        minimum = min(self.min_interval, length)
+        intervals = []
+        for _ in range(self.n_intervals):
+            variable = int(rng.integers(n_variables))
+            width = int(rng.integers(minimum, length + 1))
+            start = int(rng.integers(0, length - width + 1))
+            intervals.append((variable, start, start + width))
+        return intervals
+
+    def _features(self, dataset: TimeSeriesDataset) -> np.ndarray:
+        assert self._intervals is not None
+        features = np.empty((dataset.n_instances, 3 * len(self._intervals)))
+        for column, (variable, start, end) in enumerate(self._intervals):
+            window = dataset.values[:, variable, start:end]
+            features[:, 3 * column] = window.mean(axis=1)
+            features[:, 3 * column + 1] = window.std(axis=1)
+            # Least-squares slope over the interval.
+            t = np.arange(end - start, dtype=float)
+            t_centered = t - t.mean()
+            denominator = float(np.sum(t_centered**2)) or 1.0
+            features[:, 3 * column + 2] = (
+                window @ t_centered
+            ) / denominator
+        return features
+
+    # ------------------------------------------------------------------
+    def train(self, dataset: TimeSeriesDataset) -> "IntervalForest":
+        """Sample intervals and fit the boosted head."""
+        if dataset.n_classes < 2:
+            raise DataError("IntervalForest needs at least two classes")
+        self._length = dataset.length
+        self._intervals = self._sample_intervals(
+            dataset.n_variables, dataset.length
+        )
+        self._head = GradientBoostingClassifier(
+            n_estimators=self.n_estimators, seed=self.seed
+        )
+        self._head.fit(self._features(dataset), dataset.labels)
+        return self
+
+    def _validated_features(self, dataset: TimeSeriesDataset) -> np.ndarray:
+        if self._head is None:
+            raise NotFittedError("IntervalForest used before train")
+        if dataset.length != self._length:
+            raise DataError(
+                f"trained on length {self._length}, got {dataset.length}"
+            )
+        return self._features(dataset)
+
+    def predict(self, dataset: TimeSeriesDataset) -> np.ndarray:
+        """Predicted label per instance."""
+        features = self._validated_features(dataset)
+        assert self._head is not None
+        return self._head.predict(features)
+
+    def predict_proba(self, dataset: TimeSeriesDataset) -> np.ndarray:
+        """Per-class probabilities (columns follow ``classes_``)."""
+        features = self._validated_features(dataset)
+        assert self._head is not None
+        return self._head.predict_proba(features)

@@ -1,0 +1,214 @@
+"""WEASEL and WEASEL+MUSE full time-series classifiers.
+
+WEASEL (Word ExtrAction for time SEries cLassification, Schafer & Leser
+2017) slides windows of several lengths over each series, symbolises every
+window with SFA (Fourier truncation + information-gain binning), builds a
+bag-of-patterns of unigrams and bigrams, prunes it with a chi-squared test,
+and classifies with logistic regression.
+
+WEASEL+MUSE extends the pipeline to multivariate series by building one bag
+per variable (plus one per first-difference "derivative" channel) and
+concatenating the feature spaces. Both live in :class:`WEASEL`, which
+switches behaviour on the number of variables.
+
+Following Section 6.1 of the paper, the per-window z-normalisation step is
+*disabled by default* (``normalize=False``) because it is unrealistic in an
+online setting; pass ``normalize=True`` to restore the original behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import FullTSClassifier
+from ..data.dataset import TimeSeriesDataset
+from ..data.preprocessing import z_normalize
+from ..exceptions import DataError, NotFittedError
+from ..stats.feature_selection import SelectKBest
+from ..stats.linear import LogisticRegression
+from ..transform.bop import BagOfPatterns
+from ..transform.windows import window_lengths
+
+__all__ = ["WEASEL"]
+
+
+class _ChannelPipeline:
+    """Bags + their fitted metadata for one (variable, derivative) channel."""
+
+    def __init__(
+        self,
+        windows: list[int],
+        word_length: int,
+        alphabet_size: int,
+        binning: str,
+        use_bigrams: bool,
+    ) -> None:
+        self.bags = [
+            BagOfPatterns(
+                window=window,
+                word_length=word_length,
+                alphabet_size=alphabet_size,
+                binning=binning,
+                use_bigrams=use_bigrams,
+            )
+            for window in windows
+        ]
+
+    def fit_transform(self, matrix: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        parts = [bag.fit_transform(matrix, labels) for bag in self.bags]
+        return np.concatenate(parts, axis=1)
+
+    def transform(self, matrix: np.ndarray) -> np.ndarray:
+        parts = [bag.transform(matrix) for bag in self.bags]
+        return np.concatenate(parts, axis=1)
+
+
+class WEASEL(FullTSClassifier):
+    """WEASEL / WEASEL+MUSE classifier.
+
+    Parameters
+    ----------
+    word_length, alphabet_size:
+        SFA word configuration.
+    n_window_sizes, min_window:
+        How many window widths to use and the smallest one.
+    use_bigrams:
+        Count adjacent word pairs as extra features.
+    use_derivatives:
+        MUSE's first-difference channels (only applied to multivariate
+        input; univariate WEASEL matches the original algorithm).
+    normalize:
+        Per-series z-normalisation before windowing (off by default, per the
+        paper's online-realistic variant).
+    chi2_top_k:
+        Keep this many best features after the chi-squared test.
+    l2:
+        Regularisation of the logistic-regression head.
+    """
+
+    def __init__(
+        self,
+        word_length: int = 4,
+        alphabet_size: int = 4,
+        n_window_sizes: int = 4,
+        min_window: int = 4,
+        use_bigrams: bool = True,
+        use_derivatives: bool = True,
+        normalize: bool = False,
+        binning: str = "information-gain",
+        chi2_top_k: int = 200,
+        l2: float = 1e-2,
+    ) -> None:
+        self.word_length = word_length
+        self.alphabet_size = alphabet_size
+        self.n_window_sizes = n_window_sizes
+        self.min_window = min_window
+        self.use_bigrams = use_bigrams
+        self.use_derivatives = use_derivatives
+        self.normalize = normalize
+        self.binning = binning
+        self.chi2_top_k = chi2_top_k
+        self.l2 = l2
+        self._channels: list[_ChannelPipeline] | None = None
+        self._selector: SelectKBest | None = None
+        self._head: LogisticRegression | None = None
+        self._n_variables: int | None = None
+
+    # ------------------------------------------------------------------
+    def clone(self) -> "WEASEL":
+        """Unfitted copy with identical hyperparameters."""
+        return WEASEL(
+            word_length=self.word_length,
+            alphabet_size=self.alphabet_size,
+            n_window_sizes=self.n_window_sizes,
+            min_window=self.min_window,
+            use_bigrams=self.use_bigrams,
+            use_derivatives=self.use_derivatives,
+            normalize=self.normalize,
+            binning=self.binning,
+            chi2_top_k=self.chi2_top_k,
+            l2=self.l2,
+        )
+
+    @property
+    def classes_(self) -> np.ndarray:
+        """Distinct class labels seen during training."""
+        if self._head is None:
+            raise NotFittedError("WEASEL used before train")
+        return self._head.classes_
+
+    # ------------------------------------------------------------------
+    def _channel_matrices(self, dataset: TimeSeriesDataset) -> list[np.ndarray]:
+        """One (n_instances, length) matrix per channel.
+
+        Channels are the raw variables plus, for multivariate input with
+        ``use_derivatives``, their first differences (MUSE).
+        """
+        matrices = []
+        for variable in range(dataset.n_variables):
+            matrix = dataset.values[:, variable, :]
+            if self.normalize:
+                matrix = z_normalize(matrix)
+            matrices.append(matrix)
+        if dataset.n_variables > 1 and self.use_derivatives and dataset.length > 1:
+            base_count = len(matrices)
+            for variable in range(base_count):
+                matrices.append(np.diff(matrices[variable], axis=1))
+        return matrices
+
+    def train(self, dataset: TimeSeriesDataset) -> "WEASEL":
+        """Fit bags, feature selection, and the logistic head."""
+        if dataset.n_classes < 2:
+            raise DataError("WEASEL needs at least two classes to train")
+        matrices = self._channel_matrices(dataset)
+        self._n_variables = dataset.n_variables
+        self._channels = []
+        feature_blocks = []
+        for matrix in matrices:
+            windows = window_lengths(
+                matrix.shape[1], self.min_window, self.n_window_sizes
+            )
+            channel = _ChannelPipeline(
+                windows,
+                self.word_length,
+                self.alphabet_size,
+                self.binning,
+                self.use_bigrams,
+            )
+            feature_blocks.append(channel.fit_transform(matrix, dataset.labels))
+            self._channels.append(channel)
+        features = np.concatenate(feature_blocks, axis=1)
+        self._selector = SelectKBest(min(self.chi2_top_k, features.shape[1]))
+        selected = self._selector.fit_transform(features, dataset.labels)
+        self._head = LogisticRegression(l2=self.l2)
+        self._head.fit(selected, dataset.labels)
+        return self
+
+    def _features(self, dataset: TimeSeriesDataset) -> np.ndarray:
+        if self._channels is None or self._selector is None:
+            raise NotFittedError("WEASEL used before train")
+        if dataset.n_variables != self._n_variables:
+            raise DataError(
+                f"trained on {self._n_variables} variables, "
+                f"got {dataset.n_variables}"
+            )
+        matrices = self._channel_matrices(dataset)
+        feature_blocks = [
+            channel.transform(matrix)
+            for channel, matrix in zip(self._channels, matrices)
+        ]
+        return self._selector.transform(
+            np.concatenate(feature_blocks, axis=1)
+        )
+
+    def predict(self, dataset: TimeSeriesDataset) -> np.ndarray:
+        """Predicted label per instance."""
+        if self._head is None:
+            raise NotFittedError("WEASEL used before train")
+        return self._head.predict(self._features(dataset))
+
+    def predict_proba(self, dataset: TimeSeriesDataset) -> np.ndarray:
+        """Per-class probabilities (columns follow ``classes_``)."""
+        if self._head is None:
+            raise NotFittedError("WEASEL used before train")
+        return self._head.predict_proba(self._features(dataset))

@@ -1,0 +1,74 @@
+"""Shared fixtures: small, fast, learnable datasets for algorithm tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import TimeSeriesDataset
+
+
+def make_sinusoid_dataset(
+    n_instances: int = 40,
+    length: int = 30,
+    n_variables: int = 1,
+    n_classes: int = 2,
+    noise: float = 0.15,
+    seed: int = 0,
+    name: str = "sinusoid",
+) -> TimeSeriesDataset:
+    """Classes differ in oscillation frequency — easy but not trivial."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(length)
+    labels = np.arange(n_instances) % n_classes
+    rng.shuffle(labels)
+    values = np.empty((n_instances, n_variables, length))
+    for i, label in enumerate(labels):
+        frequency = 0.25 + 0.3 * label
+        for v in range(n_variables):
+            phase = rng.uniform(0.0, 2.0 * np.pi)
+            values[i, v] = np.sin(frequency * t + phase) + noise * rng.normal(
+                size=length
+            )
+    return TimeSeriesDataset(values, labels, name=name)
+
+
+def make_shift_dataset(
+    n_instances: int = 40,
+    length: int = 24,
+    onset: int = 8,
+    seed: int = 0,
+) -> TimeSeriesDataset:
+    """Classes separate by a level shift appearing at ``onset`` — the class
+    signal is invisible before it, so earliness below onset/length implies
+    guessing."""
+    rng = np.random.default_rng(seed)
+    labels = np.arange(n_instances) % 2
+    rng.shuffle(labels)
+    values = rng.normal(0.0, 0.3, size=(n_instances, length))
+    values[labels == 1, onset:] += 3.0
+    return TimeSeriesDataset(values, labels, name="shift")
+
+
+@pytest.fixture
+def sinusoid_dataset() -> TimeSeriesDataset:
+    """Univariate 2-class frequency-separated dataset."""
+    return make_sinusoid_dataset()
+
+
+@pytest.fixture
+def multivariate_dataset() -> TimeSeriesDataset:
+    """3-variable 2-class frequency-separated dataset."""
+    return make_sinusoid_dataset(n_variables=3, name="sinusoid-mv")
+
+
+@pytest.fixture
+def shift_dataset() -> TimeSeriesDataset:
+    """2-class dataset whose signal appears only after time-point 8."""
+    return make_shift_dataset()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator."""
+    return np.random.default_rng(12345)

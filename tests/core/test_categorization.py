@@ -1,0 +1,107 @@
+"""Tests for the Table 3 dataset categorisation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PAPER_TABLE3,
+    canonical_categories,
+    categorize,
+    category_names,
+)
+from repro.data import TimeSeriesDataset
+
+
+def _dataset(n=10, length=20, n_classes=2, imbalance=1.0, spiky=False):
+    rng = np.random.default_rng(0)
+    counts = [max(2, int(n / (1 + imbalance))), 0]
+    counts[1] = n - counts[0]
+    labels = np.repeat(np.arange(2), counts)[:n]
+    if n_classes > 2:
+        labels = np.arange(n) % n_classes
+    values = rng.uniform(10, 12, size=(n, length))
+    if spiky:
+        values[:, ::4] = 200.0  # pushes CoV above the threshold
+    return TimeSeriesDataset(values, labels)
+
+
+class TestCategorize:
+    def test_common_dataset(self):
+        categories = categorize(_dataset())
+        assert categories.common
+        assert categories.names() == ["Common", "Univariate"]
+
+    def test_wide(self):
+        categories = categorize(_dataset(length=1400))
+        assert categories.wide and not categories.common
+
+    def test_large(self):
+        categories = categorize(_dataset(n=1200))
+        assert categories.large and not categories.common
+
+    def test_unstable(self):
+        categories = categorize(_dataset(spiky=True))
+        assert categories.unstable and not categories.common
+
+    def test_imbalanced(self):
+        categories = categorize(_dataset(n=40, imbalance=4.0))
+        assert categories.imbalanced and not categories.common
+
+    def test_multiclass(self):
+        categories = categorize(_dataset(n_classes=3))
+        assert categories.multiclass and not categories.common
+
+    def test_multivariate_flag(self):
+        dataset = TimeSeriesDataset(
+            np.random.default_rng(0).uniform(10, 12, size=(6, 3, 10)),
+            np.arange(6) % 2,
+        )
+        categories = categorize(dataset)
+        assert categories.multivariate and not categories.univariate
+
+    def test_custom_thresholds(self):
+        dataset = _dataset(length=50)
+        assert categorize(dataset, wide_threshold=40).wide
+        assert not categorize(dataset, wide_threshold=60).wide
+
+    def test_boundary_is_exclusive(self):
+        dataset = _dataset(length=1300)
+        assert not categorize(dataset).wide
+
+
+class TestCanonical:
+    def test_all_twelve_datasets_present(self):
+        assert len(PAPER_TABLE3) == 12
+
+    def test_canonical_matches_table3_row(self):
+        categories = canonical_categories("PLAID")
+        assert categories.names() == [
+            "Wide", "Large", "Unstable", "Imbalanced", "Multiclass",
+            "Univariate",
+        ]
+
+    def test_unknown_dataset_returns_none(self):
+        assert canonical_categories("NotADataset") is None
+
+    def test_every_dataset_is_uni_or_multivariate(self):
+        for name in PAPER_TABLE3:
+            categories = canonical_categories(name)
+            assert categories.univariate != categories.multivariate
+
+    def test_common_excludes_other_flags(self):
+        for name in PAPER_TABLE3:
+            categories = canonical_categories(name)
+            if categories.common:
+                assert not (
+                    categories.wide
+                    or categories.large
+                    or categories.unstable
+                    or categories.imbalanced
+                    or categories.multiclass
+                )
+
+    def test_category_names_order(self):
+        assert category_names() == (
+            "Wide", "Large", "Unstable", "Imbalanced", "Multiclass",
+            "Common", "Univariate", "Multivariate",
+        )

@@ -1,0 +1,156 @@
+"""Tests for the text chart renderer and the streaming session."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    StreamingSession,
+    grouped_bars,
+    heatmap,
+    horizontal_bars,
+)
+from repro.etsc import ECEC, TEASER
+from repro.exceptions import DataError, NotFittedError
+from tests.conftest import make_sinusoid_dataset
+
+
+class TestHorizontalBars:
+    def test_proportional_lengths(self):
+        chart = horizontal_bars({"full": 1.0, "half": 0.5}, width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_zero_value_no_bar(self):
+        chart = horizontal_bars({"zero": 0.0, "one": 1.0}, width=10)
+        assert "█" not in chart.splitlines()[0]
+
+    def test_values_rendered(self):
+        chart = horizontal_bars({"x": 0.123}, decimals=3)
+        assert "0.123" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            horizontal_bars({})
+
+
+class TestGroupedBars:
+    def test_shared_scale_across_groups(self):
+        chart = grouped_bars(
+            {"g1": {"a": 1.0}, "g2": {"a": 0.5}}, width=10
+        )
+        lines = [line for line in chart.splitlines() if "█" in line]
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_group_headers_present(self):
+        chart = grouped_bars({"Wide": {"ECEC": 0.9}})
+        assert "Wide:" in chart
+
+
+class TestHeatmap:
+    def test_markers(self):
+        chart = heatmap(
+            {
+                ("ECEC", "d1"): 0.5,
+                ("ECEC", "d2"): 2.0,
+                ("EDSC", "d1"): None,
+            }
+        )
+        lines = chart.splitlines()
+        assert any("o" in line and "X" in line for line in lines)
+        assert any("#" in line for line in lines)
+        assert "legend" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            heatmap({})
+
+
+class TestStreamingSession:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        dataset = make_sinusoid_dataset(40, length=24, noise=0.1)
+        return TEASER(n_prefixes=6).train(dataset), dataset
+
+    def test_requires_trained_classifier(self):
+        with pytest.raises(NotFittedError):
+            StreamingSession(TEASER(), series_length=10)
+
+    def test_decision_always_emitted_by_full_length(self, trained):
+        classifier, dataset = trained
+        for i in range(4):
+            session = StreamingSession(classifier, dataset.length)
+            decision = session.run(dataset.values[i])
+            assert decision is not None
+            assert 1 <= decision.decided_at <= dataset.length
+            assert decision.label in dataset.classes
+
+    def test_push_after_decision_is_absorbed(self, trained):
+        classifier, dataset = trained
+        session = StreamingSession(classifier, dataset.length)
+        decision = session.run(dataset.values[0])
+        assert session.is_decided
+        assert session.decision == decision
+
+    def test_push_beyond_length_rejected(self, trained):
+        classifier, dataset = trained
+        session = StreamingSession(classifier, dataset.length)
+        session.run(dataset.values[0])
+        with pytest.raises(DataError):
+            session.push(0.0)
+
+    def test_variable_count_checked(self, trained):
+        classifier, dataset = trained
+        session = StreamingSession(classifier, dataset.length)
+        session.push(0.5)
+        with pytest.raises(DataError):
+            session.push(np.asarray([0.5, 0.5]))
+
+    def test_latency_ratio(self, trained):
+        classifier, dataset = trained
+        session = StreamingSession(classifier, dataset.length)
+        session.run(dataset.values[0])
+        ratio = session.mean_latency_ratio(frequency_seconds=60.0)
+        assert ratio > 0.0
+
+    def test_check_every_reduces_consultations(self, trained):
+        classifier, dataset = trained
+        dense = StreamingSession(classifier, dataset.length, check_every=1)
+        dense.run(dataset.values[1])
+        sparse = StreamingSession(classifier, dataset.length, check_every=6)
+        sparse.run(dataset.values[1])
+        assert len(sparse.push_latencies) <= len(dense.push_latencies)
+
+    def test_streaming_agrees_with_batch_prediction(self, trained):
+        classifier, dataset = trained
+        batch = classifier.predict(dataset)
+        for i in range(6):
+            session = StreamingSession(classifier, dataset.length)
+            decision = session.run(dataset.values[i])
+            # Streaming may lag the batch commitment by a step (boundary
+            # ambiguity) but must agree on the label whenever the batch
+            # committed strictly early.
+            if batch[i].prefix_length < dataset.length:
+                assert decision.label == batch[i].label
+
+    def test_series_length_longer_than_training_rejected(self, trained):
+        classifier, dataset = trained
+        with pytest.raises(DataError):
+            StreamingSession(classifier, dataset.length + 1)
+
+    def test_run_length_mismatch_rejected(self, trained):
+        classifier, dataset = trained
+        session = StreamingSession(classifier, dataset.length)
+        with pytest.raises(DataError):
+            session.run(dataset.values[0][:, :5])
+
+    def test_multivariate_stream(self):
+        from repro.core import VotingEnsemble
+
+        dataset = make_sinusoid_dataset(30, length=16, n_variables=2)
+        ensemble = VotingEnsemble(lambda: ECEC(n_prefixes=4))
+        ensemble.train(dataset)
+        session = StreamingSession(ensemble, dataset.length)
+        decision = session.run(dataset.values[0])
+        assert decision.label in dataset.classes

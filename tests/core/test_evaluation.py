@@ -1,0 +1,78 @@
+"""Tests for the cross-validated evaluation harness."""
+
+import numpy as np
+import pytest
+
+from repro.core import evaluate
+from repro.core.evaluation import evaluate_predictions
+from repro.etsc import ECTS
+from repro.exceptions import DataError
+from tests.conftest import make_sinusoid_dataset
+
+
+class TestEvaluatePredictions:
+    def test_fold_result_fields(self):
+        dataset = make_sinusoid_dataset(10, length=20)
+        labels = dataset.labels.copy()
+        prefixes = np.full(10, 10)
+        fold = evaluate_predictions(dataset, labels, prefixes, 1.5, 0.5)
+        assert fold.accuracy == 1.0
+        assert fold.earliness == pytest.approx(0.5)
+        assert fold.harmonic_mean == pytest.approx(
+            2 * 1.0 * 0.5 / (1.0 + 0.5)
+        )
+        assert fold.train_seconds == 1.5
+        assert fold.test_seconds == 0.5
+        assert fold.n_test == 10
+
+
+class TestEvaluate:
+    def test_five_folds_by_default(self):
+        result = evaluate(ECTS, make_sinusoid_dataset(40), "ECTS")
+        assert len(result.folds) == 5
+        assert result.algorithm == "ECTS"
+        assert result.dataset == "sinusoid"
+
+    def test_means_are_fold_averages(self):
+        result = evaluate(ECTS, make_sinusoid_dataset(40), "ECTS", n_folds=3)
+        assert result.accuracy == pytest.approx(
+            np.mean([fold.accuracy for fold in result.folds])
+        )
+        assert result.earliness == pytest.approx(
+            np.mean([fold.earliness for fold in result.folds])
+        )
+
+    def test_fold_count_clamped_by_smallest_class(self):
+        # 3 instances of the minority class -> at most 3 folds.
+        dataset = make_sinusoid_dataset(24)
+        labels = np.zeros(24, dtype=int)
+        labels[:3] = 1
+        result = evaluate(ECTS, dataset.with_labels(labels), "ECTS", n_folds=5)
+        assert len(result.folds) == 3
+
+    def test_multivariate_routed_through_voting(self):
+        result = evaluate(
+            ECTS, make_sinusoid_dataset(30, n_variables=2), "ECTS", n_folds=3
+        )
+        assert 0.0 <= result.accuracy <= 1.0
+
+    def test_timings_positive(self):
+        result = evaluate(ECTS, make_sinusoid_dataset(30), "ECTS", n_folds=3)
+        assert result.train_seconds > 0
+        assert result.test_seconds > 0
+        assert result.test_seconds_per_instance > 0
+
+    def test_per_instance_latency_consistent(self):
+        result = evaluate(ECTS, make_sinusoid_dataset(30), "ECTS", n_folds=3)
+        total_test_time = sum(fold.test_seconds for fold in result.folds)
+        total_instances = sum(fold.n_test for fold in result.folds)
+        assert result.test_seconds_per_instance == pytest.approx(
+            total_test_time / total_instances
+        )
+
+    def test_dataset_of_singletons_rejected(self):
+        from repro.data import TimeSeriesDataset
+
+        dataset = TimeSeriesDataset(np.zeros((2, 4)), np.asarray([0, 1]))
+        with pytest.raises(DataError):
+            evaluate(ECTS, dataset, "ECTS", n_folds=5)

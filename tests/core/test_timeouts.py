@@ -1,0 +1,80 @@
+"""Tests for the wall-clock preemption used by the grid runner."""
+
+import time
+
+import pytest
+
+from repro.core.timeouts import EvaluationTimeout, time_limit
+from repro.exceptions import ReproError
+
+
+class TestTimeLimit:
+    def test_fast_block_unaffected(self):
+        with time_limit(5.0):
+            value = sum(range(100))
+        assert value == 4950
+
+    def test_slow_block_interrupted(self):
+        start = time.perf_counter()
+        with pytest.raises(EvaluationTimeout):
+            with time_limit(0.2):
+                while True:
+                    time.sleep(0.01)
+        assert time.perf_counter() - start < 2.0
+
+    @pytest.mark.parametrize("budget", [None, 0, -1.0, float("inf")])
+    def test_disabled_budgets_are_noops(self, budget):
+        with time_limit(budget):
+            time.sleep(0.01)
+
+    def test_timeout_is_a_repro_error(self):
+        assert issubclass(EvaluationTimeout, ReproError)
+
+    def test_timer_disarmed_after_exit(self):
+        with time_limit(0.2):
+            pass
+        # If the timer were still armed this sleep would raise.
+        time.sleep(0.3)
+
+    def test_nested_limits(self):
+        with time_limit(5.0):
+            with pytest.raises(EvaluationTimeout):
+                with time_limit(0.1):
+                    while True:
+                        time.sleep(0.01)
+            # Outer scope still intact after the inner timeout fired.
+            assert True
+
+    def test_runner_records_preempted_pair(self):
+        from repro.core import (
+            AlgorithmRegistry,
+            BenchmarkRunner,
+            DatasetRegistry,
+            EarlyClassifier,
+            EarlyPrediction,
+        )
+        from tests.conftest import make_sinusoid_dataset
+
+        class _Sleepy(EarlyClassifier):
+            supports_multivariate = True
+
+            def _train(self, dataset):
+                time.sleep(10.0)
+
+            def _predict(self, dataset):
+                return [
+                    EarlyPrediction(0, 1, dataset.length)
+                    for _ in range(dataset.n_instances)
+                ]
+
+        algorithms = AlgorithmRegistry()
+        algorithms.register("SLEEPY", _Sleepy)
+        datasets = DatasetRegistry()
+        datasets.register("toy", lambda: make_sinusoid_dataset(12))
+        runner = BenchmarkRunner(
+            algorithms, datasets, n_folds=2, time_budget_seconds=0.3
+        )
+        start = time.perf_counter()
+        report = runner.run()
+        assert time.perf_counter() - start < 5.0
+        assert ("SLEEPY", "toy") in report.failures

@@ -1,0 +1,184 @@
+"""Tests for the per-variable voting ensemble (Section 6.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import EarlyClassifier, EarlyPrediction, VotingEnsemble
+from repro.core.voting import wrap_for_dataset
+from repro.data import TimeSeriesDataset
+from tests.conftest import make_sinusoid_dataset
+
+
+class _ScriptedEarly(EarlyClassifier):
+    """Emits a scripted (label, prefix) per variable it was trained on.
+
+    The script is keyed by the variable's constant value at time 0 so each
+    ensemble member picks up its own line.
+    """
+
+    supports_multivariate = False
+    script: dict[float, tuple[int, int]] = {}
+
+    def __init__(self):
+        super().__init__()
+        self._key = 0.0
+
+    def _train(self, dataset):
+        self._key = float(dataset.values[0, 0, 0])
+
+    def _predict(self, dataset):
+        label, prefix = self.script[self._key]
+        return [
+            EarlyPrediction(label, prefix, dataset.length)
+            for _ in range(dataset.n_instances)
+        ]
+
+
+def _scripted_dataset(n_variables):
+    values = np.zeros((4, n_variables, 10))
+    for v in range(n_variables):
+        values[:, v, :] = v  # variable id encoded as the constant value
+    return TimeSeriesDataset(values, np.asarray([0, 1, 0, 1]))
+
+
+class TestVoting:
+    def _run(self, script, n_variables=3):
+        _ScriptedEarly.script = script
+        ensemble = VotingEnsemble(_ScriptedEarly)
+        dataset = _scripted_dataset(n_variables)
+        ensemble.train(dataset)
+        return ensemble.predict(dataset)[0]
+
+    def test_majority_wins(self):
+        prediction = self._run(
+            {0.0: (1, 2), 1.0: (1, 3), 2.0: (0, 4)}
+        )
+        assert prediction.label == 1
+
+    def test_worst_earliness_assigned(self):
+        prediction = self._run(
+            {0.0: (1, 2), 1.0: (1, 9), 2.0: (0, 4)}
+        )
+        # Paper: the ensemble pays the worst earliness among the voters.
+        assert prediction.prefix_length == 9
+
+    def test_tie_breaks_to_first_class_label(self):
+        prediction = self._run({0.0: (1, 2), 1.0: (0, 3)}, n_variables=2)
+        assert prediction.label == 0  # lowest label wins ties
+
+    def test_one_member_per_variable(self):
+        _ScriptedEarly.script = {0.0: (0, 1), 1.0: (0, 1)}
+        ensemble = VotingEnsemble(_ScriptedEarly)
+        ensemble.train(_scripted_dataset(2))
+        assert len(ensemble.members_) == 2
+
+    def test_univariate_dataset_works_too(self):
+        _ScriptedEarly.script = {0.0: (1, 5)}
+        ensemble = VotingEnsemble(_ScriptedEarly)
+        dataset = _scripted_dataset(1)
+        ensemble.train(dataset)
+        assert ensemble.predict(dataset)[0].label == 1
+
+
+class TestWrapForDataset:
+    def test_univariate_gets_bare_instance(self):
+        from repro.etsc import ECTS
+
+        dataset = make_sinusoid_dataset(10)
+        wrapped = wrap_for_dataset(ECTS, dataset)
+        assert isinstance(wrapped, ECTS)
+
+    def test_multivariate_univariate_algorithm_gets_ensemble(self):
+        from repro.etsc import ECTS
+
+        dataset = make_sinusoid_dataset(10, n_variables=2)
+        wrapped = wrap_for_dataset(ECTS, dataset)
+        assert isinstance(wrapped, VotingEnsemble)
+
+    def test_multivariate_capable_algorithm_stays_bare(self):
+        from repro.etsc import s_weasel
+
+        dataset = make_sinusoid_dataset(10, n_variables=2)
+        wrapped = wrap_for_dataset(s_weasel, dataset)
+        from repro.etsc import STRUT
+
+        assert isinstance(wrapped, STRUT)
+
+    def test_end_to_end_voting_with_real_algorithm(self):
+        from repro.core.prediction import collect_predictions
+        from repro.etsc import ECTS
+        from repro.stats import accuracy
+
+        dataset = make_sinusoid_dataset(40, n_variables=2)
+        ensemble = VotingEnsemble(ECTS)
+        ensemble.train(dataset)
+        labels, _ = collect_predictions(ensemble.predict(dataset))
+        assert accuracy(dataset.labels, labels) > 0.8
+
+
+class TestAlternativeSchemes:
+    """The future-work voting schemes: confidence-weighted and earliest."""
+
+    def _scripted(self, script, scheme, n_variables=3):
+        _ScriptedEarly.script = script
+        ensemble = VotingEnsemble(_ScriptedEarly, scheme=scheme)
+        dataset = _scripted_dataset(n_variables)
+        ensemble.train(dataset)
+        return ensemble.predict(dataset)[0]
+
+    def test_unknown_scheme_rejected(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            VotingEnsemble(_ScriptedEarly, scheme="plurality")
+
+    def test_confidence_scheme_defaults_to_half(self):
+        # Scripted members report no confidence -> all weigh 0.5, so the
+        # confidence scheme reduces to majority.
+        prediction = self._scripted(
+            {0.0: (1, 2), 1.0: (1, 3), 2.0: (0, 4)}, "confidence"
+        )
+        assert prediction.label == 1
+        assert prediction.prefix_length == 4  # still worst earliness
+
+    def test_earliest_scheme_takes_fastest_voter(self):
+        prediction = self._scripted(
+            {0.0: (1, 7), 1.0: (0, 2), 2.0: (1, 9)}, "earliest"
+        )
+        assert prediction.label == 0
+        assert prediction.prefix_length == 2
+
+    def test_earliest_never_later_than_majority(self):
+        from repro.core.prediction import collect_predictions
+        from repro.etsc import ECTS
+
+        dataset = make_sinusoid_dataset(30, n_variables=3)
+        majority = VotingEnsemble(ECTS, scheme="majority")
+        majority.train(dataset)
+        earliest = VotingEnsemble(ECTS, scheme="earliest")
+        earliest.train(dataset)
+        _, majority_prefixes = collect_predictions(majority.predict(dataset))
+        _, earliest_prefixes = collect_predictions(earliest.predict(dataset))
+        assert earliest_prefixes.mean() <= majority_prefixes.mean() + 1e-9
+
+    def test_confidence_weighted_overrides_count(self):
+        class _Confident(_ScriptedEarly):
+            def _predict(self, dataset):
+                label, prefix = self.script[self._key]
+                confidence = 0.95 if label == 1 else 0.1
+                from repro.core import EarlyPrediction
+
+                return [
+                    EarlyPrediction(
+                        label, prefix, dataset.length, confidence=confidence
+                    )
+                    for _ in range(dataset.n_instances)
+                ]
+
+        _Confident.script = {0.0: (0, 2), 1.0: (0, 3), 2.0: (1, 4)}
+        ensemble = VotingEnsemble(_Confident, scheme="confidence")
+        dataset = _scripted_dataset(3)
+        ensemble.train(dataset)
+        # Two low-confidence votes for 0 (0.2 total) lose to one
+        # high-confidence vote for 1 (0.95).
+        assert ensemble.predict(dataset)[0].label == 1

@@ -1,0 +1,164 @@
+"""Tests for the time-series augmentation toolkit."""
+
+import numpy as np
+import pytest
+
+from repro.data.augmentation import (
+    augment,
+    jitter,
+    scale,
+    time_warp,
+    window_slice,
+)
+from repro.exceptions import ConfigurationError
+from tests.conftest import make_sinusoid_dataset
+
+
+@pytest.fixture
+def dataset():
+    return make_sinusoid_dataset(16, length=24, n_variables=2)
+
+
+class TestShapesAndLabels:
+    @pytest.mark.parametrize(
+        "transform", [jitter, scale, time_warp, window_slice]
+    )
+    def test_shape_and_labels_preserved(self, dataset, transform):
+        out = transform(dataset, seed=0)
+        assert out.values.shape == dataset.values.shape
+        np.testing.assert_array_equal(out.labels, dataset.labels)
+        assert out.name == dataset.name
+
+    @pytest.mark.parametrize(
+        "transform", [jitter, scale, time_warp, window_slice]
+    )
+    def test_deterministic_per_seed(self, dataset, transform):
+        first = transform(dataset, seed=5)
+        second = transform(dataset, seed=5)
+        np.testing.assert_array_equal(first.values, second.values)
+        third = transform(dataset, seed=6)
+        assert not np.array_equal(first.values, third.values)
+
+
+class TestJitter:
+    def test_zero_strength_is_identity(self, dataset):
+        out = jitter(dataset, strength=0.0)
+        np.testing.assert_array_equal(out.values, dataset.values)
+
+    def test_noise_scales_with_strength(self, dataset):
+        weak = jitter(dataset, strength=0.01, seed=0)
+        strong = jitter(dataset, strength=0.5, seed=0)
+        weak_delta = np.abs(weak.values - dataset.values).mean()
+        strong_delta = np.abs(strong.values - dataset.values).mean()
+        assert strong_delta > 10 * weak_delta
+
+    def test_negative_strength_rejected(self, dataset):
+        with pytest.raises(ConfigurationError):
+            jitter(dataset, strength=-0.1)
+
+
+class TestScale:
+    def test_factors_within_bounds(self, dataset):
+        out = scale(dataset, low=0.5, high=2.0, seed=0)
+        ratios = out.values / np.where(
+            np.abs(dataset.values) < 1e-12, 1.0, dataset.values
+        )
+        finite = ratios[np.abs(dataset.values) > 1e-6]
+        assert finite.min() >= 0.5 - 1e-9
+        assert finite.max() <= 2.0 + 1e-9
+
+    def test_bad_bounds_rejected(self, dataset):
+        with pytest.raises(ConfigurationError):
+            scale(dataset, low=0.0, high=1.0)
+        with pytest.raises(ConfigurationError):
+            scale(dataset, low=1.5, high=1.0)
+
+
+class TestTimeWarp:
+    def test_endpoints_preserved(self, dataset):
+        out = time_warp(dataset, strength=0.3, seed=0)
+        np.testing.assert_allclose(
+            out.values[:, :, 0], dataset.values[:, :, 0]
+        )
+        np.testing.assert_allclose(
+            out.values[:, :, -1], dataset.values[:, :, -1]
+        )
+
+    def test_value_range_preserved(self, dataset):
+        """Interpolation cannot exceed the original value range."""
+        out = time_warp(dataset, strength=0.4, seed=1)
+        for i in range(dataset.n_instances):
+            for v in range(dataset.n_variables):
+                original = dataset.values[i, v]
+                assert out.values[i, v].min() >= original.min() - 1e-9
+                assert out.values[i, v].max() <= original.max() + 1e-9
+
+    def test_bad_knots_rejected(self, dataset):
+        with pytest.raises(ConfigurationError):
+            time_warp(dataset, knots=1)
+
+
+class TestWindowSlice:
+    def test_full_fraction_is_identity(self, dataset):
+        out = window_slice(dataset, fraction=1.0, seed=0)
+        np.testing.assert_allclose(out.values, dataset.values)
+
+    def test_values_within_source_range(self, dataset):
+        out = window_slice(dataset, fraction=0.5, seed=2)
+        for i in range(dataset.n_instances):
+            original = dataset.values[i]
+            assert out.values[i].min() >= original.min() - 1e-9
+            assert out.values[i].max() <= original.max() + 1e-9
+
+    @pytest.mark.parametrize("fraction", [0.0, 1.5])
+    def test_bad_fraction_rejected(self, dataset, fraction):
+        with pytest.raises(ConfigurationError):
+            window_slice(dataset, fraction=fraction)
+
+
+class TestAugment:
+    def test_instance_multiplication(self, dataset):
+        out = augment(dataset, transforms=(jitter, scale), n_rounds=2)
+        assert out.n_instances == dataset.n_instances * (1 + 2 * 2)
+
+    def test_original_instances_lead(self, dataset):
+        out = augment(dataset, transforms=(jitter,), n_rounds=1)
+        np.testing.assert_array_equal(
+            out.values[: dataset.n_instances], dataset.values
+        )
+
+    def test_augmented_training_remains_learnable(self, dataset):
+        """Label-preserving augmentation must not destroy the class signal.
+
+        Uses a boosted learner: 1-NN-family algorithms (ECTS) are
+        legitimately *harmed* by near-duplicate augmented twins, whose
+        presence makes RNN sets stable from prefix 1 and collapses MPLs —
+        worth knowing, and covered by the docstring warning below.
+        """
+        from repro.data import train_test_split
+        from repro.etsc import FixedPrefix
+        from repro.core.prediction import collect_predictions
+        from repro.stats import accuracy
+
+        train, test = train_test_split(
+            make_sinusoid_dataset(40, length=24), 0.3
+        )
+        boosted = FixedPrefix(fraction=1.0).train(
+            augment(train, transforms=(jitter, time_warp), n_rounds=1)
+        )
+        boosted_labels, _ = collect_predictions(boosted.predict(test))
+        assert accuracy(test.labels, boosted_labels) > 0.8
+
+    def test_near_duplicates_break_nn_family_early_stopping(self):
+        """Documented hazard: jittered twins collapse ECTS MPLs to ~1."""
+        from repro.etsc import ECTS
+
+        dataset = make_sinusoid_dataset(28, length=24)
+        model = ECTS().train(
+            augment(dataset, transforms=(jitter,), n_rounds=1)
+        )
+        assert model._mpl.mean() < 5
+
+    def test_empty_transforms_rejected(self, dataset):
+        with pytest.raises(ConfigurationError):
+            augment(dataset, transforms=())

@@ -1,0 +1,159 @@
+"""Tests for the TimeSeriesDataset container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import TimeSeriesDataset
+from repro.exceptions import DataError
+
+
+class TestConstruction:
+    def test_univariate_shorthand_adds_variable_axis(self):
+        ds = TimeSeriesDataset(np.zeros((4, 7)), np.zeros(4, dtype=int))
+        assert ds.values.shape == (4, 1, 7)
+        assert ds.is_univariate
+
+    def test_three_dimensional_input_kept(self):
+        ds = TimeSeriesDataset(np.zeros((4, 3, 7)), np.zeros(4, dtype=int))
+        assert (ds.n_instances, ds.n_variables, ds.length) == (4, 3, 7)
+        assert not ds.is_univariate
+
+    def test_rejects_one_dimensional_values(self):
+        with pytest.raises(DataError, match="2-D or 3-D"):
+            TimeSeriesDataset(np.zeros(5), np.zeros(5, dtype=int))
+
+    def test_rejects_label_count_mismatch(self):
+        with pytest.raises(DataError, match="labels"):
+            TimeSeriesDataset(np.zeros((4, 7)), np.zeros(3, dtype=int))
+
+    def test_rejects_empty_dataset(self):
+        with pytest.raises(DataError):
+            TimeSeriesDataset(np.zeros((0, 7)), np.zeros(0, dtype=int))
+
+    def test_rejects_zero_length_series(self):
+        with pytest.raises(DataError):
+            TimeSeriesDataset(np.zeros((4, 0)), np.zeros(4, dtype=int))
+
+    def test_rejects_non_integer_labels(self):
+        with pytest.raises(DataError, match="integer"):
+            TimeSeriesDataset(np.zeros((2, 3)), np.asarray([0.5, 1.0]))
+
+    def test_float_valued_integer_labels_accepted(self):
+        ds = TimeSeriesDataset(np.zeros((2, 3)), np.asarray([0.0, 1.0]))
+        assert ds.labels.dtype.kind == "i"
+
+    def test_classes_sorted_unique(self):
+        ds = TimeSeriesDataset(np.zeros((4, 3)), np.asarray([3, 1, 3, 1]))
+        assert ds.classes.tolist() == [1, 3]
+        assert ds.n_classes == 2
+
+
+class TestAccessors:
+    def test_len_and_iteration(self, sinusoid_dataset):
+        assert len(sinusoid_dataset) == sinusoid_dataset.n_instances
+        pairs = list(sinusoid_dataset)
+        assert len(pairs) == len(sinusoid_dataset)
+        series, label = pairs[0]
+        assert series.shape == (1, sinusoid_dataset.length)
+        assert label in sinusoid_dataset.classes
+
+    def test_class_counts(self):
+        ds = TimeSeriesDataset(np.zeros((5, 3)), np.asarray([0, 0, 0, 1, 1]))
+        assert ds.class_counts() == {0: 3, 1: 2}
+
+    def test_class_imbalance_ratio(self):
+        ds = TimeSeriesDataset(np.zeros((6, 3)), np.asarray([0] * 4 + [1] * 2))
+        assert ds.class_imbalance_ratio() == pytest.approx(2.0)
+
+    def test_coefficient_of_variation_constant_series(self):
+        ds = TimeSeriesDataset(np.ones((3, 4)), np.asarray([0, 1, 0]))
+        assert ds.coefficient_of_variation() == pytest.approx(0.0)
+
+    def test_coefficient_of_variation_zero_mean_is_inf(self):
+        values = np.asarray([[1.0, -1.0], [1.0, -1.0]])
+        ds = TimeSeriesDataset(values, np.asarray([0, 1]))
+        assert ds.coefficient_of_variation() == np.inf
+
+    def test_has_missing(self):
+        values = np.zeros((2, 4))
+        values[0, 1] = np.nan
+        ds = TimeSeriesDataset(values, np.asarray([0, 1]))
+        assert ds.has_missing()
+
+
+class TestDerivedDatasets:
+    def test_select_keeps_metadata(self, sinusoid_dataset):
+        subset = sinusoid_dataset.select([0, 2, 4])
+        assert subset.n_instances == 3
+        assert subset.name == sinusoid_dataset.name
+        np.testing.assert_array_equal(
+            subset.values[1], sinusoid_dataset.values[2]
+        )
+
+    def test_truncate_prefix(self, sinusoid_dataset):
+        truncated = sinusoid_dataset.truncate(10)
+        assert truncated.length == 10
+        np.testing.assert_array_equal(
+            truncated.values, sinusoid_dataset.values[:, :, :10]
+        )
+
+    def test_truncate_full_length_is_identity(self, sinusoid_dataset):
+        truncated = sinusoid_dataset.truncate(sinusoid_dataset.length)
+        np.testing.assert_array_equal(truncated.values, sinusoid_dataset.values)
+
+    @pytest.mark.parametrize("bad", [0, -1, 1000])
+    def test_truncate_rejects_out_of_range(self, sinusoid_dataset, bad):
+        with pytest.raises(DataError):
+            sinusoid_dataset.truncate(bad)
+
+    def test_variable_extraction(self, multivariate_dataset):
+        single = multivariate_dataset.variable(1)
+        assert single.is_univariate
+        np.testing.assert_array_equal(
+            single.values[:, 0, :], multivariate_dataset.values[:, 1, :]
+        )
+
+    def test_variable_rejects_out_of_range(self, multivariate_dataset):
+        with pytest.raises(DataError):
+            multivariate_dataset.variable(99)
+
+    def test_with_labels(self, sinusoid_dataset):
+        new_labels = np.zeros(sinusoid_dataset.n_instances, dtype=int)
+        new_labels[0] = 1
+        replaced = sinusoid_dataset.with_labels(new_labels)
+        assert replaced.labels[0] == 1
+        np.testing.assert_array_equal(replaced.values, sinusoid_dataset.values)
+
+    def test_concatenate(self, sinusoid_dataset):
+        doubled = sinusoid_dataset.concatenate(sinusoid_dataset)
+        assert doubled.n_instances == 2 * sinusoid_dataset.n_instances
+
+    def test_concatenate_rejects_shape_mismatch(self, sinusoid_dataset):
+        other = sinusoid_dataset.truncate(5)
+        with pytest.raises(DataError):
+            sinusoid_dataset.concatenate(other)
+
+
+class TestProperties:
+    @given(
+        n=st.integers(1, 12),
+        v=st.integers(1, 3),
+        length=st.integers(1, 20),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_shape_roundtrip(self, n, v, length):
+        values = np.zeros((n, v, length))
+        ds = TimeSeriesDataset(values, np.zeros(n, dtype=int))
+        assert (ds.n_instances, ds.n_variables, ds.length) == (n, v, length)
+
+    @given(prefix=st.integers(1, 20), length=st.integers(1, 20))
+    @settings(max_examples=30, deadline=None)
+    def test_truncate_length_invariant(self, prefix, length):
+        ds = TimeSeriesDataset(np.zeros((3, length)), np.zeros(3, dtype=int))
+        if 1 <= prefix <= length:
+            assert ds.truncate(prefix).length == prefix
+        else:
+            with pytest.raises(DataError):
+                ds.truncate(prefix)

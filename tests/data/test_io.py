@@ -1,0 +1,188 @@
+"""Tests for CSV/ARFF loading and saving (the Section 5.5 formats)."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    TimeSeriesDataset,
+    load_arff,
+    load_csv,
+    load_multivariate_csv,
+    save_arff,
+    save_csv,
+)
+from repro.exceptions import DataFormatError
+
+
+@pytest.fixture
+def univariate_file(tmp_path):
+    path = tmp_path / "series.csv"
+    path.write_text("0,1.0,2.0,3.0\n1,4.0,5.0,6.0\n")
+    return path
+
+
+class TestCsv:
+    def test_load_basic(self, univariate_file):
+        ds = load_csv(univariate_file)
+        assert (ds.n_instances, ds.n_variables, ds.length) == (2, 1, 3)
+        assert ds.labels.tolist() == [0, 1]
+        assert ds.name == "series"
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.csv"
+        path.write_text("0,1,2\n\n1,3,4\n\n")
+        assert load_csv(path).n_instances == 2
+
+    def test_missing_values_become_nan(self, tmp_path):
+        path = tmp_path / "missing.csv"
+        path.write_text("0,1.0,,3.0\n1,4.0,5.0,6.0\n")
+        ds = load_csv(path)
+        assert np.isnan(ds.values[0, 0, 1])
+
+    def test_question_mark_is_missing(self, tmp_path):
+        path = tmp_path / "missing.csv"
+        path.write_text("0,1.0,?,3.0\n1,4.0,5.0,6.0\n")
+        assert np.isnan(load_csv(path).values[0, 0, 1])
+
+    def test_rejects_non_integer_label(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("0.5,1,2\n")
+        with pytest.raises(DataFormatError, match="label"):
+            load_csv(path)
+
+    def test_rejects_ragged_rows(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("0,1,2\n1,3,4,5\n")
+        with pytest.raises(DataFormatError, match="inconsistent"):
+            load_csv(path)
+
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DataFormatError, match="no data"):
+            load_csv(path)
+
+    def test_rejects_unparseable_value(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("0,1,banana\n")
+        with pytest.raises(DataFormatError, match="banana"):
+            load_csv(path)
+
+    def test_roundtrip(self, tmp_path, sinusoid_dataset):
+        path = tmp_path / "roundtrip.csv"
+        save_csv(sinusoid_dataset, path)
+        loaded = load_csv(path)
+        np.testing.assert_allclose(
+            loaded.values, sinusoid_dataset.values, rtol=1e-12
+        )
+        np.testing.assert_array_equal(loaded.labels, sinusoid_dataset.labels)
+
+    def test_roundtrip_preserves_nan(self, tmp_path):
+        values = np.asarray([[1.0, np.nan], [3.0, 4.0]])
+        ds = TimeSeriesDataset(values, np.asarray([0, 1]))
+        path = tmp_path / "nan.csv"
+        save_csv(ds, path)
+        assert np.isnan(load_csv(path).values[0, 0, 1])
+
+
+class TestMultivariateCsv:
+    def test_stitches_variables(self, tmp_path):
+        (tmp_path / "a.csv").write_text("0,1,2\n1,3,4\n")
+        (tmp_path / "b.csv").write_text("0,5,6\n1,7,8\n")
+        ds = load_multivariate_csv(
+            [tmp_path / "a.csv", tmp_path / "b.csv"], name="mv"
+        )
+        assert ds.n_variables == 2
+        assert ds.values[0, 1, 0] == 5.0
+
+    def test_rejects_label_mismatch(self, tmp_path):
+        (tmp_path / "a.csv").write_text("0,1,2\n1,3,4\n")
+        (tmp_path / "b.csv").write_text("1,5,6\n0,7,8\n")
+        with pytest.raises(DataFormatError, match="labels"):
+            load_multivariate_csv([tmp_path / "a.csv", tmp_path / "b.csv"])
+
+    def test_rejects_shape_mismatch(self, tmp_path):
+        (tmp_path / "a.csv").write_text("0,1,2\n")
+        (tmp_path / "b.csv").write_text("0,1,2,3\n")
+        with pytest.raises(DataFormatError, match="shape"):
+            load_multivariate_csv([tmp_path / "a.csv", tmp_path / "b.csv"])
+
+    def test_rejects_empty_path_list(self):
+        with pytest.raises(DataFormatError):
+            load_multivariate_csv([])
+
+
+class TestArff:
+    def test_load_nominal_class(self, tmp_path):
+        path = tmp_path / "data.arff"
+        path.write_text(
+            "@relation demo\n"
+            "@attribute t0 numeric\n"
+            "@attribute t1 numeric\n"
+            "@attribute class {neg,pos}\n"
+            "@data\n"
+            "1.0,2.0,neg\n"
+            "3.0,4.0,pos\n"
+        )
+        ds = load_arff(path)
+        assert ds.labels.tolist() == [0, 1]
+        assert ds.length == 2
+
+    def test_load_numeric_class_and_comments(self, tmp_path):
+        path = tmp_path / "data.arff"
+        path.write_text(
+            "% a comment\n"
+            "@relation demo\n"
+            "@attribute t0 numeric\n"
+            "@attribute class numeric\n"
+            "@data\n"
+            "1.0,1\n"
+            "2.0,0\n"
+        )
+        assert load_arff(path).labels.tolist() == [1, 0]
+
+    def test_missing_marker_in_data(self, tmp_path):
+        path = tmp_path / "data.arff"
+        path.write_text(
+            "@relation demo\n"
+            "@attribute t0 numeric\n"
+            "@attribute t1 numeric\n"
+            "@attribute class {a,b}\n"
+            "@data\n"
+            "?,2.0,a\n"
+            "1.0,2.0,b\n"
+        )
+        assert np.isnan(load_arff(path).values[0, 0, 0])
+
+    def test_rejects_unknown_nominal_value(self, tmp_path):
+        path = tmp_path / "data.arff"
+        path.write_text(
+            "@relation demo\n"
+            "@attribute t0 numeric\n"
+            "@attribute class {a,b}\n"
+            "@data\n"
+            "1.0,c\n"
+        )
+        with pytest.raises(DataFormatError, match="unknown class"):
+            load_arff(path)
+
+    def test_rejects_cell_count_mismatch(self, tmp_path):
+        path = tmp_path / "data.arff"
+        path.write_text(
+            "@relation demo\n"
+            "@attribute t0 numeric\n"
+            "@attribute class {a,b}\n"
+            "@data\n"
+            "1.0,2.0,a\n"
+        )
+        with pytest.raises(DataFormatError, match="cells"):
+            load_arff(path)
+
+    def test_roundtrip(self, tmp_path, sinusoid_dataset):
+        path = tmp_path / "roundtrip.arff"
+        save_arff(sinusoid_dataset, path)
+        loaded = load_arff(path)
+        np.testing.assert_allclose(
+            loaded.values, sinusoid_dataset.values, rtol=1e-12
+        )
+        np.testing.assert_array_equal(loaded.labels, sinusoid_dataset.labels)

@@ -1,0 +1,128 @@
+"""Tests for missing-value filling, z-normalisation, and label encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    LabelEncoder,
+    TimeSeriesDataset,
+    fill_missing,
+    fill_missing_array,
+    z_normalize,
+    z_normalize_dataset,
+)
+from repro.exceptions import DataError
+
+
+class TestFillMissing:
+    def test_interior_gap_takes_bracket_mean(self):
+        filled = fill_missing_array(np.asarray([1.0, np.nan, 3.0]))
+        np.testing.assert_allclose(filled, [1.0, 2.0, 3.0])
+
+    def test_multi_point_gap_uniform_fill(self):
+        filled = fill_missing_array(np.asarray([2.0, np.nan, np.nan, 6.0]))
+        np.testing.assert_allclose(filled, [2.0, 4.0, 4.0, 6.0])
+
+    def test_leading_gap_clamps_forward(self):
+        filled = fill_missing_array(np.asarray([np.nan, np.nan, 5.0]))
+        np.testing.assert_allclose(filled, [5.0, 5.0, 5.0])
+
+    def test_trailing_gap_clamps_backward(self):
+        filled = fill_missing_array(np.asarray([5.0, np.nan, np.nan]))
+        np.testing.assert_allclose(filled, [5.0, 5.0, 5.0])
+
+    def test_all_nan_becomes_zeros(self):
+        filled = fill_missing_array(np.asarray([np.nan, np.nan]))
+        np.testing.assert_allclose(filled, [0.0, 0.0])
+
+    def test_no_missing_passthrough(self):
+        original = np.asarray([1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(fill_missing_array(original), original)
+
+    def test_dataset_level_fill(self):
+        values = np.asarray([[[1.0, np.nan, 3.0]], [[2.0, 2.0, 2.0]]])
+        ds = TimeSeriesDataset(values, np.asarray([0, 1]))
+        filled = fill_missing(ds)
+        assert not filled.has_missing()
+        assert filled.values[0, 0, 1] == pytest.approx(2.0)
+
+    def test_dataset_without_missing_returned_unchanged(self):
+        ds = TimeSeriesDataset(np.ones((2, 3)), np.asarray([0, 1]))
+        assert fill_missing(ds) is ds
+
+    @given(
+        st.lists(
+            st.one_of(st.none(), st.floats(-100, 100)), min_size=1, max_size=30
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_fill_never_leaves_nan(self, raw):
+        series = np.asarray(
+            [np.nan if value is None else value for value in raw]
+        )
+        assert not np.isnan(fill_missing_array(series)).any()
+
+    @given(st.lists(st.floats(-50, 50), min_size=3, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_fill_stays_within_observed_range(self, observed):
+        series = np.asarray(observed)
+        series[1] = np.nan
+        filled = fill_missing_array(series)
+        finite = np.asarray(observed)[np.asarray([0, 2])]
+        assert filled[1] >= min(finite) - 1e-9
+        assert filled[1] <= max(finite) + 1e-9
+
+
+class TestZNormalize:
+    def test_zero_mean_unit_std(self, rng):
+        series = rng.normal(5.0, 3.0, size=100)
+        normalized = z_normalize(series)
+        assert normalized.mean() == pytest.approx(0.0, abs=1e-9)
+        assert normalized.std() == pytest.approx(1.0, abs=1e-9)
+
+    def test_constant_series_maps_to_zero(self):
+        np.testing.assert_allclose(z_normalize(np.full(5, 7.0)), np.zeros(5))
+
+    def test_batched_normalisation_is_per_row(self, rng):
+        matrix = rng.normal(size=(4, 50)) * np.asarray([[1], [10], [100], [1000]])
+        normalized = z_normalize(matrix)
+        np.testing.assert_allclose(normalized.std(axis=1), 1.0, atol=1e-9)
+
+    def test_dataset_normalisation(self, multivariate_dataset):
+        normalized = z_normalize_dataset(multivariate_dataset)
+        means = normalized.values.mean(axis=2)
+        np.testing.assert_allclose(means, 0.0, atol=1e-9)
+
+
+class TestLabelEncoder:
+    def test_roundtrip(self):
+        encoder = LabelEncoder()
+        labels = np.asarray([5, 2, 5, 9])
+        encoded = encoder.fit_transform(labels)
+        assert encoded.tolist() == [1, 0, 1, 2]
+        np.testing.assert_array_equal(
+            encoder.inverse_transform(encoded), labels
+        )
+
+    def test_unknown_label_rejected(self):
+        encoder = LabelEncoder().fit(np.asarray([0, 1]))
+        with pytest.raises(DataError, match="unknown"):
+            encoder.transform(np.asarray([2]))
+
+    def test_use_before_fit_rejected(self):
+        with pytest.raises(DataError):
+            LabelEncoder().transform(np.asarray([0]))
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, raw):
+        labels = np.asarray(raw)
+        encoder = LabelEncoder()
+        encoded = encoder.fit_transform(labels)
+        assert encoded.min() >= 0
+        assert encoded.max() < len(np.unique(labels))
+        np.testing.assert_array_equal(
+            encoder.inverse_transform(encoded), labels
+        )

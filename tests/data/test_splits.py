@@ -1,0 +1,132 @@
+"""Tests for stratified k-fold and holdout splitting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    TimeSeriesDataset,
+    stratified_indices,
+    stratified_k_fold,
+    train_test_split,
+)
+from repro.exceptions import DataError
+
+
+def _dataset_with_labels(labels):
+    labels = np.asarray(labels)
+    return TimeSeriesDataset(
+        np.arange(len(labels) * 4, dtype=float).reshape(len(labels), 4),
+        labels,
+    )
+
+
+class TestStratifiedIndices:
+    def test_folds_partition_all_indices(self):
+        labels = np.asarray([0] * 10 + [1] * 10)
+        folds = stratified_indices(labels, 5, seed=1)
+        merged = np.sort(np.concatenate(folds))
+        np.testing.assert_array_equal(merged, np.arange(20))
+
+    def test_folds_are_stratified(self):
+        labels = np.asarray([0] * 10 + [1] * 5)
+        folds = stratified_indices(labels, 5, seed=1)
+        for fold in folds:
+            assert (labels[fold] == 0).sum() == 2
+            assert (labels[fold] == 1).sum() == 1
+
+    def test_deterministic_given_seed(self):
+        labels = np.asarray([0, 1] * 10)
+        first = stratified_indices(labels, 4, seed=7)
+        second = stratified_indices(labels, 4, seed=7)
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+
+    def test_different_seed_changes_assignment(self):
+        labels = np.asarray([0, 1] * 20)
+        first = stratified_indices(labels, 4, seed=1)
+        second = stratified_indices(labels, 4, seed=2)
+        assert any(
+            not np.array_equal(a, b) for a, b in zip(first, second)
+        )
+
+    @pytest.mark.parametrize("n_folds", [0, 1])
+    def test_rejects_too_few_folds(self, n_folds):
+        with pytest.raises(DataError):
+            stratified_indices(np.asarray([0, 1]), n_folds)
+
+    def test_rejects_more_folds_than_instances(self):
+        with pytest.raises(DataError):
+            stratified_indices(np.asarray([0, 1]), 3)
+
+    @given(
+        n_per_class=st.integers(3, 15),
+        n_classes=st.integers(2, 4),
+        n_folds=st.integers(2, 5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_partition_property(self, n_per_class, n_classes, n_folds):
+        labels = np.repeat(np.arange(n_classes), n_per_class)
+        folds = stratified_indices(labels, n_folds, seed=0)
+        merged = np.sort(np.concatenate(folds))
+        np.testing.assert_array_equal(merged, np.arange(len(labels)))
+        sizes = [len(fold) for fold in folds]
+        assert max(sizes) - min(sizes) <= n_classes
+
+
+class TestStratifiedKFold:
+    def test_yields_k_pairs_covering_everything(self):
+        ds = _dataset_with_labels([0] * 6 + [1] * 6)
+        pairs = list(stratified_k_fold(ds, 3, seed=0))
+        assert len(pairs) == 3
+        for train, test in pairs:
+            assert train.n_instances + test.n_instances == ds.n_instances
+
+    def test_test_sets_disjoint(self):
+        ds = _dataset_with_labels([0] * 6 + [1] * 6)
+        seen: set[float] = set()
+        for _, test in stratified_k_fold(ds, 3, seed=0):
+            signatures = {float(row[0, 0]) for row, _ in test}
+            assert not (signatures & seen)
+            seen |= signatures
+
+    def test_both_classes_in_every_fold(self):
+        ds = _dataset_with_labels([0] * 10 + [1] * 5)
+        for train, test in stratified_k_fold(ds, 5, seed=0):
+            assert train.n_classes == 2
+            assert test.n_classes == 2
+
+
+class TestTrainTestSplit:
+    def test_sizes_roughly_match_fraction(self):
+        ds = _dataset_with_labels([0] * 40 + [1] * 40)
+        train, test = train_test_split(ds, 0.25, seed=0)
+        assert test.n_instances == 20
+        assert train.n_instances == 60
+
+    def test_stratification_preserved(self):
+        ds = _dataset_with_labels([0] * 30 + [1] * 10)
+        train, test = train_test_split(ds, 0.25, seed=0)
+        assert (test.labels == 1).sum() >= 1
+        assert (train.labels == 1).sum() >= 1
+
+    def test_singleton_class_goes_to_train(self):
+        ds = _dataset_with_labels([0] * 10 + [1])
+        train, test = train_test_split(ds, 0.3, seed=0)
+        assert 1 in train.labels
+        assert 1 not in test.labels
+
+    @pytest.mark.parametrize("fraction", [0.0, 1.0, -0.5, 2.0])
+    def test_rejects_bad_fraction(self, fraction):
+        ds = _dataset_with_labels([0, 1, 0, 1])
+        with pytest.raises(DataError):
+            train_test_split(ds, fraction)
+
+    def test_no_instance_in_both_sides(self):
+        ds = _dataset_with_labels([0] * 20 + [1] * 20)
+        train, test = train_test_split(ds, 0.3, seed=3)
+        train_ids = {float(row[0, 0]) for row, _ in train}
+        test_ids = {float(row[0, 0]) for row, _ in test}
+        assert not (train_ids & test_ids)
+        assert len(train_ids | test_ids) == ds.n_instances

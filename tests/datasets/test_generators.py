@@ -1,0 +1,203 @@
+"""Tests for the twelve synthetic dataset generators.
+
+The key property: at ``scale=1`` every generator reproduces its dataset's
+published shape statistics and therefore its Table 3 category assignment.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import canonical_categories, categorize
+from repro.datasets import biological, maritime, synthetic, ucr
+from repro.exceptions import DataError, RegistryError
+
+
+class TestSyntheticToolkit:
+    def test_scaled_count_floor(self):
+        assert synthetic.scaled_count(100, 0.001, minimum=8) == 8
+        assert synthetic.scaled_count(100, 0.5) == 50
+
+    def test_scaled_count_rejects_non_positive(self):
+        with pytest.raises(DataError):
+            synthetic.scaled_count(100, 0.0)
+
+    def test_allocate_labels_proportions(self, rng):
+        labels = synthetic.allocate_labels(100, [3, 1], rng)
+        counts = np.bincount(labels)
+        assert counts[0] == 75
+        assert counts[1] == 25
+
+    def test_allocate_labels_min_two_per_class(self, rng):
+        labels = synthetic.allocate_labels(20, [50, 1], rng)
+        assert (np.bincount(labels) >= 2).all()
+
+    def test_allocate_labels_sum(self, rng):
+        labels = synthetic.allocate_labels(33, [1, 1, 1], rng)
+        assert len(labels) == 33
+
+    def test_pulse_train_nonnegative_levels(self, rng):
+        series = synthetic.pulse_train(50, 3, 5, 10.0, rng, base=1.0)
+        assert (series >= 1.0).all()
+
+    def test_transient_burst_peaks_at_center(self):
+        burst = synthetic.transient_burst(50, center=20.0, rise=2.0,
+                                          decay=5.0, amplitude=3.0)
+        assert burst.argmax() == 20
+        assert burst.max() == pytest.approx(3.0)
+
+    def test_daily_profile_peak_positions(self):
+        profile = synthetic.daily_profile(100, [(0.3, 0.05, 10.0)], base=1.0)
+        assert abs(profile.argmax() - 30) <= 1
+
+    def test_linear_trend_onset(self):
+        trend = synthetic.linear_trend(10, slope=2.0, onset=0.5)
+        assert trend[4] == 0.0
+        assert trend[9] == pytest.approx(2.0 * 4.0)
+
+
+class TestBiological:
+    def test_published_shape(self):
+        dataset = biological.generate(scale=1.0, seed=0)
+        assert dataset.n_instances == 644
+        assert dataset.n_variables == 3
+        assert dataset.length == 48
+
+    def test_table3_category(self):
+        dataset = biological.generate(scale=1.0, seed=0)
+        assert categorize(dataset).names() == list(
+            canonical_categories("Biological").names()
+        )
+
+    def test_imbalance_near_published(self):
+        dataset = biological.generate(scale=1.0, seed=0)
+        interesting = (dataset.labels == 1).mean()
+        assert 0.1 < interesting < 0.35
+
+    def test_counts_nonnegative(self):
+        dataset = biological.generate(scale=0.2, seed=1)
+        assert (dataset.values >= 0).all()
+
+    def test_necrotic_and_apoptotic_monotone_modulo_noise(self):
+        series, _ = biological.simulate_treatment(np.random.default_rng(0))
+        # Cumulative counts: large decreases impossible (noise is ±sigma).
+        assert (np.diff(series[1]) > -20).all()
+        assert (np.diff(series[2]) > -20).all()
+
+    def test_interesting_runs_show_shrinkage(self):
+        dataset = biological.generate(scale=0.5, seed=2)
+        alive = dataset.values[:, 0, :]
+        interesting = dataset.labels == 1
+        shrink = alive[:, -1] / alive.max(axis=1)
+        assert shrink[interesting].mean() < shrink[~interesting].mean()
+
+    def test_classes_similar_early(self):
+        # Section 5.2: classes are hard to tell apart in the first ~30%.
+        dataset = biological.generate(scale=1.0, seed=0)
+        early = dataset.values[:, 0, :8].mean(axis=1)
+        interesting = dataset.labels == 1
+        gap = abs(early[interesting].mean() - early[~interesting].mean())
+        assert gap < 0.15 * early.mean()
+
+    def test_scale_and_seed(self):
+        small = biological.generate(scale=0.1, seed=0)
+        assert small.n_instances == 64
+        again = biological.generate(scale=0.1, seed=0)
+        np.testing.assert_array_equal(small.values, again.values)
+
+    def test_both_classes_present_at_tiny_scale(self):
+        dataset = biological.generate(scale=0.07, seed=3)
+        assert dataset.n_classes == 2
+
+
+class TestMaritime:
+    def test_shape_and_variables(self):
+        dataset = maritime.generate(scale=0.2, seed=0)
+        assert dataset.n_variables == 7
+        assert dataset.length == 30
+        assert dataset.frequency_seconds == 60.0
+
+    def test_table3_category_at_full_scale(self):
+        dataset = maritime.generate(scale=1.0, seed=0)
+        assert categorize(dataset).names() == list(
+            canonical_categories("Maritime").names()
+        )
+
+    def test_positive_fraction_near_published(self):
+        dataset = maritime.generate(scale=1.0, seed=0)
+        positive = (dataset.labels == 1).mean()
+        assert 0.10 < positive < 0.35
+
+    def test_labels_match_polygon_test(self):
+        dataset = maritime.generate(scale=0.1, seed=1)
+        for i in range(dataset.n_instances):
+            final = dataset.values[i, 2:4, -1]
+            inside = maritime.point_in_polygon(final, maritime.PORT_POLYGON)
+            assert inside == bool(dataset.labels[i])
+
+    def test_point_in_polygon_basics(self):
+        square = np.asarray([(0, 0), (1, 0), (1, 1), (0, 1)])
+        assert maritime.point_in_polygon(np.asarray([0.5, 0.5]), square)
+        assert not maritime.point_in_polygon(np.asarray([1.5, 0.5]), square)
+
+    def test_speeds_within_limits(self):
+        dataset = maritime.generate(scale=0.1, seed=0)
+        speeds = dataset.values[:, 4, :]
+        assert (speeds >= 0).all()
+        assert (speeds <= 20.5).all()
+
+    def test_headings_wrapped(self):
+        dataset = maritime.generate(scale=0.1, seed=0)
+        headings = dataset.values[:, 5, :]
+        assert (headings >= 0).all() and (headings < 360).all()
+
+    def test_ship_ids_constant_within_instance(self):
+        dataset = maritime.generate(scale=0.1, seed=0)
+        ids = dataset.values[:, 1, :]
+        assert (ids == ids[:, :1]).all()
+
+
+class TestUcrGenerators:
+    def test_all_ten_names(self):
+        assert len(ucr.DATASET_NAMES) == 10
+
+    @pytest.mark.parametrize("name", ucr.DATASET_NAMES)
+    def test_published_shape_at_scale_one(self, name):
+        spec = ucr.dataset_spec(name)
+        dataset = ucr.generate(name, scale=1.0, seed=0)
+        assert dataset.n_instances == spec.height
+        assert dataset.length == spec.length
+        assert dataset.n_variables == spec.n_variables
+        assert dataset.n_classes == spec.n_classes
+
+    @pytest.mark.parametrize("name", ucr.DATASET_NAMES)
+    def test_table3_category_at_scale_one(self, name):
+        dataset = ucr.generate(name, scale=1.0, seed=0)
+        assert categorize(dataset).names() == list(
+            canonical_categories(name).names()
+        ), name
+
+    @pytest.mark.parametrize("name", ucr.DATASET_NAMES)
+    def test_scaled_generation_keeps_classes(self, name):
+        spec = ucr.dataset_spec(name)
+        dataset = ucr.generate(name, scale=0.1, seed=0)
+        assert dataset.n_classes == spec.n_classes
+        assert dataset.n_instances < spec.height
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(RegistryError):
+            ucr.generate("NotADataset")
+
+    def test_deterministic_per_seed(self):
+        first = ucr.generate("PowerCons", scale=0.2, seed=4)
+        second = ucr.generate("PowerCons", scale=0.2, seed=4)
+        np.testing.assert_array_equal(first.values, second.values)
+        third = ucr.generate("PowerCons", scale=0.2, seed=5)
+        assert not np.array_equal(first.values, third.values)
+
+    def test_wide_datasets_scale_length(self):
+        dataset = ucr.generate("PLAID", scale=0.1, seed=0)
+        assert dataset.length < 1345
+
+    def test_non_wide_datasets_keep_length(self):
+        dataset = ucr.generate("PowerCons", scale=0.1, seed=0)
+        assert dataset.length == 144

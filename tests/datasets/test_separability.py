@@ -1,0 +1,61 @@
+"""Every generated dataset must carry learnable class signal.
+
+The category statistics are verified elsewhere; these tests check the other
+half of the substitution argument — that a standard classifier beats
+majority-class guessing on each generator's output, so the benchmark
+actually exercises discrimination rather than noise fitting.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import default_datasets
+from repro.data import train_test_split
+from repro.stats import accuracy
+from repro.tsc import MiniROCKET
+
+_DATASETS = [
+    "Biological",
+    "Maritime",
+    "BasicMotions",
+    "DodgerLoopDay",
+    "DodgerLoopGame",
+    "DodgerLoopWeekend",
+    "HouseTwenty",
+    "LSST",
+    "PickupGestureWiimoteZ",
+    "PLAID",
+    "PowerCons",
+    "SharePriceIncrease",
+]
+
+# Margin over the majority-class rate each dataset must beat. Deliberately
+# modest: several originals (SharePriceIncrease in particular) are barely
+# above chance even for state-of-the-art full-TSC methods.
+_MARGIN = {
+    "SharePriceIncrease": 0.00,
+    "DodgerLoopDay": 0.03,
+    # Section 6.3 calls vessel-trajectory classification "a challenging
+    # problem for ETSC algorithms"; a small edge over majority is expected.
+    "Maritime": 0.02,
+}
+_DEFAULT_MARGIN = 0.05
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return default_datasets(scale=0.12, seed=0)
+
+
+@pytest.mark.parametrize("name", _DATASETS)
+def test_dataset_is_learnable(registry, name):
+    dataset = registry.load(name)
+    train, test = train_test_split(dataset, 0.3, seed=0)
+    model = MiniROCKET(n_features=500, seed=0).train(train)
+    score = accuracy(test.labels, model.predict(test))
+    counts = np.asarray(list(test.class_counts().values()))
+    majority_rate = counts.max() / counts.sum()
+    margin = _MARGIN.get(name, _DEFAULT_MARGIN)
+    assert score >= min(majority_rate + margin, 0.95), (
+        f"{name}: accuracy {score:.3f} vs majority {majority_rate:.3f}"
+    )

@@ -1,0 +1,108 @@
+"""Contract tests every early classifier must satisfy."""
+
+import numpy as np
+import pytest
+
+from repro.core.prediction import collect_predictions
+from repro.data import train_test_split
+from repro.etsc import ECEC, ECTS, EDSC, TEASER, EconomyK, s_mini, s_weasel
+from repro.exceptions import DataError, NotFittedError
+from repro.stats import accuracy
+from tests.conftest import make_shift_dataset, make_sinusoid_dataset
+
+FAST_FACTORIES = {
+    "ects": lambda: ECTS(),
+    "edsc": lambda: EDSC(n_lengths=2, stride=2, max_shapelets=20),
+    "economy_k": lambda: EconomyK(
+        n_clusters=2, n_checkpoints=5, n_estimators=6
+    ),
+    "ecec": lambda: ECEC(n_prefixes=5),
+    "teaser": lambda: TEASER(n_prefixes=5),
+    "s_mini": lambda: s_mini(n_features=200),
+    "s_weasel": lambda: s_weasel(),
+}
+
+
+@pytest.fixture(params=sorted(FAST_FACTORIES))
+def early_factory(request):
+    return FAST_FACTORIES[request.param]
+
+
+class TestEarlyClassifierContract:
+    def test_one_prediction_per_instance(self, early_factory):
+        train, test = train_test_split(make_sinusoid_dataset(40), 0.25)
+        model = early_factory().train(train)
+        predictions = model.predict(test)
+        assert len(predictions) == test.n_instances
+
+    def test_prefix_lengths_within_bounds(self, early_factory):
+        train, test = train_test_split(make_sinusoid_dataset(40), 0.25)
+        model = early_factory().train(train)
+        for prediction in model.predict(test):
+            assert 1 <= prediction.prefix_length <= test.length
+            assert prediction.series_length == test.length
+            assert 0.0 < prediction.earliness <= 1.0
+
+    def test_labels_come_from_training_classes(self, early_factory):
+        train, test = train_test_split(make_sinusoid_dataset(40), 0.25)
+        model = early_factory().train(train)
+        labels, _ = collect_predictions(model.predict(test))
+        assert set(np.unique(labels)) <= set(train.classes.tolist())
+
+    def test_better_than_chance_on_learnable_data(self, early_factory):
+        train, test = train_test_split(make_sinusoid_dataset(60), 0.25)
+        model = early_factory().train(train)
+        labels, _ = collect_predictions(model.predict(test))
+        assert accuracy(test.labels, labels) > 0.6
+
+    def test_predict_before_train_rejected(self, early_factory):
+        with pytest.raises(NotFittedError):
+            early_factory().predict(make_sinusoid_dataset(8))
+
+    def test_single_class_training_rejected(self, early_factory):
+        dataset = make_sinusoid_dataset(12).with_labels(
+            np.zeros(12, dtype=int)
+        )
+        with pytest.raises(DataError):
+            early_factory().train(dataset)
+
+    def test_longer_test_series_rejected(self, early_factory):
+        train = make_sinusoid_dataset(30, length=20)
+        model = early_factory().train(train)
+        with pytest.raises(DataError):
+            model.predict(make_sinusoid_dataset(5, length=30))
+
+    def test_univariate_algorithms_reject_multivariate(self, early_factory):
+        model = early_factory()
+        multivariate = make_sinusoid_dataset(20, n_variables=2)
+        if model.supports_multivariate:
+            model.train(multivariate)  # must simply work
+        else:
+            with pytest.raises(DataError, match="[Uu]nivariate|multivariate"):
+                model.train(multivariate)
+
+    def test_is_trained_flag(self, early_factory):
+        model = early_factory()
+        assert not model.is_trained
+        model.train(make_sinusoid_dataset(30))
+        assert model.is_trained
+        assert model.trained_length == 30
+
+
+class TestEarlinessSemantics:
+    """On shift data the class signal appears only at the onset; accurate
+    predictions earlier than the onset would be guessing."""
+
+    @pytest.mark.parametrize(
+        "name", ["ecec", "teaser", "economy_k", "s_weasel"]
+    )
+    def test_accurate_algorithms_wait_for_the_signal(self, name):
+        dataset = make_shift_dataset(n_instances=60, length=24, onset=8)
+        train, test = train_test_split(dataset, 0.25)
+        model = FAST_FACTORIES[name]().train(train)
+        labels, prefixes = collect_predictions(model.predict(test))
+        acc = accuracy(test.labels, labels)
+        if acc > 0.85:
+            correct = labels == test.labels
+            # Most correct predictions must have seen the onset.
+            assert (prefixes[correct] >= 6).mean() > 0.5

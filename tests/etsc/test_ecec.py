@@ -1,0 +1,98 @@
+"""Tests for ECEC: reliability estimation, confidence fusion, thresholds."""
+
+import numpy as np
+import pytest
+
+from repro.core.prediction import collect_predictions
+from repro.data import train_test_split
+from repro.etsc import ECEC
+from repro.exceptions import ConfigurationError
+from repro.stats import accuracy
+from tests.conftest import make_shift_dataset, make_sinusoid_dataset
+
+
+class TestConfiguration:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"n_prefixes": 0}, {"alpha": 1.5}, {"alpha": -0.1}, {"n_folds": 1}],
+    )
+    def test_bad_configuration_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ECEC(**kwargs)
+
+
+class TestReliability:
+    def test_reliability_from_perfect_oof(self):
+        oof = np.asarray([[0, 1, 0, 1]])
+        labels = np.asarray([0, 1, 0, 1])
+        reliability = ECEC._fit_reliability(oof, labels)
+        assert reliability[(0, 0)] == 1.0
+        assert reliability[(0, 1)] == 1.0
+
+    def test_reliability_from_noisy_oof(self):
+        oof = np.asarray([[0, 0, 0, 0]])
+        labels = np.asarray([0, 0, 1, 1])
+        reliability = ECEC._fit_reliability(oof, labels)
+        assert reliability[(0, 0)] == pytest.approx(0.5)
+        assert reliability[(0, 1)] == 0.0  # class 1 never predicted
+
+    def test_fused_confidence_grows_with_agreement(self):
+        model = ECEC(n_prefixes=4)
+        lookup = lambda row, label: 0.6
+        single = model._fused_confidence(np.asarray([1]), lookup)
+        double = model._fused_confidence(np.asarray([1, 1]), lookup)
+        assert single == pytest.approx(0.6)
+        assert double == pytest.approx(1 - 0.4**2)
+        assert double > single
+
+    def test_disagreement_does_not_contribute(self):
+        model = ECEC(n_prefixes=4)
+        lookup = lambda row, label: 0.6
+        mixed = model._fused_confidence(np.asarray([0, 1]), lookup)
+        assert mixed == pytest.approx(0.6)  # only the agreeing last vote
+
+
+class TestThresholdSelection:
+    def test_alpha_zero_prefers_earliness(self):
+        """alpha=0 ignores accuracy entirely -> earliest threshold wins."""
+        train, test = train_test_split(make_sinusoid_dataset(50), 0.25)
+        eager = ECEC(n_prefixes=5, alpha=0.0).train(train)
+        careful = ECEC(n_prefixes=5, alpha=1.0).train(train)
+        _, eager_prefixes = collect_predictions(eager.predict(test))
+        _, careful_prefixes = collect_predictions(careful.predict(test))
+        assert eager_prefixes.mean() <= careful_prefixes.mean() + 1e-9
+
+    def test_threshold_within_unit_interval(self):
+        model = ECEC(n_prefixes=5).train(make_sinusoid_dataset(40))
+        assert 0.0 <= model.threshold_ <= 1.0 + 1e-9
+
+
+class TestPrediction:
+    def test_learns_sinusoids_accurately(self):
+        train, test = train_test_split(make_sinusoid_dataset(60), 0.25)
+        model = ECEC(n_prefixes=5).train(train)
+        labels, prefixes = collect_predictions(model.predict(test))
+        assert accuracy(test.labels, labels) > 0.8
+        assert prefixes.max() <= test.length
+
+    def test_confidence_attached_to_predictions(self):
+        train, test = train_test_split(make_sinusoid_dataset(40), 0.25)
+        model = ECEC(n_prefixes=4).train(train)
+        for prediction in model.predict(test):
+            assert prediction.confidence is not None
+            assert 0.0 <= prediction.confidence <= 1.0
+
+    def test_decisions_on_ladder_points(self):
+        train, test = train_test_split(make_sinusoid_dataset(40), 0.25)
+        model = ECEC(n_prefixes=4).train(train)
+        ladder = set(model._ladder)
+        for prediction in model.predict(test):
+            assert prediction.prefix_length in ladder
+
+    def test_waits_on_shift_data(self):
+        dataset = make_shift_dataset(60, length=24, onset=10)
+        train, test = train_test_split(dataset, 0.25)
+        model = ECEC(n_prefixes=6).train(train)
+        labels, prefixes = collect_predictions(model.predict(test))
+        if accuracy(test.labels, labels) > 0.85:
+            assert prefixes.mean() >= 6

@@ -1,0 +1,113 @@
+"""Tests for ECTS internals: prefix NNs, RNN stability, MPLs, clustering."""
+
+import numpy as np
+import pytest
+
+from repro.core.prediction import collect_predictions
+from repro.data import TimeSeriesDataset, train_test_split
+from repro.etsc import ECTS
+from repro.exceptions import ConfigurationError
+from repro.stats import accuracy
+from tests.conftest import make_sinusoid_dataset
+
+
+class TestPrefixNearestNeighbors:
+    def test_matches_bruteforce_per_prefix(self, rng):
+        matrix = rng.normal(size=(8, 10))
+        nearest = ECTS._prefix_nearest_neighbors(matrix)
+        for t in (0, 4, 9):
+            for i in range(8):
+                distances = np.linalg.norm(
+                    matrix[:, : t + 1] - matrix[i, : t + 1], axis=1
+                )
+                distances[i] = np.inf
+                assert nearest[t, i] == distances.argmin()
+
+    def test_rnn_sets_are_inverse_of_nn(self):
+        nearest_row = np.asarray([1, 0, 0, 2])
+        rnn = ECTS._rnn_sets(nearest_row)
+        assert rnn[0] == {1, 2}
+        assert rnn[1] == {0}
+        assert rnn[2] == {3}
+        assert rnn[3] == set()
+
+
+class TestMPL:
+    def test_identical_prefix_classes_give_low_mpl(self):
+        # Two tight groups separated from time-point zero: RNN sets are
+        # stable from the first prefix, so MPLs should be 1.
+        values = np.asarray(
+            [
+                [0.0, 0.0, 0.0],
+                [0.1, 0.1, 0.1],
+                [5.0, 5.0, 5.0],
+                [5.1, 5.1, 5.1],
+            ]
+        )
+        model = ECTS(use_clustering=False)
+        model.train(TimeSeriesDataset(values, np.asarray([0, 0, 1, 1])))
+        assert (model._mpl <= 1).all()
+
+    def test_late_separation_gives_high_mpl(self):
+        # Identical prefixes until the final point: RNN sets flip there.
+        values = np.asarray(
+            [
+                [1.0, 1.0, 0.0],
+                [1.0, 1.0, 0.1],
+                [1.0, 1.0, 9.0],
+                [1.0, 1.0, 9.1],
+            ]
+        )
+        # Perturb early points so NN assignments churn before the end.
+        values[:, :2] += np.asarray([[0.0], [0.4], [0.2], [0.6]])
+        model = ECTS(use_clustering=False)
+        model.train(TimeSeriesDataset(values, np.asarray([0, 0, 1, 1])))
+        assert model._mpl.max() >= 2
+
+    def test_clustering_never_raises_mpl(self):
+        dataset = make_sinusoid_dataset(30)
+        plain = ECTS(use_clustering=False)
+        plain.train(dataset)
+        clustered = ECTS(use_clustering=True)
+        clustered.train(dataset)
+        assert (clustered._mpl <= plain._mpl).all()
+
+    def test_support_parameter_raises_mpls(self):
+        dataset = make_sinusoid_dataset(30)
+        strict = ECTS(support=2, use_clustering=False)
+        strict.train(dataset)
+        loose = ECTS(support=0, use_clustering=False)
+        loose.train(dataset)
+        assert strict._mpl.mean() >= loose._mpl.mean()
+
+    def test_negative_support_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ECTS(support=-1)
+
+
+class TestPrediction:
+    def test_forced_prediction_at_full_length(self):
+        # Train where MPL is maximal: predictions still appear, at L.
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=(10, 6))
+        dataset = TimeSeriesDataset(values, np.arange(10) % 2)
+        model = ECTS(use_clustering=False)
+        model.train(dataset)
+        predictions = model.predict(dataset)
+        assert all(p.prefix_length <= 6 for p in predictions)
+
+    def test_accuracy_and_earliness_tradeoff(self):
+        train, test = train_test_split(make_sinusoid_dataset(60), 0.25)
+        model = ECTS().train(train)
+        labels, prefixes = collect_predictions(model.predict(test))
+        assert accuracy(test.labels, labels) > 0.8
+        # ECTS is known for late predictions; just check it isn't trivial.
+        assert prefixes.max() <= test.length
+
+    def test_test_instance_matches_training_twin(self):
+        dataset = make_sinusoid_dataset(20, seed=5)
+        model = ECTS().train(dataset)
+        predictions = model.predict(dataset)
+        labels, _ = collect_predictions(predictions)
+        # Predicting on the training data itself: 1-NN is (nearly) the twin.
+        assert accuracy(dataset.labels, labels) > 0.9

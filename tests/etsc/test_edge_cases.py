@@ -1,0 +1,105 @@
+"""Edge-case and robustness tests across the ETSC algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.core.prediction import collect_predictions
+from repro.data import TimeSeriesDataset
+from repro.etsc import ECEC, ECTS, EDSC, TEASER, EconomyK, s_weasel
+from tests.conftest import make_sinusoid_dataset
+
+FACTORIES = {
+    "ects": lambda: ECTS(),
+    "edsc": lambda: EDSC(n_lengths=2, stride=2),
+    "economy_k": lambda: EconomyK(
+        n_clusters=2, n_checkpoints=4, n_estimators=5
+    ),
+    "ecec": lambda: ECEC(n_prefixes=4),
+    "teaser": lambda: TEASER(n_prefixes=4),
+    "s_weasel": lambda: s_weasel(),
+}
+
+
+@pytest.fixture(params=sorted(FACTORIES))
+def factory(request):
+    return FACTORIES[request.param]
+
+
+class TestTinyDatasets:
+    def test_minimal_viable_training_set(self, factory):
+        """Four instances, two per class — must train and predict."""
+        dataset = make_sinusoid_dataset(
+            n_instances=4, length=16, noise=0.05
+        )
+        model = factory().train(dataset)
+        predictions = model.predict(dataset)
+        assert len(predictions) == 4
+
+    def test_very_short_series(self, factory):
+        dataset = make_sinusoid_dataset(n_instances=20, length=6)
+        model = factory().train(dataset)
+        predictions = model.predict(dataset)
+        assert all(1 <= p.prefix_length <= 6 for p in predictions)
+
+    def test_single_test_instance(self, factory):
+        dataset = make_sinusoid_dataset(30)
+        model = factory().train(dataset)
+        single = dataset.select([0])
+        assert len(model.predict(single)) == 1
+
+
+class TestDegenerateSignals:
+    def test_constant_series_do_not_crash(self, factory):
+        values = np.ones((12, 10))
+        values[6:] += 1.0  # two constant levels
+        dataset = TimeSeriesDataset(
+            values, np.asarray([0] * 6 + [1] * 6)
+        )
+        model = factory().train(dataset)
+        labels, _ = collect_predictions(model.predict(dataset))
+        assert set(np.unique(labels)) <= {0, 1}
+
+    def test_extreme_magnitudes(self, factory):
+        dataset = make_sinusoid_dataset(20)
+        scaled = TimeSeriesDataset(
+            dataset.values * 1e6, dataset.labels
+        )
+        model = factory().train(scaled)
+        assert len(model.predict(scaled)) == 20
+
+    def test_imbalanced_training(self, factory):
+        """15 vs 3 instances: must still produce both-class predictions
+        machinery without crashing (accuracy not asserted)."""
+        dataset = make_sinusoid_dataset(18, noise=0.05)
+        labels = np.zeros(18, dtype=int)
+        labels[:3] = 1
+        skewed = dataset.with_labels(labels)
+        model = factory().train(skewed)
+        predictions = model.predict(skewed)
+        assert len(predictions) == 18
+
+
+class TestMulticlass:
+    def test_three_classes(self, factory):
+        dataset = make_sinusoid_dataset(36, n_classes=3, noise=0.1)
+        model = factory().train(dataset)
+        labels, _ = collect_predictions(model.predict(dataset))
+        assert set(np.unique(labels)) <= {0, 1, 2}
+
+    def test_non_contiguous_labels(self, factory):
+        dataset = make_sinusoid_dataset(24)
+        shifted = dataset.with_labels(dataset.labels * 5 + 2)  # {2, 7}
+        model = factory().train(shifted)
+        labels, _ = collect_predictions(model.predict(shifted))
+        assert set(np.unique(labels)) <= {2, 7}
+
+
+class TestDeterminism:
+    def test_same_seed_same_predictions(self, factory):
+        dataset = make_sinusoid_dataset(30)
+        first = factory().train(dataset)
+        second = factory().train(dataset)
+        labels_a, prefixes_a = collect_predictions(first.predict(dataset))
+        labels_b, prefixes_b = collect_predictions(second.predict(dataset))
+        np.testing.assert_array_equal(labels_a, labels_b)
+        np.testing.assert_array_equal(prefixes_a, prefixes_b)

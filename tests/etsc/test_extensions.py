@@ -1,0 +1,137 @@
+"""Tests for the extension algorithms (MoriSR, FixedPrefix)."""
+
+import numpy as np
+import pytest
+
+from repro.core.prediction import collect_predictions
+from repro.data import train_test_split
+from repro.etsc import FixedPrefix, MoriSR
+from repro.exceptions import ConfigurationError, ReproError
+from repro.stats import accuracy
+from tests.conftest import make_shift_dataset, make_sinusoid_dataset
+
+
+class TestMoriSRConfiguration:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"n_checkpoints": 0}, {"alpha": 2.0}, {"gamma_grid": ()}],
+    )
+    def test_bad_configuration_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            MoriSR(**kwargs)
+
+
+class TestMoriSR:
+    def test_learns_sinusoids(self):
+        train, test = train_test_split(make_sinusoid_dataset(50), 0.25)
+        model = MoriSR(n_checkpoints=5, gamma_grid=(-0.5, 0.0, 0.5)).train(
+            train
+        )
+        labels, prefixes = collect_predictions(model.predict(test))
+        assert accuracy(test.labels, labels) > 0.75
+        assert prefixes.max() <= test.length
+
+    def test_gammas_selected_from_grid(self):
+        grid = (-0.5, 0.0, 0.5)
+        model = MoriSR(n_checkpoints=4, gamma_grid=grid)
+        model.train(make_sinusoid_dataset(30))
+        assert model.gammas_ is not None
+        assert all(gamma in grid for gamma in model.gammas_)
+
+    def test_rule_fires_semantics(self):
+        # gamma = (1, 0, 0): fires whenever p1 > 0 -> always at first
+        # checkpoint; gamma = (-1, 0, 0): never fires -> forced last.
+        assert MoriSR._rule_fires((1.0, 0.0, 0.0), 0.9, 0.1, 0.2)
+        assert not MoriSR._rule_fires((-1.0, 0.0, 0.0), 0.9, 0.1, 0.2)
+
+    def test_alpha_zero_prefers_early_rules(self):
+        dataset = make_shift_dataset(50, length=24, onset=8)
+        eager = MoriSR(
+            n_checkpoints=5, alpha=0.0, gamma_grid=(-0.5, 0.0, 0.5)
+        ).train(dataset)
+        careful = MoriSR(
+            n_checkpoints=5, alpha=1.0, gamma_grid=(-0.5, 0.0, 0.5)
+        ).train(dataset)
+        _, eager_prefixes = collect_predictions(eager.predict(dataset))
+        _, careful_prefixes = collect_predictions(careful.predict(dataset))
+        assert eager_prefixes.mean() <= careful_prefixes.mean() + 1e-9
+
+    def test_confidence_attached(self):
+        model = MoriSR(n_checkpoints=4, gamma_grid=(0.0, 0.5))
+        dataset = make_sinusoid_dataset(24)
+        model.train(dataset)
+        for prediction in model.predict(dataset):
+            assert prediction.confidence is not None
+
+    def test_too_short_test_series_rejected(self):
+        model = MoriSR(n_checkpoints=3).train(
+            make_sinusoid_dataset(24, length=30)
+        )
+        short = make_sinusoid_dataset(4, length=30).truncate(5)
+        with pytest.raises(ReproError):
+            model.predict(short)
+
+
+class TestFixedPrefix:
+    def test_always_commits_at_fraction(self):
+        dataset = make_sinusoid_dataset(30, length=20)
+        model = FixedPrefix(fraction=0.5).train(dataset)
+        _, prefixes = collect_predictions(model.predict(dataset))
+        assert (prefixes == 10).all()
+
+    def test_full_fraction_is_full_length(self):
+        dataset = make_sinusoid_dataset(20, length=16)
+        model = FixedPrefix(fraction=1.0).train(dataset)
+        _, prefixes = collect_predictions(model.predict(dataset))
+        assert (prefixes == 16).all()
+
+    def test_learns_when_signal_within_prefix(self):
+        train, test = train_test_split(make_sinusoid_dataset(50), 0.25)
+        model = FixedPrefix(fraction=0.5).train(train)
+        labels, _ = collect_predictions(model.predict(test))
+        assert accuracy(test.labels, labels) > 0.75
+
+    def test_blind_before_signal_onset(self):
+        # Signal starts at t=12 of 24; a 25% prefix sees pure noise.
+        dataset = make_shift_dataset(60, length=24, onset=12)
+        train, test = train_test_split(dataset, 0.25)
+        blind = FixedPrefix(fraction=0.25).train(train)
+        sighted = FixedPrefix(fraction=1.0).train(train)
+        blind_labels, _ = collect_predictions(blind.predict(test))
+        sighted_labels, _ = collect_predictions(sighted.predict(test))
+        assert accuracy(test.labels, sighted_labels) > accuracy(
+            test.labels, blind_labels
+        )
+
+    @pytest.mark.parametrize("fraction", [0.0, 1.5, -0.2])
+    def test_bad_fraction_rejected(self, fraction):
+        with pytest.raises(ConfigurationError):
+            FixedPrefix(fraction=fraction)
+
+    def test_too_short_test_series_rejected(self):
+        model = FixedPrefix(fraction=0.9).train(
+            make_sinusoid_dataset(20, length=20)
+        )
+        with pytest.raises(ReproError):
+            model.predict(make_sinusoid_dataset(4, length=20).truncate(5))
+
+
+class TestExtendedRegistry:
+    def test_extended_registry_includes_extensions(self):
+        from repro.core.registry import extended_algorithms
+
+        registry = extended_algorithms()
+        assert "MORI-SR" in registry
+        assert "FIXED-50" in registry
+        assert "ECEC" in registry
+
+    def test_extensions_run_under_evaluate(self):
+        from repro.core import evaluate
+        from repro.core.registry import extended_algorithms
+
+        registry = extended_algorithms()
+        dataset = make_sinusoid_dataset(30)
+        result = evaluate(
+            registry.get("FIXED-50").factory, dataset, "FIXED-50", n_folds=2
+        )
+        assert result.earliness == pytest.approx(0.5, abs=0.05)

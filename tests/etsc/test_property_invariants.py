@@ -1,0 +1,80 @@
+"""Property-based invariants of early classifiers over random datasets."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.prediction import collect_predictions
+from repro.data import TimeSeriesDataset
+from repro.etsc import ECTS, FixedPrefix
+from repro.stats import earliness, harmonic_mean
+
+
+@st.composite
+def small_datasets(draw):
+    """Random two-class datasets with a frequency-separated signal."""
+    n = draw(st.integers(8, 20))
+    length = draw(st.integers(8, 16))
+    noise = draw(st.floats(0.0, 0.6))
+    seed = draw(st.integers(0, 1000))
+    rng = np.random.default_rng(seed)
+    labels = np.arange(n) % 2
+    t = np.arange(length)
+    values = np.stack(
+        [
+            np.sin((0.3 + 0.4 * label) * t + rng.uniform(0, 2 * np.pi))
+            + noise * rng.normal(size=length)
+            for label in labels
+        ]
+    )
+    return TimeSeriesDataset(values, labels)
+
+
+class TestECTSInvariants:
+    @given(small_datasets())
+    @settings(max_examples=12, deadline=None)
+    def test_prediction_contract(self, dataset):
+        model = ECTS().train(dataset)
+        predictions = model.predict(dataset)
+        assert len(predictions) == dataset.n_instances
+        for prediction in predictions:
+            assert 1 <= prediction.prefix_length <= dataset.length
+            assert prediction.label in dataset.classes
+
+    @given(small_datasets())
+    @settings(max_examples=12, deadline=None)
+    def test_mpls_within_length(self, dataset):
+        model = ECTS().train(dataset)
+        assert (model._mpl >= 1).all()
+        assert (model._mpl <= dataset.length).all()
+
+    @given(small_datasets())
+    @settings(max_examples=8, deadline=None)
+    def test_clustering_only_lowers_mpls(self, dataset):
+        plain = ECTS(use_clustering=False)
+        plain.train(dataset)
+        clustered = ECTS(use_clustering=True)
+        clustered.train(dataset)
+        assert (clustered._mpl <= plain._mpl).all()
+
+
+class TestMetricConsistency:
+    @given(small_datasets(), st.floats(0.1, 1.0))
+    @settings(max_examples=12, deadline=None)
+    def test_fixed_prefix_earliness_matches_fraction(self, dataset, fraction):
+        model = FixedPrefix(fraction=fraction).train(dataset)
+        _, prefixes = collect_predictions(model.predict(dataset))
+        expected = max(1, int(round(fraction * dataset.length)))
+        assert (prefixes == expected).all()
+        measured = earliness(prefixes, dataset.length)
+        assert measured == pytest.approx(expected / dataset.length)
+
+    @given(st.floats(0, 1), st.floats(0, 1))
+    @settings(max_examples=40, deadline=None)
+    def test_harmonic_mean_zero_iff_degenerate(self, acc, earl):
+        value = harmonic_mean(acc, earl)
+        if acc > 0 and earl < 1:
+            assert value > 0
+        else:
+            assert value == 0.0

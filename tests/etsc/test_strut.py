@@ -1,0 +1,186 @@
+"""Tests for STRUT: truncation search, commitment point, variants."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import FullTSClassifier
+from repro.core.prediction import collect_predictions
+from repro.data import TimeSeriesDataset, train_test_split
+from repro.etsc import STRUT, s_mini, s_mlstm, s_weasel
+from repro.exceptions import ConfigurationError, DataError
+from repro.stats import accuracy
+from tests.conftest import make_shift_dataset, make_sinusoid_dataset
+
+
+def _oracle_dataset(n=60, length=24, seed=0):
+    """Noise series whose label is encoded in the very first time-point.
+
+    Paired with :class:`_OnsetOracle`, which *pretends* not to see the
+    label before its onset, this pins STRUT's search behaviour exactly.
+    """
+    rng = np.random.default_rng(seed)
+    labels = np.arange(n) % 2
+    rng.shuffle(labels)
+    values = rng.normal(0.0, 0.3, size=(n, length))
+    values[:, 0] = labels.astype(float)
+    return TimeSeriesDataset(values, labels)
+
+
+class _OnsetOracle(FullTSClassifier):
+    """Perfect once the prefix exceeds ``onset``, exactly wrong before.
+
+    Accuracy is exactly 1 post-onset and exactly 0 pre-onset, so any
+    pre-onset truncation length scores a harmonic mean of 0 and the search
+    outcome is fully deterministic.
+    """
+
+    def __init__(self, onset: int) -> None:
+        self.onset = onset
+        self._length = 0
+
+    def train(self, dataset: TimeSeriesDataset) -> "_OnsetOracle":
+        self._length = dataset.length
+        self.classes_ = dataset.classes
+        return self
+
+    def predict(self, dataset: TimeSeriesDataset) -> np.ndarray:
+        truth = (dataset.values[:, 0, 0] > 0.5).astype(int)
+        if dataset.length > self.onset:
+            return truth
+        return 1 - truth
+
+    def clone(self) -> "_OnsetOracle":
+        return _OnsetOracle(self.onset)
+
+
+class TestConfiguration:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"metric": "auc"},
+            {"search": "random"},
+            {"grid_fractions": ()},
+            {"grid_fractions": (0.0, 1.0)},
+            {"grid_fractions": (0.5, 1.5)},
+        ],
+    )
+    def test_bad_configuration_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            STRUT(classifier_factory=lambda: _OnsetOracle(5), **kwargs)
+
+
+class TestSearch:
+    def test_grid_search_finds_post_onset_length(self):
+        dataset = _oracle_dataset(60, length=24)
+        strut = STRUT(
+            classifier_factory=lambda: _OnsetOracle(8),
+            metric="harmonic-mean",
+            search="grid",
+            grid_fractions=(0.125, 0.25, 0.5, 0.75, 1.0),
+        )
+        strut.train(dataset)
+        # Candidates {3, 6, 12, 18, 24}: pre-onset lengths score hm=0 and
+        # 12 is the earliest perfect one.
+        assert strut.best_length_ == 12
+
+    def test_binary_search_finds_minimum_adequate_length(self):
+        dataset = _oracle_dataset(80, length=32)
+        strut = STRUT(
+            classifier_factory=lambda: _OnsetOracle(8),
+            search="binary",
+            tolerance=0.02,
+        )
+        strut.train(dataset)
+        # The smallest prefix strictly beyond the onset is 9.
+        assert strut.best_length_ == 9
+
+    def test_binary_search_cheaper_than_exhaustive(self):
+        dataset = _oracle_dataset(60, length=32)
+        strut = STRUT(
+            classifier_factory=lambda: _OnsetOracle(8), search="binary"
+        )
+        strut.train(dataset)
+        # log2(31) + 1 evaluations, far fewer than 31 exhaustive ones.
+        assert len(strut.evaluations_) <= 8
+
+    def test_accuracy_metric_ignores_earliness(self):
+        dataset = _oracle_dataset(60, length=24)
+        strut = STRUT(
+            classifier_factory=lambda: _OnsetOracle(8),
+            metric="accuracy",
+            search="grid",
+            grid_fractions=(0.5, 1.0),
+        )
+        strut.train(dataset)
+        # Both lengths are past the onset and equally accurate; ties keep
+        # the earlier one.
+        assert strut.best_length_ == 12
+
+    def test_evaluations_recorded(self):
+        dataset = _oracle_dataset(40, length=16)
+        strut = STRUT(
+            classifier_factory=lambda: _OnsetOracle(4), search="grid"
+        )
+        strut.train(dataset)
+        assert strut.evaluations_
+        for prefix, score in strut.evaluations_:
+            assert 2 <= prefix <= 16
+            assert 0.0 <= score <= 1.0
+
+
+class TestPrediction:
+    def test_constant_commitment_point(self):
+        dataset = _oracle_dataset(60, length=24)
+        train, test = train_test_split(dataset, 0.25)
+        strut = STRUT(
+            classifier_factory=lambda: _OnsetOracle(8), search="grid"
+        ).train(train)
+        _, prefixes = collect_predictions(strut.predict(test))
+        assert len(set(prefixes.tolist())) == 1
+        assert prefixes[0] == strut.best_length_
+
+    def test_too_short_test_series_rejected(self):
+        dataset = _oracle_dataset(40, length=24)
+        strut = STRUT(
+            classifier_factory=lambda: _OnsetOracle(8), search="grid"
+        ).train(dataset)
+        short = dataset.truncate(max(2, strut.best_length_ - 1))
+        if short.length < strut.best_length_:
+            with pytest.raises(DataError):
+                strut.predict(short)
+
+
+class TestVariants:
+    def test_s_weasel_end_to_end(self):
+        train, test = train_test_split(make_sinusoid_dataset(60), 0.25)
+        model = s_weasel().train(train)
+        labels, prefixes = collect_predictions(model.predict(test))
+        assert accuracy(test.labels, labels) > 0.7
+        assert prefixes[0] == model.best_length_
+
+    def test_s_mini_end_to_end(self):
+        train, test = train_test_split(make_sinusoid_dataset(60), 0.25)
+        model = s_mini(n_features=200).train(train)
+        labels, _ = collect_predictions(model.predict(test))
+        assert accuracy(test.labels, labels) > 0.7
+
+    def test_s_mlstm_uses_paper_grid(self):
+        model = s_mlstm(n_epochs=2)
+        assert model.search == "grid"
+        assert model.grid_fractions == (0.05, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+    def test_s_mlstm_end_to_end_small(self):
+        train, test = train_test_split(
+            make_sinusoid_dataset(40, length=20), 0.25
+        )
+        model = s_mlstm(n_epochs=5).train(train)
+        labels, _ = collect_predictions(model.predict(test))
+        assert accuracy(test.labels, labels) > 0.5
+
+    def test_multivariate_support(self):
+        train, test = train_test_split(
+            make_sinusoid_dataset(50, n_variables=3), 0.25
+        )
+        model = s_weasel().train(train)
+        labels, _ = collect_predictions(model.predict(test))
+        assert accuracy(test.labels, labels) > 0.7

@@ -1,0 +1,109 @@
+"""Tests for TEASER: decision features, OC-SVM gate, v-consistency."""
+
+import numpy as np
+import pytest
+
+from repro.core.prediction import collect_predictions
+from repro.data import train_test_split
+from repro.etsc import TEASER
+from repro.exceptions import ConfigurationError
+from repro.stats import accuracy
+from tests.conftest import make_shift_dataset, make_sinusoid_dataset
+
+
+class TestConfiguration:
+    @pytest.mark.parametrize(
+        "kwargs", [{"n_prefixes": 0}, {"consistency_grid": ()},
+                   {"consistency_grid": (0,)}]
+    )
+    def test_bad_configuration_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TEASER(**kwargs)
+
+
+class TestDecisionFeatures:
+    def test_margin_appended(self):
+        probabilities = np.asarray([[0.7, 0.3], [0.5, 0.5]])
+        features = TEASER._decision_features(probabilities)
+        assert features.shape == (2, 3)
+        assert features[0, 2] == pytest.approx(0.4)
+        assert features[1, 2] == pytest.approx(0.0)
+
+    def test_single_class_margin_is_one(self):
+        features = TEASER._decision_features(np.asarray([[1.0]]))
+        assert features[0, 1] == 1.0
+
+
+class TestReplay:
+    def test_v1_fires_at_first_acceptance(self):
+        predictions = np.asarray([[0], [1], [1]])
+        acceptance = np.asarray([[False], [True], [True]])
+        labels, rows = TEASER._replay(predictions, acceptance, v=1)
+        assert labels[0] == 1
+        assert rows[0] == 1
+
+    def test_v2_requires_streak(self):
+        predictions = np.asarray([[1], [0], [0], [1]])
+        acceptance = np.ones((4, 1), dtype=bool)
+        labels, rows = TEASER._replay(predictions, acceptance, v=2)
+        assert labels[0] == 0
+        assert rows[0] == 2
+
+    def test_rejection_breaks_streak(self):
+        predictions = np.asarray([[1], [1], [1]])
+        acceptance = np.asarray([[True], [False], [True]])
+        labels, rows = TEASER._replay(predictions, acceptance, v=2)
+        # Streak broken at row 1; never reaches v=2 -> forced final row.
+        assert rows[0] == 2
+        assert labels[0] == 1
+
+    def test_never_fires_falls_back_to_last(self):
+        predictions = np.asarray([[1], [0], [1], [0]])
+        acceptance = np.zeros((4, 1), dtype=bool)
+        labels, rows = TEASER._replay(predictions, acceptance, v=1)
+        assert rows[0] == 3
+        assert labels[0] == 0
+
+
+class TestTraining:
+    def test_selects_v_from_grid(self):
+        model = TEASER(n_prefixes=5, consistency_grid=(1, 2, 3))
+        model.train(make_sinusoid_dataset(40))
+        assert model.v_ in (1, 2, 3)
+
+    def test_one_filter_per_ladder_step(self):
+        model = TEASER(n_prefixes=5).train(make_sinusoid_dataset(40))
+        assert len(model._filters) == len(model._ladder)
+        assert len(model._classifiers) == len(model._ladder)
+
+
+class TestPrediction:
+    def test_learns_sinusoids(self):
+        train, test = train_test_split(make_sinusoid_dataset(60), 0.25)
+        model = TEASER(n_prefixes=5).train(train)
+        labels, prefixes = collect_predictions(model.predict(test))
+        assert accuracy(test.labels, labels) > 0.75
+        assert prefixes.min() >= 1
+
+    def test_forced_decision_at_final_prefix(self):
+        # With an impossible consistency requirement the final prefix fires.
+        train, test = train_test_split(make_sinusoid_dataset(40), 0.25)
+        model = TEASER(n_prefixes=3, consistency_grid=(5,)).train(train)
+        _, prefixes = collect_predictions(model.predict(test))
+        assert (prefixes == test.length).all()
+
+    def test_higher_v_never_decides_earlier(self):
+        train, test = train_test_split(make_sinusoid_dataset(50), 0.25)
+        eager = TEASER(n_prefixes=6, consistency_grid=(1,)).train(train)
+        strict = TEASER(n_prefixes=6, consistency_grid=(3,)).train(train)
+        _, eager_prefixes = collect_predictions(eager.predict(test))
+        _, strict_prefixes = collect_predictions(strict.predict(test))
+        assert strict_prefixes.mean() >= eager_prefixes.mean() - 1e-9
+
+    def test_waits_on_shift_data(self):
+        dataset = make_shift_dataset(60, length=24, onset=10)
+        train, test = train_test_split(dataset, 0.25)
+        model = TEASER(n_prefixes=6).train(train)
+        labels, prefixes = collect_predictions(model.predict(test))
+        if accuracy(test.labels, labels) > 0.85:
+            assert prefixes.mean() >= 6

@@ -1,0 +1,183 @@
+"""Tests for T-SMOTE oversampling and the multi-objective search."""
+
+import numpy as np
+import pytest
+
+from repro.core.prediction import collect_predictions
+from repro.data import TimeSeriesDataset, train_test_split
+from repro.etsc import (
+    ECEC,
+    ConfigurationPoint,
+    FixedPrefix,
+    MultiObjectiveETSC,
+    TSMOTEWrapper,
+    pareto_front,
+    temporal_smote,
+)
+from repro.exceptions import ConfigurationError, NotFittedError, ReproError
+from repro.stats import f1_score
+from tests.conftest import make_sinusoid_dataset
+
+
+def _imbalanced(n_majority=40, n_minority=6, seed=0):
+    dataset = make_sinusoid_dataset(
+        n_majority + n_minority, noise=0.1, seed=seed
+    )
+    labels = np.zeros(n_majority + n_minority, dtype=int)
+    labels[:n_minority] = 1
+    # Give the minority its own frequency so the signal is learnable.
+    t = np.arange(dataset.length)
+    values = dataset.values.copy()
+    rng = np.random.default_rng(seed)
+    for i in range(n_minority):
+        values[i, 0] = np.sin(0.8 * t + rng.uniform(0, 2)) + 0.1 * rng.normal(
+            size=dataset.length
+        )
+    return TimeSeriesDataset(values, labels)
+
+
+class TestTemporalSmote:
+    def test_balances_to_target_ratio(self):
+        dataset = _imbalanced()
+        balanced = temporal_smote(dataset, target_ratio=1.0, seed=0)
+        counts = balanced.class_counts()
+        assert counts[0] == counts[1] == 40
+
+    def test_partial_ratio(self):
+        dataset = _imbalanced()
+        balanced = temporal_smote(dataset, target_ratio=0.5, seed=0)
+        assert balanced.class_counts()[1] == 20
+
+    def test_original_instances_preserved(self):
+        dataset = _imbalanced()
+        balanced = temporal_smote(dataset, seed=0)
+        np.testing.assert_array_equal(
+            balanced.values[: dataset.n_instances], dataset.values
+        )
+
+    def test_synthetic_within_minority_convex_hull(self):
+        dataset = _imbalanced()
+        balanced = temporal_smote(dataset, seed=0)
+        minority = dataset.values[dataset.labels == 1]
+        synthetic = balanced.values[dataset.n_instances :]
+        low = minority.min() - 1e-9
+        high = minority.max() + 1e-9
+        assert (synthetic >= low).all() and (synthetic <= high).all()
+
+    def test_balanced_dataset_unchanged(self):
+        dataset = make_sinusoid_dataset(20)
+        assert temporal_smote(dataset) is dataset
+
+    def test_singleton_class_jittered(self):
+        dataset = _imbalanced(n_majority=10, n_minority=1)
+        balanced = temporal_smote(dataset, seed=0)
+        assert balanced.class_counts()[1] == 10
+
+    @pytest.mark.parametrize("ratio", [0.0, 1.5])
+    def test_bad_ratio_rejected(self, ratio):
+        with pytest.raises(ConfigurationError):
+            temporal_smote(make_sinusoid_dataset(8), target_ratio=ratio)
+
+    def test_deterministic(self):
+        dataset = _imbalanced()
+        first = temporal_smote(dataset, seed=7)
+        second = temporal_smote(dataset, seed=7)
+        np.testing.assert_array_equal(first.values, second.values)
+
+
+class TestTSMOTEWrapper:
+    def test_improves_minority_f1(self):
+        dataset = _imbalanced(n_majority=45, n_minority=9, seed=1)
+        train, test = train_test_split(dataset, 0.3, seed=1)
+        plain = ECEC(n_prefixes=4).train(train)
+        wrapped = TSMOTEWrapper(lambda: ECEC(n_prefixes=4)).train(train)
+        plain_labels, _ = collect_predictions(plain.predict(test))
+        wrapped_labels, _ = collect_predictions(wrapped.predict(test))
+        assert f1_score(test.labels, wrapped_labels) >= (
+            f1_score(test.labels, plain_labels) - 0.05
+        )
+
+    def test_mirrors_base_variable_support(self):
+        from repro.etsc import s_weasel
+
+        assert not TSMOTEWrapper(lambda: ECEC()).supports_multivariate
+        assert TSMOTEWrapper(s_weasel).supports_multivariate
+
+    def test_predict_before_train_rejected(self):
+        from repro.exceptions import NotFittedError
+
+        with pytest.raises(NotFittedError):
+            TSMOTEWrapper(lambda: ECEC()).predict(make_sinusoid_dataset(8))
+
+
+class TestParetoFront:
+    def test_dominated_points_removed(self):
+        points = [
+            ConfigurationPoint({"a": 1}, accuracy=0.9, earliness=0.3),
+            ConfigurationPoint({"a": 2}, accuracy=0.8, earliness=0.5),  # dominated
+            ConfigurationPoint({"a": 3}, accuracy=0.7, earliness=0.1),
+        ]
+        front = pareto_front(points)
+        assert {p.params["a"] for p in front} == {1, 3}
+
+    def test_front_sorted_by_earliness(self):
+        points = [
+            ConfigurationPoint({"a": 1}, 0.9, 0.6),
+            ConfigurationPoint({"a": 2}, 0.7, 0.2),
+        ]
+        front = pareto_front(points)
+        assert [p.params["a"] for p in front] == [2, 1]
+
+    def test_dominance_requires_strict_improvement(self):
+        first = ConfigurationPoint({}, 0.8, 0.3)
+        twin = ConfigurationPoint({}, 0.8, 0.3)
+        assert not first.dominates(twin)
+
+    def test_distance_to_ideal(self):
+        perfect = ConfigurationPoint({}, 1.0, 0.0)
+        assert perfect.distance_to_ideal() == 0.0
+        worst = ConfigurationPoint({}, 0.0, 1.0)
+        assert worst.distance_to_ideal() == pytest.approx(np.sqrt(2.0))
+
+
+class TestMultiObjectiveETSC:
+    def test_front_and_knee_populated(self):
+        dataset = make_sinusoid_dataset(40)
+        search = MultiObjectiveETSC(
+            lambda **kw: FixedPrefix(**kw),
+            {"fraction": [0.25, 0.5, 1.0]},
+            n_folds=2,
+        )
+        search.train(dataset)
+        assert search.front_
+        assert search.knee_ in search.front_
+        # Every front point must be one of the evaluated configurations.
+        evaluated = {p.params["fraction"] for p in search.points_}
+        assert evaluated == {0.25, 0.5, 1.0}
+
+    def test_prediction_uses_knee(self):
+        dataset = make_sinusoid_dataset(40)
+        search = MultiObjectiveETSC(
+            lambda **kw: FixedPrefix(**kw),
+            {"fraction": [0.5]},
+            n_folds=2,
+        )
+        search.train(dataset)
+        _, prefixes = collect_predictions(search.predict(dataset))
+        expected = int(round(0.5 * dataset.length))
+        assert (prefixes == expected).all()
+
+    def test_all_configs_failing_raises(self):
+        def broken(**kw):
+            raise ConfigurationError("nope")
+
+        search = MultiObjectiveETSC(broken, {"x": [1]}, n_folds=2)
+        with pytest.raises(ReproError):
+            search.train(make_sinusoid_dataset(20))
+
+    def test_predict_before_train_rejected(self):
+        search = MultiObjectiveETSC(
+            lambda **kw: FixedPrefix(**kw), {"fraction": [0.5]}
+        )
+        with pytest.raises(NotFittedError):
+            search.predict(make_sinusoid_dataset(8))

@@ -1,0 +1,193 @@
+"""Numerical gradient checks for every layer of the NN substrate.
+
+Each check perturbs inputs (and parameters) with central differences and
+compares against the analytic backward pass. A scalar loss ``sum(output *
+projection)`` with a fixed random projection exercises arbitrary upstream
+gradients.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    LSTM,
+    BatchNorm1D,
+    Conv1D,
+    Dense,
+    Dropout,
+    GlobalAveragePooling1D,
+    ReLU,
+    SqueezeExcite,
+    softmax_cross_entropy,
+)
+
+EPSILON = 1e-5
+TOLERANCE = 1e-4
+
+
+def _numeric_input_gradient(layer, inputs, projection):
+    gradient = np.zeros_like(inputs)
+    flat = inputs.reshape(-1)
+    flat_gradient = gradient.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + EPSILON
+        upper = float((layer.forward(inputs, training=True) * projection).sum())
+        flat[index] = original - EPSILON
+        lower = float((layer.forward(inputs, training=True) * projection).sum())
+        flat[index] = original
+        flat_gradient[index] = (upper - lower) / (2 * EPSILON)
+    return gradient
+
+
+def _numeric_parameter_gradient(layer, inputs, projection, name):
+    parameter = layer.weights[name]
+    gradient = np.zeros_like(parameter)
+    flat = parameter.reshape(-1)
+    flat_gradient = gradient.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + EPSILON
+        upper = float((layer.forward(inputs, training=True) * projection).sum())
+        flat[index] = original - EPSILON
+        lower = float((layer.forward(inputs, training=True) * projection).sum())
+        flat[index] = original
+        flat_gradient[index] = (upper - lower) / (2 * EPSILON)
+    return gradient
+
+
+def _check_layer(layer, inputs, rng, check_parameters=True):
+    projection = rng.normal(size=layer.forward(inputs, training=True).shape)
+    # Analytic gradients: forward once more to refresh caches, then backward.
+    layer.forward(inputs, training=True)
+    analytic_input = layer.backward(projection)
+    numeric_input = _numeric_input_gradient(layer, inputs, projection)
+    np.testing.assert_allclose(
+        analytic_input, numeric_input, atol=TOLERANCE, rtol=TOLERANCE
+    )
+    if check_parameters:
+        # Refresh caches/gradients for the unperturbed parameters.
+        layer.forward(inputs, training=True)
+        layer.backward(projection)
+        analytic = {k: v.copy() for k, v in layer.gradients.items()}
+        for name in layer.weights:
+            numeric = _numeric_parameter_gradient(
+                layer, inputs, projection, name
+            )
+            np.testing.assert_allclose(
+                analytic[name],
+                numeric,
+                atol=TOLERANCE,
+                rtol=TOLERANCE,
+                err_msg=f"parameter {name}",
+            )
+
+
+class TestLayerGradients:
+    def test_dense(self, rng):
+        _check_layer(Dense(4, 3, seed=0), rng.normal(size=(5, 4)), rng)
+
+    def test_conv1d(self, rng):
+        _check_layer(
+            Conv1D(2, 3, kernel_size=3, seed=0), rng.normal(size=(4, 2, 7)), rng
+        )
+
+    def test_conv1d_even_kernel(self, rng):
+        _check_layer(
+            Conv1D(1, 2, kernel_size=4, seed=0), rng.normal(size=(3, 1, 9)), rng
+        )
+
+    def test_relu(self, rng):
+        _check_layer(ReLU(), rng.normal(size=(4, 3, 5)), rng, False)
+
+    def test_global_average_pooling(self, rng):
+        _check_layer(
+            GlobalAveragePooling1D(), rng.normal(size=(4, 3, 6)), rng, False
+        )
+
+    def test_batchnorm(self, rng):
+        _check_layer(BatchNorm1D(3), rng.normal(size=(6, 3, 5)), rng)
+
+    def test_squeeze_excite(self, rng):
+        _check_layer(
+            SqueezeExcite(4, reduction=2, seed=0),
+            rng.normal(size=(3, 4, 6)),
+            rng,
+        )
+
+    def test_lstm(self, rng):
+        _check_layer(
+            LSTM(n_inputs=3, n_units=4, seed=0),
+            rng.normal(size=(2, 5, 3)),
+            rng,
+        )
+
+
+class TestDropout:
+    def test_inference_is_identity(self, rng):
+        layer = Dropout(0.5, seed=0)
+        inputs = rng.normal(size=(4, 6))
+        np.testing.assert_array_equal(
+            layer.forward(inputs, training=False), inputs
+        )
+
+    def test_training_zeroes_and_rescales(self, rng):
+        layer = Dropout(0.5, seed=0)
+        inputs = np.ones((200, 50))
+        outputs = layer.forward(inputs, training=True)
+        kept = outputs != 0.0
+        assert kept.mean() == pytest.approx(0.5, abs=0.05)
+        np.testing.assert_allclose(outputs[kept], 2.0)
+
+    def test_backward_uses_same_mask(self, rng):
+        layer = Dropout(0.5, seed=0)
+        inputs = np.ones((10, 10))
+        outputs = layer.forward(inputs, training=True)
+        gradient = layer.backward(np.ones_like(inputs))
+        np.testing.assert_array_equal(gradient, outputs)
+
+    def test_bad_rate_rejected(self):
+        from repro.exceptions import DataError
+
+        with pytest.raises(DataError):
+            Dropout(1.0)
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.asarray([[10.0, -10.0], [-10.0, 10.0]])
+        one_hot = np.eye(2)
+        loss, _ = softmax_cross_entropy(logits, one_hot)
+        assert loss < 1e-6
+
+    def test_gradient_matches_numeric(self, rng):
+        logits = rng.normal(size=(4, 3))
+        one_hot = np.eye(3)[rng.integers(0, 3, 4)]
+        _, analytic = softmax_cross_entropy(logits, one_hot)
+        numeric = np.zeros_like(logits)
+        flat = logits.reshape(-1)
+        for index in range(flat.size):
+            original = flat[index]
+            flat[index] = original + EPSILON
+            upper, _ = softmax_cross_entropy(logits, one_hot)
+            flat[index] = original - EPSILON
+            lower, _ = softmax_cross_entropy(logits, one_hot)
+            flat[index] = original
+            numeric.reshape(-1)[index] = (upper - lower) / (2 * EPSILON)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+    def test_shape_mismatch_rejected(self):
+        from repro.exceptions import DataError
+
+        with pytest.raises(DataError):
+            softmax_cross_entropy(np.zeros((2, 3)), np.zeros((2, 2)))
+
+
+class TestBatchNormRunningStats:
+    def test_inference_uses_running_statistics(self, rng):
+        layer = BatchNorm1D(2, momentum=0.0)  # adopt batch stats immediately
+        inputs = rng.normal(3.0, 2.0, size=(50, 2, 10))
+        layer.forward(inputs, training=True)
+        outputs = layer.forward(inputs, training=False)
+        assert abs(outputs.mean()) < 0.1
+        assert abs(outputs.std() - 1.0) < 0.1

@@ -1,0 +1,105 @@
+"""Tests for the optimisers and the assembled MLSTM-FCN network."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.nn import SGD, Adam, Dense, MLSTMFCNNetwork, softmax_cross_entropy
+
+
+def _train_dense_binary(optimizer, n_steps=200, seed=3):
+    rng = np.random.default_rng(seed)
+    features = rng.normal(size=(64, 2))
+    labels = (features[:, 0] + features[:, 1] > 0).astype(int)
+    one_hot = np.eye(2)[labels]
+    layer = Dense(2, 2, seed=0)
+    losses = []
+    for _ in range(n_steps):
+        logits = layer.forward(features, training=True)
+        loss, gradient = softmax_cross_entropy(logits, one_hot)
+        layer.backward(gradient)
+        optimizer.step([layer])
+        losses.append(loss)
+    return losses
+
+
+class TestOptimisers:
+    def test_sgd_reduces_loss(self):
+        losses = _train_dense_binary(SGD(learning_rate=0.5))
+        assert losses[-1] < losses[0] * 0.5
+
+    def test_sgd_momentum_reduces_loss(self):
+        losses = _train_dense_binary(SGD(learning_rate=0.2, momentum=0.9))
+        assert losses[-1] < losses[0] * 0.5
+
+    def test_adam_reduces_loss(self):
+        losses = _train_dense_binary(Adam(learning_rate=0.05))
+        assert losses[-1] < losses[0] * 0.25
+
+    def test_adam_bias_correction_first_step_magnitude(self):
+        layer = Dense(1, 1, seed=0)
+        layer.gradients = {"W": np.asarray([[1.0]]), "b": np.asarray([0.0])}
+        before = layer.weights["W"].copy()
+        Adam(learning_rate=0.1).step([layer])
+        # First Adam step size equals the learning rate (bias-corrected).
+        assert abs(layer.weights["W"] - before)[0, 0] == pytest.approx(
+            0.1, rel=1e-6
+        )
+
+    @pytest.mark.parametrize("factory", [SGD, Adam])
+    def test_non_positive_learning_rate_rejected(self, factory):
+        with pytest.raises(DataError):
+            factory(learning_rate=0.0)
+
+    def test_layers_without_gradients_skipped(self):
+        layer = Dense(2, 2, seed=0)
+        before = layer.weights["W"].copy()
+        Adam().step([layer])  # no backward ran; gradients dict is empty
+        np.testing.assert_array_equal(layer.weights["W"], before)
+
+
+class TestMLSTMFCNNetwork:
+    def _toy_problem(self, rng, n=40, variables=2, length=16):
+        labels = np.arange(n) % 2
+        inputs = rng.normal(0, 0.3, size=(n, variables, length))
+        inputs[labels == 1, :, 8:] += 2.0
+        return inputs, labels
+
+    def test_forward_shape(self, rng):
+        network = MLSTMFCNNetwork(2, 3, filters=(4, 8, 4), lstm_units=3)
+        logits = network.forward(rng.normal(size=(5, 2, 12)))
+        assert logits.shape == (5, 3)
+
+    def test_training_reduces_loss(self, rng):
+        inputs, labels = self._toy_problem(rng)
+        one_hot = np.eye(2)[labels]
+        network = MLSTMFCNNetwork(2, 2, filters=(4, 8, 4), lstm_units=4)
+        losses = network.train_epochs(
+            inputs, one_hot, Adam(1e-2), n_epochs=15, batch_size=8
+        )
+        assert losses[-1] < losses[0] * 0.5
+
+    def test_trained_network_classifies_training_data(self, rng):
+        inputs, labels = self._toy_problem(rng)
+        one_hot = np.eye(2)[labels]
+        network = MLSTMFCNNetwork(2, 2, filters=(4, 8, 4), lstm_units=4)
+        network.train_epochs(inputs, one_hot, Adam(1e-2), 25, 8)
+        predictions = network.forward(inputs).argmax(axis=1)
+        assert (predictions == labels).mean() > 0.9
+
+    def test_wrong_variable_count_rejected(self, rng):
+        network = MLSTMFCNNetwork(3, 2)
+        with pytest.raises(DataError):
+            network.forward(rng.normal(size=(2, 2, 10)))
+
+    def test_single_class_configuration_rejected(self):
+        with pytest.raises(DataError):
+            MLSTMFCNNetwork(1, 1)
+
+    def test_layer_listing_includes_all_parameterised_layers(self):
+        network = MLSTMFCNNetwork(1, 2, filters=(2, 4, 2), lstm_units=2)
+        named = [type(layer).__name__ for layer in network.layers()]
+        assert "Conv1D" in named
+        assert "LSTM" in named
+        assert "Dense" in named
+        assert "SqueezeExcite" in named

@@ -1,0 +1,138 @@
+"""Tests for k-means and agglomerative clustering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConvergenceError, DataError
+from repro.stats import AgglomerativeClustering, KMeans, linkage_merge_order
+
+
+def _blobs(rng, centers, n_per=10, spread=0.2):
+    rows = []
+    for center in centers:
+        rows.append(rng.normal(0, spread, size=(n_per, len(center))) + center)
+    return np.concatenate(rows)
+
+
+class TestKMeans:
+    def test_recovers_well_separated_blobs(self, rng):
+        rows = _blobs(rng, [(0, 0), (10, 10), (-10, 10)])
+        labels = KMeans(3, seed=0).fit_predict(rows)
+        # Each blob should be internally uniform.
+        for start in (0, 10, 20):
+            assert len(np.unique(labels[start : start + 10])) == 1
+        assert len(np.unique(labels)) == 3
+
+    def test_single_cluster(self, rng):
+        rows = rng.normal(size=(10, 3))
+        model = KMeans(1).fit(rows)
+        np.testing.assert_allclose(
+            model.centroids_[0], rows.mean(axis=0), atol=1e-9
+        )
+
+    def test_inertia_decreases_with_more_clusters(self, rng):
+        rows = _blobs(rng, [(0, 0), (5, 5), (10, 0)])
+        inertias = [
+            KMeans(k, seed=0).fit(rows).inertia_ for k in (1, 2, 3)
+        ]
+        assert inertias[0] > inertias[1] > inertias[2]
+
+    def test_membership_probabilities_sum_to_one(self, rng):
+        rows = _blobs(rng, [(0, 0), (8, 8)])
+        model = KMeans(2, seed=0).fit(rows)
+        memberships = model.membership_probabilities(rows)
+        np.testing.assert_allclose(memberships.sum(axis=1), 1.0)
+        assert (memberships >= 0).all()
+
+    def test_membership_peaks_at_own_cluster(self, rng):
+        rows = _blobs(rng, [(0, 0), (20, 20)])
+        model = KMeans(2, seed=0).fit(rows)
+        memberships = model.membership_probabilities(rows)
+        hard = model.predict(rows)
+        np.testing.assert_array_equal(memberships.argmax(axis=1), hard)
+
+    def test_more_clusters_than_points_rejected(self):
+        with pytest.raises(ConvergenceError):
+            KMeans(5).fit(np.zeros((3, 2)))
+
+    def test_duplicate_points_handled(self):
+        rows = np.ones((6, 2))
+        model = KMeans(2, seed=0).fit(rows)
+        assert model.inertia_ == pytest.approx(0.0)
+
+    def test_predict_before_fit_rejected(self):
+        from repro.exceptions import NotFittedError
+
+        with pytest.raises(NotFittedError):
+            KMeans(2).predict(np.zeros((2, 2)))
+
+    def test_invalid_cluster_count_rejected(self):
+        with pytest.raises(DataError):
+            KMeans(0)
+
+    def test_deterministic_given_seed(self, rng):
+        rows = rng.normal(size=(30, 4))
+        first = KMeans(3, seed=9).fit(rows).centroids_
+        second = KMeans(3, seed=9).fit(rows).centroids_
+        np.testing.assert_allclose(first, second)
+
+
+class TestAgglomerative:
+    def test_merge_order_count(self, rng):
+        rows = rng.normal(size=(7, 2))
+        merges = linkage_merge_order(rows)
+        assert len(merges) == 6
+        assert merges[-1].merged == 7 + 5
+
+    def test_merge_distances_monotone_for_complete_linkage(self, rng):
+        rows = rng.normal(size=(12, 3))
+        merges = linkage_merge_order(rows, "complete")
+        distances = [merge.distance for merge in merges]
+        assert all(b >= a - 1e-9 for a, b in zip(distances, distances[1:]))
+
+    def test_separated_blobs_recovered(self, rng):
+        rows = _blobs(rng, [(0, 0), (50, 50)], n_per=5)
+        labels = AgglomerativeClustering(2, "single").fit_predict(rows)
+        assert len(np.unique(labels[:5])) == 1
+        assert len(np.unique(labels[5:])) == 1
+        assert labels[0] != labels[5]
+
+    @pytest.mark.parametrize("linkage", ["single", "complete", "average"])
+    def test_all_linkages_produce_partition(self, rng, linkage):
+        rows = rng.normal(size=(15, 2))
+        labels = AgglomerativeClustering(4, linkage).fit_predict(rows)
+        assert sorted(np.unique(labels)) == [0, 1, 2, 3]
+
+    def test_n_clusters_equals_n_points(self, rng):
+        rows = rng.normal(size=(5, 2))
+        labels = AgglomerativeClustering(5).fit_predict(rows)
+        assert len(np.unique(labels)) == 5
+
+    def test_single_cluster_merges_everything(self, rng):
+        rows = rng.normal(size=(8, 2))
+        labels = AgglomerativeClustering(1).fit_predict(rows)
+        assert len(np.unique(labels)) == 1
+
+    def test_unknown_linkage_rejected(self):
+        with pytest.raises(DataError, match="linkage"):
+            linkage_merge_order(np.zeros((3, 2)), "ward")
+
+    def test_too_many_clusters_rejected(self):
+        with pytest.raises(DataError):
+            AgglomerativeClustering(4).fit(np.zeros((2, 2)))
+
+    @given(n=st.integers(2, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_merge_ids_follow_scipy_convention(self, n):
+        rng = np.random.default_rng(n)
+        rows = rng.normal(size=(n, 2))
+        merges = linkage_merge_order(rows)
+        seen = set(range(n))
+        for i, merge in enumerate(merges):
+            assert merge.left in seen and merge.right in seen
+            assert merge.merged == n + i
+            seen -= {merge.left, merge.right}
+            seen.add(merge.merged)
+        assert len(seen) == 1

@@ -1,0 +1,113 @@
+"""Tests for distance primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.exceptions import DataError
+from repro.stats import (
+    euclidean,
+    min_subseries_distance,
+    pairwise_squared_euclidean,
+    sliding_window_view,
+    squared_euclidean,
+)
+
+_vectors = hnp.arrays(
+    float,
+    st.integers(1, 12),
+    elements=st.floats(-50, 50, allow_nan=False),
+)
+
+
+class TestPointwise:
+    def test_euclidean_matches_norm(self, rng):
+        a, b = rng.normal(size=8), rng.normal(size=8)
+        assert euclidean(a, b) == pytest.approx(np.linalg.norm(a - b))
+
+    def test_squared_is_square_of_euclidean(self, rng):
+        a, b = rng.normal(size=8), rng.normal(size=8)
+        assert squared_euclidean(a, b) == pytest.approx(euclidean(a, b) ** 2)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(DataError):
+            euclidean(np.zeros(3), np.zeros(4))
+
+    @given(_vectors)
+    @settings(max_examples=40, deadline=None)
+    def test_identity_of_indiscernibles(self, vector):
+        assert euclidean(vector, vector) == 0.0
+
+    @given(_vectors)
+    @settings(max_examples=40, deadline=None)
+    def test_symmetry(self, vector):
+        shifted = vector + 1.0
+        assert euclidean(vector, shifted) == pytest.approx(
+            euclidean(shifted, vector)
+        )
+
+
+class TestPairwise:
+    def test_matches_bruteforce(self, rng):
+        rows = rng.normal(size=(6, 4))
+        others = rng.normal(size=(3, 4))
+        matrix = pairwise_squared_euclidean(rows, others)
+        for i in range(6):
+            for j in range(3):
+                assert matrix[i, j] == pytest.approx(
+                    squared_euclidean(rows[i], others[j]), abs=1e-9
+                )
+
+    def test_self_distances_zero_diagonal(self, rng):
+        rows = rng.normal(size=(5, 3))
+        matrix = pairwise_squared_euclidean(rows)
+        np.testing.assert_allclose(np.diag(matrix), 0.0, atol=1e-9)
+
+    def test_never_negative(self, rng):
+        rows = rng.normal(size=(20, 2)) * 1e6  # stress cancellation
+        assert (pairwise_squared_euclidean(rows) >= 0.0).all()
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(DataError):
+            pairwise_squared_euclidean(np.zeros(3))
+
+    def test_rejects_column_mismatch(self):
+        with pytest.raises(DataError):
+            pairwise_squared_euclidean(np.zeros((2, 3)), np.zeros((2, 4)))
+
+
+class TestSlidingWindows:
+    def test_all_windows_enumerated(self):
+        windows = sliding_window_view(np.asarray([1.0, 2.0, 3.0, 4.0]), 2)
+        np.testing.assert_array_equal(windows, [[1, 2], [2, 3], [3, 4]])
+
+    def test_full_window_is_series(self):
+        series = np.asarray([1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(
+            sliding_window_view(series, 3), series[None, :]
+        )
+
+    @pytest.mark.parametrize("window", [0, 5])
+    def test_rejects_bad_window(self, window):
+        with pytest.raises(DataError):
+            sliding_window_view(np.zeros(4), window)
+
+
+class TestMinSubseriesDistance:
+    def test_exact_subsequence_gives_zero(self):
+        series = np.asarray([0.0, 1.0, 5.0, 2.0, 0.0])
+        assert min_subseries_distance(series, np.asarray([5.0, 2.0])) == 0.0
+
+    def test_matches_bruteforce(self, rng):
+        series = rng.normal(size=20)
+        pattern = rng.normal(size=5)
+        brute = min(
+            np.linalg.norm(series[i : i + 5] - pattern) for i in range(16)
+        )
+        assert min_subseries_distance(series, pattern) == pytest.approx(brute)
+
+    def test_pattern_longer_than_series_rejected(self):
+        with pytest.raises(DataError):
+            min_subseries_distance(np.zeros(3), np.zeros(4))

@@ -1,0 +1,130 @@
+"""Tests for DTW distance and the 1-NN-DTW classifier."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.data import TimeSeriesDataset, train_test_split
+from repro.exceptions import DataError, NotFittedError
+from repro.stats import DTWClassifier, accuracy, dtw_distance, dtw_distance_matrix
+from tests.conftest import make_sinusoid_dataset
+
+_series = hnp.arrays(
+    float, st.integers(2, 15), elements=st.floats(-10, 10, allow_nan=False)
+)
+
+
+class TestDtwDistance:
+    def test_identical_series_zero(self, rng):
+        series = rng.normal(size=12)
+        assert dtw_distance(series, series) == pytest.approx(0.0)
+
+    def test_shifted_copy_cheaper_than_euclidean(self):
+        t = np.arange(30, dtype=float)
+        first = np.sin(0.5 * t)
+        second = np.sin(0.5 * (t - 2))  # time-shifted copy
+        euclidean = float(np.linalg.norm(first - second))
+        assert dtw_distance(first, second) < euclidean
+
+    @given(_series)
+    @settings(max_examples=30, deadline=None)
+    def test_never_exceeds_euclidean_for_equal_length(self, series):
+        other = series + 1.0
+        euclidean = float(np.linalg.norm(series - other))
+        assert dtw_distance(series, other) <= euclidean + 1e-9
+
+    @given(_series)
+    @settings(max_examples=30, deadline=None)
+    def test_symmetry(self, series):
+        other = series[::-1].copy()
+        assert dtw_distance(series, other) == pytest.approx(
+            dtw_distance(other, series)
+        )
+
+    def test_unequal_lengths_supported(self):
+        assert dtw_distance(np.ones(5), np.ones(9)) == pytest.approx(0.0)
+
+    def test_window_zero_equals_euclidean_for_equal_length(self, rng):
+        first, second = rng.normal(size=10), rng.normal(size=10)
+        banded = dtw_distance(first, second, window=0)
+        assert banded == pytest.approx(float(np.linalg.norm(first - second)))
+
+    def test_wider_window_never_increases_distance(self, rng):
+        first, second = rng.normal(size=16), rng.normal(size=16)
+        narrow = dtw_distance(first, second, window=1)
+        wide = dtw_distance(first, second, window=8)
+        free = dtw_distance(first, second, window=None)
+        assert free <= wide + 1e-9 <= narrow + 2e-9
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(DataError):
+            dtw_distance(np.asarray([]), np.ones(3))
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(DataError):
+            dtw_distance(np.ones(3), np.ones(3), window=-1)
+
+    def test_matrix_matches_pointwise(self, rng):
+        rows = rng.normal(size=(4, 8))
+        matrix = dtw_distance_matrix(rows, window=3)
+        for i in range(4):
+            for j in range(4):
+                assert matrix[i, j] == pytest.approx(
+                    dtw_distance(rows[i], rows[j], window=3)
+                )
+        np.testing.assert_allclose(matrix, matrix.T)
+
+
+class TestDTWClassifier:
+    def test_learns_sinusoids(self):
+        train, test = train_test_split(make_sinusoid_dataset(40), 0.25)
+        model = DTWClassifier(window=4).train(train)
+        assert accuracy(test.labels, model.predict(test)) > 0.85
+
+    def test_robust_to_phase_shift(self, rng):
+        """DTW's raison d'etre: phase-shifted patterns stay matched."""
+        t = np.arange(40, dtype=float)
+        labels = np.arange(30) % 2
+        values = np.stack(
+            [
+                np.sin((0.3 + 0.4 * label) * (t - rng.integers(0, 6)))
+                for label in labels
+            ]
+        )
+        dataset = TimeSeriesDataset(values, labels)
+        train, test = train_test_split(dataset, 0.3, seed=0)
+        model = DTWClassifier(window=8).train(train)
+        assert accuracy(test.labels, model.predict(test)) > 0.85
+
+    def test_multivariate_independent_dtw(self):
+        train, test = train_test_split(
+            make_sinusoid_dataset(30, n_variables=2), 0.3
+        )
+        model = DTWClassifier(window=4).train(train)
+        assert accuracy(test.labels, model.predict(test)) > 0.7
+
+    def test_predict_before_train_rejected(self):
+        with pytest.raises(NotFittedError):
+            DTWClassifier().predict(make_sinusoid_dataset(4))
+
+    def test_clone_unfitted(self):
+        model = DTWClassifier(n_neighbors=3, window=2)
+        clone = model.clone()
+        assert clone.n_neighbors == 3
+        assert clone.window == 2
+        with pytest.raises(NotFittedError):
+            clone.predict(make_sinusoid_dataset(4))
+
+    def test_s_dtw_variant_end_to_end(self):
+        from repro.core.prediction import collect_predictions
+        from repro.etsc import s_dtw
+
+        train, test = train_test_split(
+            make_sinusoid_dataset(40, length=20), 0.25
+        )
+        model = s_dtw(window=3).train(train)
+        labels, prefixes = collect_predictions(model.predict(test))
+        assert accuracy(test.labels, labels) > 0.75
+        assert prefixes[0] == model.best_length_

@@ -1,0 +1,166 @@
+"""Tests for the Section 2.2 evaluation metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DataError
+from repro.stats import (
+    accuracy,
+    confusion_matrix,
+    earliness,
+    f1_score,
+    harmonic_mean,
+    precision_recall_f1,
+)
+
+
+class TestConfusionMatrix:
+    def test_binary_counts(self):
+        matrix = confusion_matrix(
+            np.asarray([0, 0, 1, 1]), np.asarray([0, 1, 1, 1])
+        )
+        np.testing.assert_array_equal(matrix, [[1, 1], [0, 2]])
+
+    def test_explicit_class_order(self):
+        matrix = confusion_matrix(
+            np.asarray([1, 1]), np.asarray([1, 1]), classes=np.asarray([0, 1, 2])
+        )
+        assert matrix.shape == (3, 3)
+        assert matrix[1, 1] == 2
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(DataError):
+            confusion_matrix(np.asarray([0]), np.asarray([0, 1]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataError):
+            confusion_matrix(np.asarray([]), np.asarray([]))
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy(np.asarray([0, 1, 2]), np.asarray([0, 1, 2])) == 1.0
+
+    def test_none_correct(self):
+        assert accuracy(np.asarray([0, 0]), np.asarray([1, 1])) == 0.0
+
+    def test_partial(self):
+        assert accuracy(np.asarray([0, 1, 1, 0]), np.asarray([0, 1, 0, 1])) == 0.5
+
+    @given(st.integers(1, 50), st.integers(2, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_confusion_trace(self, n, k):
+        rng = np.random.default_rng(n)
+        y_true = rng.integers(0, k, n)
+        y_pred = rng.integers(0, k, n)
+        matrix = confusion_matrix(y_true, y_pred, classes=np.arange(k))
+        assert accuracy(y_true, y_pred) == pytest.approx(
+            np.trace(matrix) / n
+        )
+
+
+class TestF1:
+    def test_perfect_binary(self):
+        assert f1_score(np.asarray([0, 1]), np.asarray([0, 1])) == 1.0
+
+    def test_paper_definition_matches_half_fp_fn_form(self):
+        y_true = np.asarray([0, 0, 0, 1, 1, 2])
+        y_pred = np.asarray([0, 1, 0, 1, 2, 2])
+        # Per class c: TP / (TP + (FP + FN) / 2), averaged over classes.
+        expected = 0.0
+        for c in (0, 1, 2):
+            tp = np.sum((y_true == c) & (y_pred == c))
+            fp = np.sum((y_true != c) & (y_pred == c))
+            fn = np.sum((y_true == c) & (y_pred != c))
+            expected += tp / (tp + 0.5 * (fp + fn))
+        expected /= 3
+        assert f1_score(y_true, y_pred) == pytest.approx(expected)
+
+    def test_missing_class_contributes_zero(self):
+        # Class 1 never predicted and never true-positive.
+        score = f1_score(
+            np.asarray([0, 0, 1]), np.asarray([0, 0, 0])
+        )
+        # class 0: TP=2 FP=1 FN=0 -> 0.8; class 1: TP=0 -> 0; macro = 0.4
+        assert score == pytest.approx(0.4)
+
+    def test_imbalance_punishes_f1_more_than_accuracy(self):
+        # Majority-class guessing: high accuracy, poor macro F1.
+        y_true = np.asarray([0] * 90 + [1] * 10)
+        y_pred = np.zeros(100, dtype=int)
+        assert accuracy(y_true, y_pred) == 0.9
+        assert f1_score(y_true, y_pred) < 0.5
+
+    def test_precision_recall_components(self):
+        precision, recall, f1 = precision_recall_f1(
+            np.asarray([0, 0, 1, 1]), np.asarray([0, 1, 1, 1])
+        )
+        assert precision[0] == pytest.approx(1.0)
+        assert recall[0] == pytest.approx(0.5)
+        assert precision[1] == pytest.approx(2 / 3)
+        assert recall[1] == pytest.approx(1.0)
+        assert np.all((0 <= f1) & (f1 <= 1))
+
+
+class TestEarliness:
+    def test_full_observation_is_one(self):
+        assert earliness(np.asarray([10, 10]), 10) == 1.0
+
+    def test_mean_of_ratios(self):
+        assert earliness(np.asarray([5, 10]), 10) == pytest.approx(0.75)
+
+    def test_per_instance_lengths(self):
+        assert earliness(np.asarray([5, 5]), np.asarray([10, 5])) == pytest.approx(
+            0.75
+        )
+
+    def test_rejects_prefix_beyond_length(self):
+        with pytest.raises(DataError):
+            earliness(np.asarray([11]), 10)
+
+    def test_rejects_zero_prefix(self):
+        with pytest.raises(DataError):
+            earliness(np.asarray([0]), 10)
+
+
+class TestHarmonicMean:
+    def test_full_series_needed_gives_zero(self):
+        assert harmonic_mean(1.0, 1.0) == 0.0
+
+    def test_zero_accuracy_gives_zero(self):
+        assert harmonic_mean(0.0, 0.2) == 0.0
+
+    def test_paper_formula(self):
+        acc, earl = 0.8, 0.3
+        expected = 2 * acc * (1 - earl) / (acc + (1 - earl))
+        assert harmonic_mean(acc, earl) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1])
+    def test_rejects_out_of_range_accuracy(self, bad):
+        with pytest.raises(DataError):
+            harmonic_mean(bad, 0.5)
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1])
+    def test_rejects_out_of_range_earliness(self, bad):
+        with pytest.raises(DataError):
+            harmonic_mean(0.5, bad)
+
+    @given(st.floats(0, 1), st.floats(0, 1))
+    @settings(max_examples=100, deadline=None)
+    def test_bounded_and_symmetric_roles(self, acc, earl):
+        value = harmonic_mean(acc, earl)
+        assert 0.0 <= value <= 1.0
+        # Harmonic mean lies between its operands (or is 0 when degenerate).
+        timeliness = 1 - earl
+        if value > 0:
+            assert min(acc, timeliness) - 1e-12 <= value
+            assert value <= max(acc, timeliness) + 1e-12
+
+    @given(st.floats(0.01, 1), st.floats(0.0, 0.99))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_accuracy(self, acc, earl):
+        lower = harmonic_mean(acc * 0.5, earl)
+        higher = harmonic_mean(acc, earl)
+        assert higher >= lower - 1e-12

@@ -1,0 +1,60 @@
+"""Smoke tests for the example scripts.
+
+Each example is imported as a module and its ``main`` is executed with the
+example's own defaults where fast, or skipped where the default scale is
+deliberately demonstration-sized. Import alone already catches API drift.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(
+        f"examples_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart",
+        "biological_early_stopping",
+        "maritime_monitoring",
+        "custom_algorithm",
+        "streaming_demo",
+    ],
+)
+def test_example_imports(name):
+    module = _load(name)
+    assert callable(module.main)
+
+
+def test_quickstart_runs(capsys):
+    _load("quickstart").main()
+    output = capsys.readouterr().out
+    assert "accuracy" in output
+    assert "harmonic mean" in output
+
+
+def test_custom_algorithm_class_is_valid_early_classifier():
+    module = _load("custom_algorithm")
+    from repro import EarlyClassifier
+    from tests.conftest import make_sinusoid_dataset
+
+    classifier = module.ProbabilityThresholdEarly(n_checkpoints=4)
+    assert isinstance(classifier, EarlyClassifier)
+    dataset = make_sinusoid_dataset(24, length=16)
+    classifier.train(dataset)
+    predictions = classifier.predict(dataset)
+    assert len(predictions) == 24
+    assert all(p.confidence is not None for p in predictions)

@@ -1,0 +1,151 @@
+"""End-to-end integration tests across the framework layers."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro import (
+    AlgorithmRegistry,
+    BenchmarkRunner,
+    DatasetRegistry,
+    TimeSeriesDataset,
+    VotingEnsemble,
+    collect_predictions,
+    default_datasets,
+    evaluate,
+    fill_missing,
+)
+from repro.core.cli import main
+from repro.core.results import load_report, save_report
+from repro.data import load_csv, save_csv
+from repro.etsc import ECEC, ECTS, TEASER, s_mini
+from repro.stats import accuracy
+
+
+class TestFileToEvaluationPipeline:
+    """CSV on disk -> dataset -> missing-value fill -> CV evaluation."""
+
+    def test_full_pipeline(self, tmp_path, rng):
+        # Build a learnable dataset, punch holes in it, save as CSV.
+        t = np.arange(30)
+        labels = np.arange(30) % 2
+        values = np.stack(
+            [
+                np.sin((0.25 + 0.3 * label) * t + rng.uniform(0, 2))
+                for label in labels
+            ]
+        )
+        holes = rng.random(values.shape) < 0.05
+        values[holes] = np.nan
+        dataset = TimeSeriesDataset(values, labels, name="csvpipe")
+        path = tmp_path / "data.csv"
+        save_csv(dataset, path)
+
+        loaded = load_csv(path, name="csvpipe")
+        assert loaded.has_missing()
+        filled = fill_missing(loaded)
+        assert not filled.has_missing()
+
+        result = evaluate(ECTS, filled, "ECTS", n_folds=3)
+        assert result.accuracy > 0.7
+
+    def test_report_persistence_pipeline(self, tmp_path):
+        algorithms = AlgorithmRegistry()
+        algorithms.register("ECTS", ECTS)
+        datasets = DatasetRegistry()
+        datasets.register(
+            "Biological",
+            lambda: default_datasets(scale=0.08).load("Biological"),
+        )
+        report = BenchmarkRunner(algorithms, datasets, n_folds=2).run()
+        path = tmp_path / "campaign.json"
+        save_report(report, path)
+        restored = load_report(path)
+        table = restored.metric_by_category("harmonic_mean")
+        assert "Imbalanced" in table
+
+
+class TestMultivariatePipeline:
+    """Generator -> voting ensemble -> early predictions -> metrics."""
+
+    def test_biological_with_voting_ecec(self):
+        dataset = default_datasets(scale=0.12, seed=1).load("Biological")
+        from repro.data import train_test_split
+
+        train, test = train_test_split(dataset, 0.3, seed=1)
+        ensemble = VotingEnsemble(lambda: ECEC(n_prefixes=5))
+        ensemble.train(train)
+        labels, prefixes = collect_predictions(ensemble.predict(test))
+        assert accuracy(test.labels, labels) > 0.6
+        assert prefixes.max() <= test.length
+
+    def test_maritime_with_s_mini(self):
+        dataset = default_datasets(scale=0.08, seed=2).load("Maritime")
+        from repro.data import train_test_split
+
+        train, test = train_test_split(dataset, 0.3, seed=2)
+        model = s_mini(n_features=300)
+        model.train(train)
+        labels, _ = collect_predictions(model.predict(test))
+        assert accuracy(test.labels, labels) > 0.6
+
+
+class TestCliIntegration:
+    def test_cli_run_produces_category_tables(self):
+        out = io.StringIO()
+        code = main(
+            [
+                "--algorithms", "ECTS", "TEASER",
+                "--datasets", "PowerCons",
+                "--scale", "0.08",
+                "--folds", "2",
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "harmonic_mean by dataset category" in text
+        assert "TEASER" in text
+
+    def test_cli_budget_records_failures(self):
+        out = io.StringIO()
+        code = main(
+            [
+                "--algorithms", "ECEC",
+                "--datasets", "PowerCons",
+                "--scale", "0.08",
+                "--folds", "2",
+                "--budget-seconds", "0.01",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert "failures" in out.getvalue()
+
+
+class TestStreamingConsistency:
+    """Predicting on a full series equals predicting on any prefix at
+    least as long as the commitment point (decision stability)."""
+
+    @pytest.mark.parametrize("factory", [lambda: TEASER(n_prefixes=4)])
+    def test_decisions_stable_under_longer_observation(self, factory):
+        from tests.conftest import make_sinusoid_dataset
+
+        dataset = make_sinusoid_dataset(40, length=24)
+        from repro.data import train_test_split
+
+        train, test = train_test_split(dataset, 0.3, seed=0)
+        model = factory().train(train)
+        full = model.predict(test)
+        for cut in (18, 24):
+            truncated = model.predict(test.truncate(cut))
+            for full_prediction, cut_prediction in zip(full, truncated):
+                if full_prediction.prefix_length <= cut:
+                    assert (
+                        cut_prediction.label == full_prediction.label
+                    )
+                    assert (
+                        cut_prediction.prefix_length
+                        == full_prediction.prefix_length
+                    )

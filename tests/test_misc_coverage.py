@@ -1,0 +1,103 @@
+"""Assorted coverage for small utility paths across the package."""
+
+import numpy as np
+import pytest
+
+from repro.core.charts import horizontal_bars
+from repro.data import TimeSeriesDataset, save_arff, save_csv, load_arff, load_csv
+from repro.exceptions import DataError
+from repro.nn import Conv1D, GlobalAveragePooling1D
+from tests.conftest import make_sinusoid_dataset
+
+
+class TestIoVariableSelection:
+    def test_save_csv_specific_variable(self, tmp_path):
+        dataset = make_sinusoid_dataset(6, n_variables=3)
+        path = tmp_path / "v2.csv"
+        save_csv(dataset, path, variable=2)
+        loaded = load_csv(path)
+        np.testing.assert_allclose(
+            loaded.values[:, 0, :], dataset.values[:, 2, :], rtol=1e-12
+        )
+
+    def test_save_arff_specific_variable(self, tmp_path):
+        dataset = make_sinusoid_dataset(6, n_variables=2)
+        path = tmp_path / "v1.arff"
+        save_arff(dataset, path, variable=1)
+        loaded = load_arff(path)
+        np.testing.assert_allclose(
+            loaded.values[:, 0, :], dataset.values[:, 1, :], rtol=1e-12
+        )
+
+
+class TestConv1dValidation:
+    def test_channel_mismatch_rejected(self, rng):
+        layer = Conv1D(in_channels=2, out_channels=3, kernel_size=3)
+        with pytest.raises(DataError):
+            layer.forward(rng.normal(size=(4, 5, 10)))
+
+    def test_kernel_size_one(self, rng):
+        layer = Conv1D(1, 2, kernel_size=1, seed=0)
+        inputs = rng.normal(size=(3, 1, 7))
+        outputs = layer.forward(inputs)
+        assert outputs.shape == (3, 2, 7)
+
+    def test_zero_kernel_size_rejected(self):
+        with pytest.raises(DataError):
+            Conv1D(1, 1, kernel_size=0)
+
+    def test_same_padding_preserves_length(self, rng):
+        for kernel in (2, 3, 5, 8):
+            layer = Conv1D(1, 1, kernel_size=kernel, seed=0)
+            outputs = layer.forward(rng.normal(size=(2, 1, 11)))
+            assert outputs.shape[2] == 11
+
+
+class TestPoolingShapes:
+    def test_global_average_matches_mean(self, rng):
+        inputs = rng.normal(size=(4, 3, 9))
+        outputs = GlobalAveragePooling1D().forward(inputs)
+        np.testing.assert_allclose(outputs, inputs.mean(axis=2))
+
+
+class TestChartsEdgeCases:
+    def test_bar_saturates_at_width(self):
+        chart = horizontal_bars({"a": 10.0}, width=8, maximum=5.0)
+        assert chart.count("█") == 8
+
+    def test_negative_values_clamped_to_empty(self):
+        chart = horizontal_bars({"a": -3.0, "b": 1.0}, width=10)
+        first_line = chart.splitlines()[0]
+        assert "█" not in first_line
+
+
+class TestDatasetEquality:
+    def test_select_preserves_frequency(self):
+        dataset = TimeSeriesDataset(
+            np.zeros((4, 6)), np.asarray([0, 1, 0, 1]),
+            frequency_seconds=8.0,
+        )
+        assert dataset.select([0, 1]).frequency_seconds == 8.0
+        assert dataset.truncate(3).frequency_seconds == 8.0
+        assert dataset.variable(0).frequency_seconds == 8.0
+
+    def test_concatenate_preserves_frequency(self):
+        dataset = TimeSeriesDataset(
+            np.zeros((4, 6)), np.asarray([0, 1, 0, 1]),
+            frequency_seconds=8.0,
+        )
+        assert dataset.concatenate(dataset).frequency_seconds == 8.0
+
+
+class TestCliParserErrors:
+    def test_unknown_argument_exits(self):
+        from repro.core.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--no-such-flag"])
+
+    def test_scale_parsing(self):
+        from repro.core.cli import build_parser
+
+        arguments = build_parser().parse_args(["--scale", "0.5"])
+        assert arguments.scale == 0.5

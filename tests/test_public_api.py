@@ -1,0 +1,89 @@
+"""Meta tests over the public API surface.
+
+Every name exported via ``__all__`` must resolve, and every public class
+and function must carry a docstring — the documentation contract of the
+deliverable.
+"""
+
+import importlib
+import inspect
+
+import pytest
+
+_PUBLIC_MODULES = [
+    "repro",
+    "repro.core",
+    "repro.data",
+    "repro.datasets",
+    "repro.etsc",
+    "repro.nn",
+    "repro.stats",
+    "repro.transform",
+    "repro.tsc",
+    "repro.exceptions",
+]
+
+
+@pytest.mark.parametrize("module_name", _PUBLIC_MODULES)
+def test_all_exports_resolve(module_name):
+    module = importlib.import_module(module_name)
+    exported = getattr(module, "__all__", [])
+    for name in exported:
+        assert hasattr(module, name), f"{module_name}.{name} missing"
+
+
+@pytest.mark.parametrize("module_name", _PUBLIC_MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module_name", _PUBLIC_MODULES)
+def test_public_items_documented(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        item = getattr(module, name)
+        if inspect.isclass(item) or inspect.isfunction(item):
+            assert inspect.getdoc(item), (
+                f"{module_name}.{name} lacks a docstring"
+            )
+            if inspect.isclass(item):
+                for method_name, method in vars(item).items():
+                    if method_name.startswith("_"):
+                        continue
+                    if inspect.isfunction(method):
+                        assert inspect.getdoc(method), (
+                            f"{module_name}.{name}.{method_name} "
+                            "lacks a docstring"
+                        )
+
+
+def test_version_is_semver():
+    import repro
+
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(part.isdigit() for part in parts)
+
+
+def test_exceptions_hierarchy():
+    from repro import ReproError
+    from repro.exceptions import (
+        ConfigurationError,
+        ConvergenceError,
+        DataError,
+        DataFormatError,
+        NotFittedError,
+        RegistryError,
+    )
+
+    for error in (
+        ConfigurationError,
+        ConvergenceError,
+        DataError,
+        DataFormatError,
+        NotFittedError,
+        RegistryError,
+    ):
+        assert issubclass(error, ReproError)
+    assert issubclass(DataFormatError, DataError)

@@ -1,0 +1,162 @@
+"""Tests for the full time-series classifiers (WEASEL, MiniROCKET, MLSTM-FCN)."""
+
+import numpy as np
+import pytest
+
+from repro.data import train_test_split
+from repro.exceptions import DataError, NotFittedError
+from repro.stats import accuracy
+from repro.tsc import MLSTMFCN, WEASEL, MiniROCKET
+from tests.conftest import make_sinusoid_dataset
+
+
+def _split(dataset, seed=0):
+    return train_test_split(dataset, 0.3, seed=seed)
+
+
+FAST_FACTORIES = {
+    "weasel": lambda: WEASEL(n_window_sizes=3, chi2_top_k=100),
+    "minirocket": lambda: MiniROCKET(n_features=400),
+    "mlstm": lambda: MLSTMFCN(n_epochs=15, filters=(4, 8, 4), lstm_units=4),
+}
+
+
+@pytest.fixture(params=sorted(FAST_FACTORIES))
+def classifier_factory(request):
+    return FAST_FACTORIES[request.param]
+
+
+class TestCommonBehaviour:
+    def test_learns_univariate_sinusoids(self, classifier_factory):
+        train, test = _split(make_sinusoid_dataset(n_instances=60))
+        model = classifier_factory().train(train)
+        assert accuracy(test.labels, model.predict(test)) >= 0.8
+
+    def test_learns_multivariate(self, classifier_factory):
+        train, test = _split(
+            make_sinusoid_dataset(n_instances=60, n_variables=3)
+        )
+        model = classifier_factory().train(train)
+        assert accuracy(test.labels, model.predict(test)) >= 0.8
+
+    def test_predict_proba_valid(self, classifier_factory):
+        train, test = _split(make_sinusoid_dataset(n_instances=40))
+        model = classifier_factory().train(train)
+        probabilities = model.predict_proba(test)
+        assert probabilities.shape == (test.n_instances, 2)
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0, atol=1e-9)
+        assert (probabilities >= 0).all()
+
+    def test_predict_before_train_rejected(self, classifier_factory):
+        with pytest.raises(NotFittedError):
+            classifier_factory().predict(make_sinusoid_dataset(8))
+
+    def test_single_class_training_rejected(self, classifier_factory):
+        dataset = make_sinusoid_dataset(10).with_labels(
+            np.zeros(10, dtype=int)
+        )
+        with pytest.raises(DataError):
+            classifier_factory().train(dataset)
+
+    def test_clone_is_unfitted_and_equivalent(self, classifier_factory):
+        train, test = _split(make_sinusoid_dataset(n_instances=40))
+        original = classifier_factory()
+        clone = original.clone()
+        with pytest.raises(NotFittedError):
+            clone.predict(test)
+        original.train(train)
+        clone.train(train)
+        np.testing.assert_array_equal(
+            original.predict(test), clone.predict(test)
+        )
+
+    def test_multiclass(self, classifier_factory):
+        train, test = _split(
+            make_sinusoid_dataset(n_instances=90, n_classes=3)
+        )
+        model = classifier_factory().train(train)
+        assert accuracy(test.labels, model.predict(test)) >= 0.6
+
+
+class TestWEASELSpecifics:
+    def test_short_series_handled(self):
+        train, test = _split(make_sinusoid_dataset(n_instances=30, length=8))
+        model = WEASEL(min_window=3, n_window_sizes=2).train(train)
+        assert len(model.predict(test)) == test.n_instances
+
+    def test_muse_derivatives_only_for_multivariate(self):
+        univariate = make_sinusoid_dataset(n_instances=20)
+        model = WEASEL(use_derivatives=True).train(univariate)
+        # One variable -> one channel pipeline (no derivative channels).
+        assert len(model._channels) == 1
+        multivariate = make_sinusoid_dataset(n_instances=20, n_variables=2)
+        model = WEASEL(use_derivatives=True).train(multivariate)
+        assert len(model._channels) == 4  # 2 raw + 2 derivative channels
+
+    def test_variable_count_mismatch_rejected(self):
+        model = WEASEL().train(make_sinusoid_dataset(20, n_variables=2))
+        with pytest.raises(DataError):
+            model.predict(make_sinusoid_dataset(5, n_variables=3))
+
+    def test_normalize_flag_changes_features(self):
+        dataset = make_sinusoid_dataset(30)
+        # Shift one class far away; normalisation erases the offset cue.
+        values = dataset.values.copy()
+        values[dataset.labels == 1] += 100.0
+        from repro.data import TimeSeriesDataset
+
+        shifted = TimeSeriesDataset(values, dataset.labels)
+        train, test = _split(shifted)
+        raw = WEASEL(normalize=False).train(train)
+        assert accuracy(test.labels, raw.predict(test)) == 1.0
+
+
+class TestMiniROCKETSpecifics:
+    def test_feature_count_configuration(self):
+        train, _ = _split(make_sinusoid_dataset(30))
+        model = MiniROCKET(n_features=200).train(train)
+        features = model._transform(train)
+        assert features.shape[0] == train.n_instances
+        assert features.shape[1] >= 84  # at least one bias per kernel
+
+    def test_ppv_features_in_unit_interval(self):
+        train, _ = _split(make_sinusoid_dataset(30))
+        model = MiniROCKET(n_features=200).train(train)
+        features = model._transform(train)
+        assert (features >= 0.0).all() and (features <= 1.0).all()
+
+    def test_length_mismatch_rejected(self):
+        model = MiniROCKET(n_features=100).train(make_sinusoid_dataset(20))
+        with pytest.raises(DataError):
+            model.predict(make_sinusoid_dataset(5, length=10))
+
+    def test_deterministic_given_seed(self):
+        train, test = _split(make_sinusoid_dataset(40))
+        first = MiniROCKET(n_features=200, seed=5).train(train)
+        second = MiniROCKET(n_features=200, seed=5).train(train)
+        np.testing.assert_array_equal(
+            first.predict(test), second.predict(test)
+        )
+
+    def test_too_few_features_rejected(self):
+        with pytest.raises(DataError):
+            MiniROCKET(n_features=10)
+
+
+class TestMLSTMFCNSpecifics:
+    def test_unit_grid_search_runs(self):
+        train, test = _split(make_sinusoid_dataset(40, length=16))
+        model = MLSTMFCN(
+            lstm_units=None,
+            unit_grid=(2, 4),
+            n_epochs=5,
+            filters=(2, 4, 2),
+        ).train(train)
+        assert len(model.predict(test)) == test.n_instances
+
+    def test_standardisation_from_training_statistics(self):
+        train, _ = _split(make_sinusoid_dataset(30))
+        model = MLSTMFCN(n_epochs=2, filters=(2, 4, 2), lstm_units=2)
+        model.train(train)
+        scaled = model._scaled(train.values)
+        assert abs(scaled.mean()) < 0.2

@@ -21,6 +21,7 @@ Each bench prints its table and also writes it to
 
 from __future__ import annotations
 
+import json
 import os
 from functools import lru_cache
 from pathlib import Path
@@ -85,7 +86,63 @@ def run_grid(
         time_budget_seconds=get_budget_seconds(),
         seed=seed,
     )
-    return runner.run()
+    report = runner.run()
+    # Machine-readable companion to the markdown tables: one JSONL record
+    # per grid cell, so downstream analysis never has to re-parse markdown.
+    write_cell_records(report, runner.metrics)
+    return report
+
+
+def cell_records(report: RunReport) -> list[dict]:
+    """One dict per (algorithm, dataset) cell: scores or failure reason.
+
+    All timing fields come from the shared instrumentation layer — the
+    ``train_seconds``/``test_seconds`` measured inside ``evaluate`` —
+    not from bench-local timers.
+    """
+    records = []
+    for (algorithm, dataset), result in report.results.items():
+        records.append(
+            {
+                "algorithm": algorithm,
+                "dataset": dataset,
+                "status": "ok",
+                "accuracy": result.accuracy,
+                "f1": result.f1,
+                "earliness": result.earliness,
+                "harmonic_mean": result.harmonic_mean,
+                "train_seconds": result.train_seconds,
+                "test_seconds": result.test_seconds,
+                "test_seconds_per_instance": result.test_seconds_per_instance,
+                "n_folds": len(result.folds),
+            }
+        )
+    for (algorithm, dataset), reason in report.failures.items():
+        status = "timeout" if "budget" in reason else "failed"
+        records.append(
+            {
+                "algorithm": algorithm,
+                "dataset": dataset,
+                "status": status,
+                "reason": reason,
+            }
+        )
+    return records
+
+
+def write_cell_records(
+    report: RunReport, metrics=None, name: str = "grid_cells"
+) -> Path:
+    """Persist per-cell records (and the run's metrics snapshot) as JSONL."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.jsonl"
+    with path.open("w", encoding="utf-8") as handle:
+        for record in cell_records(report):
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        if metrics is not None:
+            snapshot = {"type": "metrics", **metrics.snapshot()}
+            handle.write(json.dumps(snapshot, sort_keys=True) + "\n")
+    return path
 
 
 def format_category_table(

@@ -10,8 +10,14 @@ datasets (HouseTwenty at 8 s, Maritime at 60 s) are feasible for the
 fast-inference algorithms.
 """
 
-from _harness import ALGORITHM_ORDER, run_grid, write_report
+from _harness import (
+    ALGORITHM_ORDER,
+    make_benchmark_dataset,
+    run_grid,
+    write_report,
+)
 
+from repro.core import StreamingSession, default_algorithms, wrap_for_dataset
 from repro.core.charts import heatmap
 
 
@@ -53,7 +59,34 @@ def test_fig13_online(benchmark):
         for (algorithm, dataset), value in cells.items()
     }
     lines.extend(["", "```", heatmap(marker_cells), "```"])
+
+    # True point-by-point latency distribution for one fast algorithm —
+    # the session's latency_summary() is the same order-statistics code
+    # the metrics layer aggregates, so these quantiles match a traced run.
+    bench_dataset = make_benchmark_dataset(n_instances=20, length=30)
+    info = default_algorithms(fast=True).get("ECTS")
+    classifier = wrap_for_dataset(info.factory, bench_dataset)
+    classifier.train(bench_dataset)
+    session = StreamingSession(classifier, bench_dataset.length)
+    session.run(bench_dataset.values[0])
+    latency = session.latency_summary()
+    lines.extend(
+        [
+            "",
+            "## Streaming push latency (ECTS, point-by-point)",
+            "",
+            "| count | mean | p50 | p95 | max |",
+            "|---|---|---|---|---|",
+            (
+                f"| {latency.count} | {latency.mean * 1000:.2f}ms "
+                f"| {latency.p50 * 1000:.2f}ms | {latency.p95 * 1000:.2f}ms "
+                f"| {latency.max * 1000:.2f}ms |"
+            ),
+        ]
+    )
     write_report("fig13_online", "\n".join(lines))
+    assert latency.count > 0
+    assert latency.p50 <= latency.p95 <= latency.max
 
     assert cells, "no feasibility cells computed"
     assert feasible_count > 0

@@ -26,7 +26,7 @@ from .significance import (
     nemenyi_critical_difference,
     rank_matrix,
 )
-from .streaming import StreamingDecision, StreamingSession
+from .streaming import LatencySummary, StreamingDecision, StreamingSession
 from .runner import BenchmarkRunner, RunReport, aggregate_by_category
 from .timeouts import EvaluationTimeout, time_limit
 from .tuning import GridSearchETSC, parameter_grid
@@ -72,4 +72,5 @@ __all__ = [
     "rank_matrix",
     "StreamingDecision",
     "StreamingSession",
+    "LatencySummary",
 ]

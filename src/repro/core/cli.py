@@ -2,7 +2,12 @@
 
 Mirrors the paper repository's ``cli.py``: pick algorithms and datasets,
 run the cross-validated comparison, and print per-pair scores plus the
-per-category aggregates. Installed as the ``etsc-bench`` console script.
+per-category aggregates. Installed as the ``etsc-bench`` console script
+(with ``repro-cli`` as an alias).
+
+Observability: ``--trace PATH`` writes a JSONL span trace of the run,
+``--log-level``/``--progress`` turn on logging and per-cell progress
+telemetry (see ``docs/observability.md``).
 
 Examples
 --------
@@ -93,6 +98,29 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print Friedman/Nemenyi average-rank analysis of the run",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write a JSONL trace of the run (nested grid/cell/fold/"
+            "fit/predict spans); inspect with python -m repro.obs.summary"
+        ),
+    )
+    parser.add_argument(
+        "--log-level",
+        metavar="LEVEL",
+        default=None,
+        help="enable repro logging at LEVEL (debug/info/warning/error)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help=(
+            "log per-cell progress lines (start/finish/timeout with "
+            "elapsed time and grid completion %%); implies --log-level info"
+        ),
+    )
     return parser
 
 
@@ -121,6 +149,10 @@ def main(argv: list[str] | None = None, out=None) -> int:
     """Entry point; returns a process exit code."""
     out = out or sys.stdout
     arguments = build_parser().parse_args(argv)
+    if arguments.log_level or arguments.progress:
+        from ..obs.logging import configure_logging
+
+        configure_logging(arguments.log_level or "INFO")
     build_registry = (
         extended_algorithms if arguments.extended else default_algorithms
     )
@@ -147,7 +179,21 @@ def main(argv: list[str] | None = None, out=None) -> int:
         seed=arguments.seed,
         progress=lambda line: print(line, file=out),
     )
-    report = runner.run(arguments.algorithms, arguments.datasets)
+    if arguments.trace:
+        from ..obs.events import TraceWriter
+        from ..obs.trace import Tracer, use_tracer
+
+        with TraceWriter(arguments.trace) as writer:
+            with use_tracer(Tracer(on_finish=writer.write_span)):
+                report = runner.run(arguments.algorithms, arguments.datasets)
+            n_spans = writer.n_spans
+        print(
+            f"\ntrace written to {arguments.trace} ({n_spans} spans); "
+            f"summarise with: python -m repro.obs.summary {arguments.trace}",
+            file=out,
+        )
+    else:
+        report = runner.run(arguments.algorithms, arguments.datasets)
     for metric in ("accuracy", "f1", "earliness", "harmonic_mean"):
         _print_category_table(report, metric, out)
     if report.failures:

@@ -19,6 +19,7 @@ import numpy as np
 from ..data.dataset import TimeSeriesDataset
 from ..data.splits import stratified_k_fold
 from ..exceptions import DataError
+from ..obs.trace import get_tracer
 from ..stats.metrics import accuracy, earliness, f1_score, harmonic_mean
 from .base import EarlyClassifier
 from .prediction import collect_predictions
@@ -130,21 +131,42 @@ def evaluate(
     folds = max(2, min(n_folds, smallest_class))
     if folds < 2:
         raise DataError("dataset too small for cross-validation")
+    tracer = get_tracer()
     fold_results: list[FoldResult] = []
-    for train_part, test_part in stratified_k_fold(dataset, folds, seed):
-        classifier = wrap_for_dataset(factory, dataset)
-        start = time.perf_counter()
-        classifier.train(train_part)
-        train_seconds = time.perf_counter() - start
-        start = time.perf_counter()
-        predictions = classifier.predict(test_part)
-        test_seconds = time.perf_counter() - start
-        labels, prefixes = collect_predictions(predictions)
-        fold_results.append(
-            evaluate_predictions(
+    splits = stratified_k_fold(dataset, folds, seed)
+    for fold_index, (train_part, test_part) in enumerate(splits):
+        with tracer.span(
+            "fold",
+            algorithm=algorithm_name,
+            dataset=dataset.name,
+            fold=fold_index,
+        ) as fold_span:
+            classifier = wrap_for_dataset(factory, dataset)
+            # The perf_counter pairs below are the single source of truth
+            # for train_seconds/test_seconds (spans mirror the measured
+            # values as attributes, so a trace reproduces the report).
+            with tracer.span(
+                "fit", algorithm=algorithm_name, fold=fold_index
+            ) as fit_span:
+                start = time.perf_counter()
+                classifier.train(train_part)
+                train_seconds = time.perf_counter() - start
+                fit_span.set_attribute("seconds", train_seconds)
+            with tracer.span(
+                "predict", algorithm=algorithm_name, fold=fold_index
+            ) as predict_span:
+                start = time.perf_counter()
+                predictions = classifier.predict(test_part)
+                test_seconds = time.perf_counter() - start
+                predict_span.set_attribute("seconds", test_seconds)
+                predict_span.set_attribute("n_test", test_part.n_instances)
+            labels, prefixes = collect_predictions(predictions)
+            fold_result = evaluate_predictions(
                 test_part, labels, prefixes, train_seconds, test_seconds
             )
-        )
+            fold_span.set_attribute("accuracy", fold_result.accuracy)
+            fold_span.set_attribute("harmonic_mean", fold_result.harmonic_mean)
+            fold_results.append(fold_result)
     return EvaluationResult(
         algorithm=algorithm_name,
         dataset=dataset.name,

@@ -19,6 +19,9 @@ import numpy as np
 
 from ..data.dataset import TimeSeriesDataset
 from ..exceptions import ReproError
+from ..obs.logging import GridProgress, get_logger
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import get_tracer
 from .categorization import (
     DatasetCategories,
     canonical_categories,
@@ -27,7 +30,9 @@ from .categorization import (
 )
 from .evaluation import EvaluationResult, evaluate
 from .registry import AlgorithmRegistry, DatasetRegistry
-from .timeouts import time_limit
+from .timeouts import EvaluationTimeout, time_limit
+
+_logger = get_logger("core.runner")
 
 __all__ = ["RunReport", "BenchmarkRunner", "aggregate_by_category"]
 
@@ -152,6 +157,16 @@ class BenchmarkRunner:
         them together with the data.
     progress:
         Optional callable receiving human-readable progress lines.
+    metrics:
+        Optional :class:`repro.obs.metrics.MetricsRegistry` to record run
+        counters into (cells completed / timed out / failed, grid
+        completion). A fresh registry is created when omitted; it is
+        always available as ``runner.metrics`` after construction.
+
+    Tracing is picked up from the process-wide tracer
+    (:func:`repro.obs.trace.get_tracer`) at :meth:`run` time; per-cell
+    progress telemetry goes through the ``repro.core.runner`` logger
+    (silent unless logging is configured).
     """
 
     def __init__(
@@ -164,6 +179,7 @@ class BenchmarkRunner:
         large_threshold: int | None = None,
         seed: int = 0,
         progress: Callable[[str], None] | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.algorithms = algorithms
         self.datasets = datasets
@@ -173,6 +189,7 @@ class BenchmarkRunner:
         self.large_threshold = large_threshold
         self.seed = seed
         self.progress = progress or (lambda line: None)
+        self.metrics = metrics or MetricsRegistry()
 
     def _categorize(self, dataset: TimeSeriesDataset) -> DatasetCategories:
         # The paper's 12 datasets keep their published Table 3 assignment
@@ -196,49 +213,107 @@ class BenchmarkRunner:
         report = RunReport()
         algorithm_names = algorithm_names or self.algorithms.names()
         dataset_names = dataset_names or self.datasets.names()
-        for dataset_name in dataset_names:
-            dataset = self.datasets.load(dataset_name)
-            report.categories[dataset_name] = self._categorize(dataset)
-            if dataset.frequency_seconds is not None:
-                report._frequencies[dataset_name] = dataset.frequency_seconds
-            for algorithm_name in algorithm_names:
-                info = self.algorithms.get(algorithm_name)
-                start = time.perf_counter()
-                try:
-                    # Preemptive kill rule (the paper's 48-hour cutoff);
-                    # falls back to the cooperative check below when
-                    # SIGALRM is unavailable (non-Unix or worker thread).
-                    with time_limit(self.time_budget_seconds):
-                        result = evaluate(
-                            info.factory,
-                            dataset,
-                            algorithm_name,
-                            n_folds=self.n_folds,
-                            seed=self.seed,
-                        )
-                except ReproError as error:
-                    report.failures[(algorithm_name, dataset_name)] = str(
-                        error
+        tracer = get_tracer()
+        telemetry = GridProgress(
+            len(algorithm_names) * len(dataset_names), logger=_logger
+        )
+        completion = self.metrics.gauge("grid_completion")
+        with tracer.span(
+            "grid",
+            n_algorithms=len(algorithm_names),
+            n_datasets=len(dataset_names),
+            n_folds=self.n_folds,
+            time_budget_seconds=self.time_budget_seconds,
+            seed=self.seed,
+        ):
+            for dataset_name in dataset_names:
+                dataset = self.datasets.load(dataset_name)
+                report.categories[dataset_name] = self._categorize(dataset)
+                if dataset.frequency_seconds is not None:
+                    report._frequencies[dataset_name] = (
+                        dataset.frequency_seconds
                     )
-                    self.progress(
-                        f"{algorithm_name} on {dataset_name}: FAILED ({error})"
+                for algorithm_name in algorithm_names:
+                    self._run_cell(
+                        report, algorithm_name, dataset_name, dataset,
+                        tracer, telemetry,
                     )
-                    continue
-                elapsed = time.perf_counter() - start
-                if elapsed > self.time_budget_seconds:
-                    report.failures[(algorithm_name, dataset_name)] = (
-                        f"exceeded time budget ({elapsed:.1f}s)"
-                    )
-                    self.progress(
-                        f"{algorithm_name} on {dataset_name}: over budget "
-                        f"({elapsed:.1f}s), recorded as timeout"
-                    )
-                    continue
-                report.results[(algorithm_name, dataset_name)] = result
-                self.progress(
-                    f"{algorithm_name} on {dataset_name}: "
-                    f"acc={result.accuracy:.3f} f1={result.f1:.3f} "
-                    f"earl={result.earliness:.3f} hm={result.harmonic_mean:.3f} "
-                    f"({elapsed:.1f}s)"
-                )
+                    completion.set(telemetry.fraction_done)
         return report
+
+    def _run_cell(
+        self,
+        report: RunReport,
+        algorithm_name: str,
+        dataset_name: str,
+        dataset: TimeSeriesDataset,
+        tracer,
+        telemetry: GridProgress,
+    ) -> None:
+        """One (algorithm, dataset) pair: evaluate, record, report."""
+        info = self.algorithms.get(algorithm_name)
+        self.metrics.counter("cells_total").inc()
+        telemetry.started(algorithm_name, dataset_name)
+        with tracer.span(
+            "cell", algorithm=algorithm_name, dataset=dataset_name
+        ) as cell_span:
+            start = time.perf_counter()
+            try:
+                # Preemptive kill rule (the paper's 48-hour cutoff);
+                # falls back to the cooperative check below when
+                # SIGALRM is unavailable (non-Unix or worker thread).
+                with time_limit(self.time_budget_seconds):
+                    result = evaluate(
+                        info.factory,
+                        dataset,
+                        algorithm_name,
+                        n_folds=self.n_folds,
+                        seed=self.seed,
+                    )
+            except ReproError as error:
+                elapsed = time.perf_counter() - start
+                timeout = isinstance(error, EvaluationTimeout)
+                cell_span.set_status("timeout" if timeout else "error")
+                cell_span.set_attribute("reason", str(error))
+                self.metrics.counter(
+                    "cells_timeout" if timeout else "cells_failed"
+                ).inc()
+                report.failures[(algorithm_name, dataset_name)] = str(error)
+                telemetry.failed(
+                    algorithm_name, dataset_name, elapsed, str(error),
+                    timeout=timeout,
+                )
+                self.progress(
+                    f"{algorithm_name} on {dataset_name}: FAILED ({error})"
+                )
+                return
+            elapsed = time.perf_counter() - start
+            cell_span.set_attribute("seconds", elapsed)
+            if elapsed > self.time_budget_seconds:
+                reason = f"exceeded time budget ({elapsed:.1f}s)"
+                cell_span.set_status("timeout")
+                cell_span.set_attribute("reason", reason)
+                self.metrics.counter("cells_timeout").inc()
+                report.failures[(algorithm_name, dataset_name)] = reason
+                telemetry.failed(
+                    algorithm_name, dataset_name, elapsed, reason,
+                    timeout=True,
+                )
+                self.progress(
+                    f"{algorithm_name} on {dataset_name}: over budget "
+                    f"({elapsed:.1f}s), recorded as timeout"
+                )
+                return
+            report.results[(algorithm_name, dataset_name)] = result
+            self.metrics.counter("cells_completed").inc()
+            self.metrics.timer("cell_seconds").observe(elapsed)
+            detail = (
+                f"acc={result.accuracy:.3f} hm={result.harmonic_mean:.3f}"
+            )
+            telemetry.finished(algorithm_name, dataset_name, elapsed, detail)
+            self.progress(
+                f"{algorithm_name} on {dataset_name}: "
+                f"acc={result.accuracy:.3f} f1={result.f1:.3f} "
+                f"earl={result.earliness:.3f} hm={result.harmonic_mean:.3f} "
+                f"({elapsed:.1f}s)"
+            )

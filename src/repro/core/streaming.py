@@ -22,10 +22,11 @@ import numpy as np
 
 from ..data.dataset import TimeSeriesDataset
 from ..exceptions import DataError, NotFittedError
+from ..obs.trace import get_tracer
 from .base import EarlyClassifier
 from .prediction import EarlyPrediction
 
-__all__ = ["StreamingSession", "StreamingDecision"]
+__all__ = ["StreamingSession", "StreamingDecision", "LatencySummary"]
 
 
 @dataclass(frozen=True)
@@ -35,6 +36,32 @@ class StreamingDecision:
     label: int
     decided_at: int  # number of points observed when the decision fired
     confidence: float | None
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Order statistics of a session's per-consultation latencies.
+
+    The Figure 13 feasibility question is about the *distribution* of
+    push latencies, not just their mean — a p95 above the sampling period
+    still drops observations even when the mean keeps up.
+    """
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    max: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict form (for JSON reports and metric snapshots)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "max": self.max,
+        }
 
 
 class StreamingSession:
@@ -137,9 +164,13 @@ class StreamingSession:
             or self.n_observed == self.series_length
         )
         if due:
-            start = time.perf_counter()
-            self._consult()
-            self.push_latencies.append(time.perf_counter() - start)
+            with get_tracer().span("push", n_observed=self.n_observed) as span:
+                start = time.perf_counter()
+                self._consult()
+                latency = time.perf_counter() - start
+                self.push_latencies.append(latency)
+                span.set_attribute("seconds", latency)
+                span.set_attribute("decided", self._decision is not None)
         return self._decision
 
     def run(self, series: np.ndarray) -> StreamingDecision:
@@ -156,10 +187,36 @@ class StreamingSession:
                 f"{self.series_length - self.n_observed} more"
             )
         decision = None
-        for t in range(series.shape[1]):
-            decision = self.push(series[:, t])
-        assert decision is not None, "forced decision missing at full length"
+        with get_tracer().span(
+            "stream",
+            series_length=self.series_length,
+            check_every=self.check_every,
+        ) as span:
+            for t in range(series.shape[1]):
+                decision = self.push(series[:, t])
+            assert decision is not None, (
+                "forced decision missing at full length"
+            )
+            span.set_attribute("decided_at", decision.decided_at)
+            span.set_attribute("n_consultations", len(self.push_latencies))
         return decision
+
+    def latency_summary(self) -> LatencySummary:
+        """Mean/p50/p95/max of the recorded per-consultation latencies.
+
+        Shared by the Figure 13 bench and the metrics layer, so every
+        latency figure comes from the same order statistics.
+        """
+        if not self.push_latencies:
+            raise DataError("no consultations recorded yet")
+        latencies = np.asarray(self.push_latencies, dtype=float)
+        return LatencySummary(
+            count=int(latencies.size),
+            mean=float(latencies.mean()),
+            p50=float(np.quantile(latencies, 0.50)),
+            p95=float(np.quantile(latencies, 0.95)),
+            max=float(latencies.max()),
+        )
 
     def mean_latency_ratio(self, frequency_seconds: float) -> float:
         """Mean per-consultation latency over the sampling period.
@@ -169,6 +226,4 @@ class StreamingSession:
         """
         if frequency_seconds <= 0:
             raise DataError("frequency_seconds must be positive")
-        if not self.push_latencies:
-            raise DataError("no consultations recorded yet")
-        return float(np.mean(self.push_latencies) / frequency_seconds)
+        return self.latency_summary().mean / frequency_seconds

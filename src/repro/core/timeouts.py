@@ -7,8 +7,11 @@ running evaluation that exceeds it is interrupted with
 :class:`EvaluationTimeout`.
 
 ``SIGALRM`` is only available on Unix and only in the main thread; outside
-those conditions the context manager degrades to a no-op (the runner then
-falls back to its cooperative after-the-fact budget check).
+those conditions the context manager degrades to a cooperative
+after-the-fact budget check in the runner. That degradation used to be
+silent — it is now announced once per process through the ``repro``
+logger and annotated on the active trace span, so a grid run's record
+shows *which* kill rule was actually in force.
 """
 
 from __future__ import annotations
@@ -19,8 +22,12 @@ import threading
 from typing import Iterator
 
 from ..exceptions import ReproError
+from ..obs.logging import get_logger, warn_once
+from ..obs.trace import current_span
 
 __all__ = ["EvaluationTimeout", "time_limit"]
+
+_logger = get_logger("core.timeouts")
 
 
 class EvaluationTimeout(ReproError):
@@ -41,13 +48,22 @@ def time_limit(seconds: float | None) -> Iterator[None]:
     ``None`` or non-positive / infinite budgets disable the limit. Nested
     use restores the previous handler and remaining timer on exit.
     """
-    no_limit = (
-        seconds is None
-        or seconds <= 0
-        or seconds == float("inf")
-        or not _alarm_supported()
+    limit_requested = not (
+        seconds is None or seconds <= 0 or seconds == float("inf")
     )
-    if no_limit:
+    if limit_requested and not _alarm_supported():
+        # Degraded mode: the budget still applies, but only as the
+        # runner's between-cells check — a runaway fit is not preempted.
+        warn_once(
+            "timeouts.degraded",
+            "SIGALRM unavailable (non-Unix platform or non-main thread): "
+            "time budgets degrade to cooperative after-the-fact checks; "
+            "running evaluations will not be preempted mid-cell",
+            logger=_logger,
+        )
+        current_span().set_attribute("time_limit_degraded", True)
+        limit_requested = False
+    if not limit_requested:
         yield
         return
 

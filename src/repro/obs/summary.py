@@ -1,0 +1,57 @@
+"""Recompute run statistics from a persisted trace.
+
+Usage::
+
+    python -m repro.obs.summary out.jsonl
+
+Reads the JSONL trace written by ``repro-cli --trace`` (or any
+:class:`repro.obs.events.TraceWriter`), aggregates it with
+:func:`repro.obs.metrics.metrics_from_spans`, and prints the counters
+(cells completed / timed out / failed, predictions emitted) and the timer
+quantiles per span kind — the after-the-fact answer to "where did the 48
+hours go?".
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from ..exceptions import ReproError
+from .events import TraceReader
+from .metrics import metrics_from_spans
+
+__all__ = ["summarize_trace", "main"]
+
+
+def summarize_trace(path: str | Path) -> str:
+    """The text metrics report for the trace file at ``path``."""
+    reader = TraceReader(path)
+    spans = reader.spans()
+    registry = metrics_from_spans(spans)
+    header = [f"trace: {path}", f"spans: {len(spans)}"]
+    if reader.meta is not None:
+        header.append(f"schema version: {reader.meta.get('version')}")
+    return "\n".join(header) + "\n" + registry.summarize()
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """Entry point; returns a process exit code."""
+    out = out or sys.stdout
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.summary",
+        description="Summarise a repro JSONL trace: counters and timer quantiles",
+    )
+    parser.add_argument("trace", help="path to the JSONL trace file")
+    arguments = parser.parse_args(argv)
+    try:
+        print(summarize_trace(arguments.trace), file=out)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI smoke test
+    raise SystemExit(main())

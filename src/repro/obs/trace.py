@@ -1,0 +1,302 @@
+"""Nested-span tracing for grid runs and streaming sessions.
+
+A :class:`Tracer` hands out :class:`Span` context managers; spans opened
+while another span is active on the same thread become its children, so a
+grid run produces the natural hierarchy ``grid -> cell -> fold ->
+fit/predict`` and a streaming session produces ``stream -> push``.
+Finished spans are appended to a lock-protected in-process collector (the
+runner may one day shard cells across threads) and optionally forwarded to
+an ``on_finish`` callback — that is how :class:`repro.obs.events
+.TraceWriter` streams a trace to disk as it happens.
+
+The module-level tracer defaults to :class:`NullTracer`, whose ``span()``
+returns a shared no-op context manager: instrumented code pays one method
+call when tracing is off, and never changes its observable results.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import tracemalloc
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "current_span",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+]
+
+#: Span statuses. ``timeout`` marks cells killed by the budget (the
+#: paper's 48-hour rule); ``error`` marks training/prediction failures.
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+STATUS_TIMEOUT = "timeout"
+
+
+class Span:
+    """One timed, attributed unit of work inside a trace.
+
+    Spans are created by :meth:`Tracer.span` and should not be
+    instantiated directly. ``duration`` is wall-clock seconds
+    (``perf_counter`` based); ``start_unix`` anchors the span on the epoch
+    so traces from different processes can be interleaved.
+    """
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "attributes",
+        "status",
+        "start_unix",
+        "thread_name",
+        "memory_peak_bytes",
+        "_start",
+        "_end",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        parent_id: int | None,
+        attributes: dict[str, Any],
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attributes = attributes
+        self.status = STATUS_OK
+        self.start_unix = time.time()
+        self.thread_name = threading.current_thread().name
+        self.memory_peak_bytes: int | None = None
+        self._start = time.perf_counter()
+        self._end: float | None = None
+
+    # -- recording -----------------------------------------------------
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Attach or overwrite one attribute."""
+        self.attributes[key] = value
+
+    def set_status(self, status: str) -> None:
+        """Mark the span ``ok`` / ``error`` / ``timeout``."""
+        self.status = status
+
+    # -- reading -------------------------------------------------------
+    @property
+    def ended(self) -> bool:
+        return self._end is not None
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds; running spans report the time so far."""
+        end = self._end if self._end is not None else time.perf_counter()
+        return end - self._start
+
+    def _finish(self) -> None:
+        self._end = time.perf_counter()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, id={self.span_id}, "
+            f"parent={self.parent_id}, status={self.status!r})"
+        )
+
+
+class _NullSpan:
+    """Shared do-nothing span yielded when tracing is disabled."""
+
+    __slots__ = ()
+
+    name = ""
+    span_id = -1
+    parent_id = None
+    status = STATUS_OK
+    attributes: dict[str, Any] = {}
+    duration = 0.0
+    ended = True
+    memory_peak_bytes = None
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+    def set_status(self, status: str) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Tracer that records nothing — the default when tracing is off."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def span(self, name: str, **attributes: Any) -> _NullSpan:
+        """Return the shared no-op span context manager."""
+        return NULL_SPAN
+
+    def current(self) -> _NullSpan:
+        """Always :data:`NULL_SPAN` — nothing is ever open."""
+        return NULL_SPAN
+
+    def finished_spans(self) -> list[Span]:
+        """Always empty — nothing is ever recorded."""
+        return []
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Collects nested spans, thread-safely.
+
+    Parameters
+    ----------
+    on_finish:
+        Optional callback invoked with every span as it closes (e.g.
+        ``TraceWriter.write_span`` to stream the trace to disk).
+    trace_memory:
+        Record ``tracemalloc`` peak memory on every span. Starts
+        ``tracemalloc`` if it is not already tracing; the peak is the
+        process-wide high-water mark while the span was open (reset at
+        span entry), so nested spans report overlapping peaks.
+    """
+
+    def __init__(
+        self,
+        on_finish: Callable[[Span], None] | None = None,
+        trace_memory: bool = False,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._finished: list[Span] = []
+        self._next_id = 0
+        self._stacks = threading.local()
+        self._on_finish = on_finish
+        self._trace_memory = trace_memory
+        self._started_tracemalloc = False
+        if trace_memory and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracemalloc = True
+
+    enabled = True
+
+    # ------------------------------------------------------------------
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._stacks, "spans", None)
+        if stack is None:
+            stack = []
+            self._stacks.spans = stack
+        return stack
+
+    def current(self) -> Span | _NullSpan:
+        """The innermost open span on this thread, or :data:`NULL_SPAN`."""
+        stack = self._stack()
+        return stack[-1] if stack else NULL_SPAN
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        """Open a span; it closes (and is collected) when the block exits.
+
+        An exception propagating out of the block marks the span
+        ``error`` (unless the block already set a status) and re-raises.
+        """
+        stack = self._stack()
+        parent_id = stack[-1].span_id if stack else None
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        span = Span(name, span_id, parent_id, dict(attributes))
+        if self._trace_memory:
+            tracemalloc.reset_peak()
+        stack.append(span)
+        try:
+            yield span
+        except BaseException:
+            if span.status == STATUS_OK:
+                span.set_status(STATUS_ERROR)
+            raise
+        finally:
+            stack.pop()
+            if self._trace_memory:
+                span.memory_peak_bytes = tracemalloc.get_traced_memory()[1]
+            span._finish()
+            with self._lock:
+                self._finished.append(span)
+            if self._on_finish is not None:
+                self._on_finish(span)
+
+    # ------------------------------------------------------------------
+    def finished_spans(self) -> list[Span]:
+        """Snapshot of closed spans, in completion order."""
+        with self._lock:
+            return list(self._finished)
+
+    def clear(self) -> None:
+        """Drop collected spans (the id counter keeps increasing)."""
+        with self._lock:
+            self._finished.clear()
+
+    def close(self) -> None:
+        """Stop ``tracemalloc`` if this tracer started it."""
+        if self._started_tracemalloc and tracemalloc.is_tracing():
+            tracemalloc.stop()
+            self._started_tracemalloc = False
+
+
+# ----------------------------------------------------------------------
+# Module-level active tracer. Instrumented code (runner, evaluation,
+# streaming) resolves the tracer through get_tracer() at call time, so
+# enabling tracing never requires threading a parameter through the
+# public evaluation API.
+
+_active_tracer: Tracer | NullTracer = NULL_TRACER
+_active_lock = threading.Lock()
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The process-wide active tracer (a no-op tracer by default)."""
+    return _active_tracer
+
+
+def set_tracer(tracer: Tracer | NullTracer | None) -> Tracer | NullTracer:
+    """Install ``tracer`` (``None`` restores the null tracer).
+
+    Returns the previously active tracer so callers can restore it.
+    """
+    global _active_tracer
+    with _active_lock:
+        previous = _active_tracer
+        _active_tracer = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: Tracer | NullTracer) -> Iterator[Tracer | NullTracer]:
+    """Scoped :func:`set_tracer`: restores the previous tracer on exit."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+def current_span() -> Span | _NullSpan:
+    """The active tracer's innermost open span on this thread."""
+    return _active_tracer.current()

@@ -114,6 +114,35 @@ class TestStreamingSession:
         ratio = session.mean_latency_ratio(frequency_seconds=60.0)
         assert ratio > 0.0
 
+    def test_latency_summary_statistics(self, trained):
+        classifier, dataset = trained
+        session = StreamingSession(classifier, dataset.length)
+        session.run(dataset.values[0])
+        summary = session.latency_summary()
+        assert summary.count == len(session.push_latencies)
+        assert summary.count > 0
+        assert 0.0 < summary.p50 <= summary.p95 <= summary.max
+        assert summary.mean == pytest.approx(
+            float(np.mean(session.push_latencies))
+        )
+        assert summary.max == pytest.approx(max(session.push_latencies))
+        as_dict = summary.as_dict()
+        assert set(as_dict) == {"count", "mean", "p50", "p95", "max"}
+
+    def test_latency_summary_requires_consultations(self, trained):
+        classifier, dataset = trained
+        session = StreamingSession(classifier, dataset.length)
+        with pytest.raises(DataError, match="no consultations"):
+            session.latency_summary()
+
+    def test_latency_summary_agrees_with_ratio(self, trained):
+        classifier, dataset = trained
+        session = StreamingSession(classifier, dataset.length)
+        session.run(dataset.values[0])
+        assert session.mean_latency_ratio(8.0) == pytest.approx(
+            session.latency_summary().mean / 8.0
+        )
+
     def test_check_every_reduces_consultations(self, trained):
         classifier, dataset = trained
         dense = StreamingSession(classifier, dataset.length, check_every=1)

@@ -45,6 +45,68 @@ class TestTimeLimit:
             # Outer scope still intact after the inner timeout fired.
             assert True
 
+    def test_degraded_mode_warns_once(self, monkeypatch, caplog):
+        """No SIGALRM -> one warning through the repro logger, not silence."""
+        import logging
+
+        from repro.core import timeouts
+        from repro.obs.logging import reset_warnings
+
+        monkeypatch.setattr(timeouts, "_alarm_supported", lambda: False)
+        reset_warnings()
+        try:
+            with caplog.at_level(logging.WARNING, logger="repro"):
+                with time_limit(0.1):
+                    time.sleep(0.15)  # degraded: not preempted
+                with time_limit(0.1):
+                    pass
+            warnings = [
+                record
+                for record in caplog.records
+                if "SIGALRM unavailable" in record.message
+            ]
+            assert len(warnings) == 1
+            assert warnings[0].name == "repro.core.timeouts"
+            assert "cooperative" in warnings[0].message
+        finally:
+            reset_warnings()
+
+    def test_degraded_mode_annotates_active_span(self, monkeypatch):
+        from repro.core import timeouts
+        from repro.obs.logging import reset_warnings
+        from repro.obs.trace import Tracer, use_tracer
+
+        monkeypatch.setattr(timeouts, "_alarm_supported", lambda: False)
+        reset_warnings()
+        try:
+            tracer = Tracer()
+            with use_tracer(tracer):
+                with tracer.span("cell") as span:
+                    with time_limit(0.1):
+                        pass
+            assert span.attributes.get("time_limit_degraded") is True
+        finally:
+            reset_warnings()
+
+    def test_disabled_budget_never_warns(self, monkeypatch, caplog):
+        """No budget requested -> degradation is irrelevant, stay silent."""
+        import logging
+
+        from repro.core import timeouts
+        from repro.obs.logging import reset_warnings
+
+        monkeypatch.setattr(timeouts, "_alarm_supported", lambda: False)
+        reset_warnings()
+        try:
+            with caplog.at_level(logging.WARNING, logger="repro"):
+                with time_limit(None):
+                    pass
+                with time_limit(float("inf")):
+                    pass
+            assert "SIGALRM" not in caplog.text
+        finally:
+            reset_warnings()
+
     def test_runner_records_preempted_pair(self):
         from repro.core import (
             AlgorithmRegistry,

@@ -1,0 +1,120 @@
+"""Tests for JSONL trace persistence (TraceWriter -> TraceReader)."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.obs.events import (
+    SCHEMA_VERSION,
+    TraceReader,
+    TraceWriter,
+    read_spans,
+)
+from repro.obs.trace import Tracer
+
+
+def make_trace(path):
+    with TraceWriter(path) as writer:
+        tracer = Tracer(on_finish=writer.write_span)
+        with tracer.span("grid", n_datasets=2):
+            with tracer.span("cell", algorithm="ECTS", dataset="PowerCons") as cell:
+                cell.set_attribute("seconds", 0.5)
+            with tracer.span("cell", algorithm="EDSC", dataset="Wafer") as cell:
+                cell.set_status("timeout")
+    return tracer
+
+
+class TestRoundTrip:
+    def test_every_span_survives_with_fields(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = make_trace(path)
+        live = {span.span_id: span for span in tracer.finished_spans()}
+        loaded = read_spans(path)
+        assert len(loaded) == len(live) == 3
+        for record in loaded:
+            original = live[record.span_id]
+            assert record.name == original.name
+            assert record.parent_id == original.parent_id
+            assert record.status == original.status
+            assert record.attributes == original.attributes
+            assert record.duration == pytest.approx(original.duration)
+            assert record.start_unix == pytest.approx(original.start_unix)
+
+    def test_file_is_strict_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        make_trace(path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 4  # meta + 3 spans
+        for line in lines:
+            record = json.loads(line)
+            assert record["type"] in {"meta", "span"}
+
+    def test_meta_record_carries_version(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        make_trace(path)
+        reader = TraceReader(path)
+        spans = reader.spans()
+        assert spans
+        assert reader.meta["version"] == SCHEMA_VERSION
+
+    def test_nonfinite_attributes_serialised_as_strings(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceWriter(path) as writer:
+            tracer = Tracer(on_finish=writer.write_span)
+            with tracer.span("grid", budget=float("inf")):
+                pass
+        for line in path.read_text().strip().splitlines():
+            json.loads(line)  # must be strict JSON
+        (record,) = read_spans(path)
+        assert record.attributes["budget"] == "inf"
+
+    def test_streaming_readable_mid_run(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        writer = TraceWriter(path)
+        tracer = Tracer(on_finish=writer.write_span)
+        with tracer.span("grid"):
+            with tracer.span("cell"):
+                pass
+            # The finished cell is on disk before the grid closes.
+            assert [r.name for r in read_spans(path)] == ["cell"]
+        writer.close()
+        assert [r.name for r in read_spans(path)] == ["cell", "grid"]
+
+
+class TestErrors:
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ReproError, match="not found"):
+            TraceReader(tmp_path / "absent.jsonl")
+
+    def test_malformed_line_reported_with_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "meta", "version": 1}\nnot json\n')
+        with pytest.raises(ReproError, match="bad.jsonl:2"):
+            read_spans(path)
+
+    def test_write_after_close_rejected(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        writer = TraceWriter(path)
+        writer.close()
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        with pytest.raises(ReproError, match="closed"):
+            writer.write_span(tracer.finished_spans()[0])
+
+    def test_unknown_record_types_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        make_trace(path)
+        with path.open("a") as handle:
+            handle.write('{"type": "future-thing", "x": 1}\n')
+        assert len(read_spans(path)) == 3
+
+    def test_span_count_tracked(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceWriter(path) as writer:
+            tracer = Tracer(on_finish=writer.write_span)
+            for _ in range(5):
+                with tracer.span("cell"):
+                    pass
+            assert writer.n_spans == 5

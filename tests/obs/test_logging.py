@@ -1,0 +1,104 @@
+"""Tests for the repro logging setup, one-time warnings, grid progress."""
+
+import logging
+
+import pytest
+
+from repro.obs.logging import (
+    ROOT_LOGGER_NAME,
+    GridProgress,
+    configure_logging,
+    get_logger,
+    reset_warnings,
+    warn_once,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_logging_state():
+    """Isolate handler/warning state per test."""
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    before_handlers = list(root.handlers)
+    before_level = root.level
+    reset_warnings()
+    yield
+    root.handlers = before_handlers
+    root.setLevel(before_level)
+    reset_warnings()
+
+
+class TestLoggerNaming:
+    def test_root_has_null_handler(self):
+        root = logging.getLogger(ROOT_LOGGER_NAME)
+        assert any(
+            isinstance(handler, logging.NullHandler)
+            for handler in root.handlers
+        )
+
+    def test_names_are_rooted(self):
+        assert get_logger("core.runner").name == "repro.core.runner"
+        assert get_logger("repro.core.cli").name == "repro.core.cli"
+        assert get_logger().name == "repro"
+
+
+class TestConfigureLogging:
+    def test_installs_single_handler_idempotently(self):
+        root = logging.getLogger(ROOT_LOGGER_NAME)
+        baseline = len(root.handlers)
+        configure_logging("INFO")
+        configure_logging("DEBUG")
+        configure_logging(logging.WARNING)
+        assert len(root.handlers) == baseline + 1
+        assert root.level == logging.WARNING
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging("LOUD")
+
+    def test_records_reach_the_stream(self, capsys):
+        import sys
+
+        configure_logging("INFO", stream=sys.stderr)
+        get_logger("core.runner").info("hello from the grid")
+        assert "hello from the grid" in capsys.readouterr().err
+
+
+class TestWarnOnce:
+    def test_second_call_suppressed(self, caplog):
+        with caplog.at_level(logging.WARNING, logger=ROOT_LOGGER_NAME):
+            assert warn_once("key-1", "only once")
+            assert not warn_once("key-1", "only once")
+        assert caplog.text.count("only once") == 1
+
+    def test_distinct_keys_both_fire(self, caplog):
+        with caplog.at_level(logging.WARNING, logger=ROOT_LOGGER_NAME):
+            assert warn_once("key-a", "message a")
+            assert warn_once("key-b", "message b")
+        assert "message a" in caplog.text
+        assert "message b" in caplog.text
+
+
+class TestGridProgress:
+    def test_percentages_and_lifecycle(self, caplog):
+        progress = GridProgress(total_cells=4)
+        with caplog.at_level(logging.INFO, logger=ROOT_LOGGER_NAME):
+            progress.started("ECTS", "PowerCons")
+            progress.finished("ECTS", "PowerCons", 0.5, "acc=0.9")
+            progress.started("EDSC", "PowerCons")
+            progress.failed("EDSC", "PowerCons", 120.0, "budget", timeout=True)
+        assert progress.completed == 2
+        assert progress.fraction_done == pytest.approx(0.5)
+        text = caplog.text
+        assert "cell 1/4 (25.0%)" in text
+        assert "done in 0.5s (acc=0.9)" in text
+        assert "TIMEOUT" in text
+
+    def test_failure_without_timeout_says_failed(self, caplog):
+        progress = GridProgress(total_cells=2)
+        with caplog.at_level(logging.INFO, logger=ROOT_LOGGER_NAME):
+            progress.failed("A", "D", 1.0, "exploded")
+        assert "FAILED" in caplog.text
+        assert "exploded" in caplog.text
+
+    def test_zero_cells_does_not_divide_by_zero(self):
+        assert GridProgress(total_cells=0).fraction_done == 0.0

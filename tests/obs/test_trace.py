@@ -1,0 +1,181 @@
+"""Tests for the span tracer: nesting, ordering, thread-safety, no-op path."""
+
+import threading
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    current_span,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+
+class TestSpanNesting:
+    def test_children_point_at_parent(self):
+        tracer = Tracer()
+        with tracer.span("grid") as grid:
+            with tracer.span("cell") as cell:
+                with tracer.span("fold") as fold:
+                    pass
+        assert grid.parent_id is None
+        assert cell.parent_id == grid.span_id
+        assert fold.parent_id == cell.span_id
+
+    def test_completion_order_is_inner_first(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        names = [span.name for span in tracer.finished_spans()]
+        assert names == ["inner", "outer"]
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("cell") as cell:
+            with tracer.span("fit") as fit:
+                pass
+            with tracer.span("predict") as predict:
+                pass
+        assert fit.parent_id == cell.span_id
+        assert predict.parent_id == cell.span_id
+        assert fit.span_id != predict.span_id
+
+    def test_current_tracks_innermost(self):
+        tracer = Tracer()
+        assert tracer.current() is NULL_SPAN
+        with tracer.span("a") as a:
+            assert tracer.current() is a
+            with tracer.span("b") as b:
+                assert tracer.current() is b
+            assert tracer.current() is a
+        assert tracer.current() is NULL_SPAN
+
+    def test_attributes_and_status(self):
+        tracer = Tracer()
+        with tracer.span("cell", algorithm="ECTS") as span:
+            span.set_attribute("dataset", "PowerCons")
+            span.set_status("timeout")
+        assert span.attributes == {
+            "algorithm": "ECTS",
+            "dataset": "PowerCons",
+        }
+        assert span.status == "timeout"
+
+    def test_exception_marks_error_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("cell") as span:
+                raise ValueError("boom")
+        assert span.status == "error"
+        assert span.ended
+        # The explicitly set status survives an exception.
+        with pytest.raises(ValueError):
+            with tracer.span("cell") as span:
+                span.set_status("timeout")
+                raise ValueError("boom")
+        assert span.status == "timeout"
+
+    def test_duration_positive_and_frozen_after_exit(self):
+        tracer = Tracer()
+        with tracer.span("work") as span:
+            pass
+        first = span.duration
+        assert first >= 0.0
+        assert span.duration == first
+
+
+class TestThreadSafety:
+    def test_concurrent_spans_keep_per_thread_nesting(self):
+        tracer = Tracer()
+        n_threads, n_spans = 8, 25
+        errors = []
+
+        def worker(tag):
+            try:
+                for i in range(n_spans):
+                    with tracer.span("outer", tag=tag, i=i) as outer:
+                        with tracer.span("inner", tag=tag, i=i) as inner:
+                            assert inner.parent_id == outer.span_id
+                        assert outer.parent_id is None
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,))
+            for t in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        spans = tracer.finished_spans()
+        assert len(spans) == n_threads * n_spans * 2
+        ids = [span.span_id for span in spans]
+        assert len(set(ids)) == len(ids)
+        # Every inner span's parent is the matching outer of its thread.
+        by_id = {span.span_id: span for span in spans}
+        for span in spans:
+            if span.name == "inner":
+                parent = by_id[span.parent_id]
+                assert parent.name == "outer"
+                assert parent.attributes["tag"] == span.attributes["tag"]
+                assert parent.attributes["i"] == span.attributes["i"]
+
+
+class TestNullPath:
+    def test_default_tracer_is_null(self):
+        assert isinstance(get_tracer(), NullTracer)
+
+    def test_null_span_absorbs_everything(self):
+        span = NULL_TRACER.span("anything", a=1)
+        with span as inner:
+            inner.set_attribute("k", "v")
+            inner.set_status("timeout")
+        assert inner is NULL_SPAN
+        assert inner.status == "ok"
+        assert inner.attributes == {}
+        assert NULL_TRACER.finished_spans() == []
+
+    def test_use_tracer_restores_previous(self):
+        tracer = Tracer()
+        before = get_tracer()
+        with use_tracer(tracer):
+            assert get_tracer() is tracer
+            with tracer.span("x"):
+                assert current_span().name == "x"
+        assert get_tracer() is before
+        assert current_span() is NULL_SPAN
+
+    def test_set_tracer_none_restores_null(self):
+        previous = set_tracer(Tracer())
+        try:
+            assert get_tracer().enabled
+        finally:
+            set_tracer(None)
+        assert not get_tracer().enabled
+        assert isinstance(previous, NullTracer)
+
+
+class TestMemoryTracing:
+    def test_memory_peak_recorded_when_enabled(self):
+        tracer = Tracer(trace_memory=True)
+        try:
+            with tracer.span("alloc") as span:
+                _ = [0] * 50_000
+            assert span.memory_peak_bytes is not None
+            assert span.memory_peak_bytes > 0
+        finally:
+            tracer.close()
+
+    def test_memory_not_recorded_by_default(self):
+        tracer = Tracer()
+        with tracer.span("alloc"):
+            _ = [0] * 1000
+        assert tracer.finished_spans()[0].memory_peak_bytes is None

@@ -17,6 +17,7 @@ _PUBLIC_MODULES = [
     "repro.datasets",
     "repro.etsc",
     "repro.nn",
+    "repro.obs",
     "repro.stats",
     "repro.transform",
     "repro.tsc",

@@ -18,6 +18,18 @@ from .registry import (
     default_datasets,
 )
 from .charts import grouped_bars, heatmap, horizontal_bars
+from .checkpoint import (
+    CheckpointState,
+    CheckpointWriter,
+    grid_fingerprint,
+    load_checkpoint,
+)
+from .resilience import (
+    FaultPlan,
+    RetryPolicy,
+    classify_failure,
+    failure_reason,
+)
 from .results import load_report, report_to_markdown, save_report
 from .significance import (
     SignificanceReport,
@@ -60,6 +72,14 @@ __all__ = [
     "report_to_markdown",
     "EvaluationTimeout",
     "time_limit",
+    "RetryPolicy",
+    "FaultPlan",
+    "classify_failure",
+    "failure_reason",
+    "CheckpointState",
+    "CheckpointWriter",
+    "grid_fingerprint",
+    "load_checkpoint",
     "GridSearchETSC",
     "parameter_grid",
     "grouped_bars",

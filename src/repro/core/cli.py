@@ -9,6 +9,11 @@ Observability: ``--trace PATH`` writes a JSONL span trace of the run,
 ``--log-level``/``--progress`` turn on logging and per-cell progress
 telemetry (see ``docs/observability.md``).
 
+Fault tolerance: ``--checkpoint PATH`` appends every cell outcome to a
+JSONL checkpoint, ``--resume`` restarts a killed run from it (skipping
+completed cells), and ``--retries N`` re-attempts transiently-failed
+cells with exponential backoff (see ``docs/resilience.md``).
+
 Examples
 --------
 List what is available::
@@ -121,6 +126,42 @@ def build_parser() -> argparse.ArgumentParser:
             "elapsed time and grid completion %%); implies --log-level info"
         ),
     )
+    parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help=(
+            "append every cell outcome to a JSONL checkpoint at PATH as "
+            "the grid runs, so a killed run can be resumed with --resume"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume the grid from the checkpoint at --checkpoint PATH, "
+            "skipping completed cells (the checkpoint's grid fingerprint "
+            "must match this invocation)"
+        ),
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "retry transiently-failed cells up to N extra times with "
+            "exponential backoff (timeouts and permanent failures are "
+            "never retried)"
+        ),
+    )
+    parser.add_argument(
+        "--retry-delay",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="base backoff delay for --retries (doubles per attempt)",
+    )
     return parser
 
 
@@ -169,6 +210,21 @@ def main(argv: list[str] | None = None, out=None) -> int:
             print(f"  {name}", file=out)
         return 0
 
+    if arguments.resume and not arguments.checkpoint:
+        print(
+            "error: --resume requires --checkpoint PATH (the file to "
+            "resume from)",
+            file=out,
+        )
+        return 2
+    retry_policy = None
+    if arguments.retries > 0:
+        from .resilience import RetryPolicy
+
+        retry_policy = RetryPolicy(
+            max_attempts=arguments.retries + 1,
+            base_delay=arguments.retry_delay,
+        )
     runner = BenchmarkRunner(
         algorithms,
         datasets,
@@ -178,22 +234,42 @@ def main(argv: list[str] | None = None, out=None) -> int:
         large_threshold=max(2, int(1000 * arguments.scale)),
         seed=arguments.seed,
         progress=lambda line: print(line, file=out),
+        retry_policy=retry_policy,
+        checkpoint_path=arguments.checkpoint,
+        resume_from=arguments.checkpoint if arguments.resume else None,
+        # The runner cannot see the scale factor or registry profile, but
+        # both change the grid's contents — fold them into the fingerprint
+        # so --resume refuses a mismatched invocation.
+        fingerprint_extra={
+            "scale": arguments.scale,
+            "extended": arguments.extended,
+            "paper_params": arguments.paper_params,
+        },
     )
-    if arguments.trace:
-        from ..obs.events import TraceWriter
-        from ..obs.trace import Tracer, use_tracer
+    from ..exceptions import CheckpointError
 
-        with TraceWriter(arguments.trace) as writer:
-            with use_tracer(Tracer(on_finish=writer.write_span)):
-                report = runner.run(arguments.algorithms, arguments.datasets)
-            n_spans = writer.n_spans
-        print(
-            f"\ntrace written to {arguments.trace} ({n_spans} spans); "
-            f"summarise with: python -m repro.obs.summary {arguments.trace}",
-            file=out,
-        )
-    else:
-        report = runner.run(arguments.algorithms, arguments.datasets)
+    try:
+        if arguments.trace:
+            from ..obs.events import TraceWriter
+            from ..obs.trace import Tracer, use_tracer
+
+            with TraceWriter(arguments.trace) as writer:
+                with use_tracer(Tracer(on_finish=writer.write_span)):
+                    report = runner.run(
+                        arguments.algorithms, arguments.datasets
+                    )
+                n_spans = writer.n_spans
+            print(
+                f"\ntrace written to {arguments.trace} ({n_spans} spans); "
+                f"summarise with: "
+                f"python -m repro.obs.summary {arguments.trace}",
+                file=out,
+            )
+        else:
+            report = runner.run(arguments.algorithms, arguments.datasets)
+    except CheckpointError as error:
+        print(f"error: {error}", file=out)
+        return 2
     for metric in ("accuracy", "f1", "earliness", "harmonic_mean"):
         _print_category_table(report, metric, out)
     if report.failures:

@@ -1,0 +1,246 @@
+"""Failure taxonomy, retry policy, and deterministic fault injection.
+
+The paper's empirical comparison is a multi-day grid run governed by a
+48-hour kill rule; a credible benchmark records *every* cell's outcome
+rather than dying on the first bad fit. This module gives the runner the
+vocabulary for that:
+
+* :func:`classify_failure` sorts an exception into one of four
+  :data:`FailureKind` buckets — ``timeout`` (the kill rule fired; never
+  retried), ``data-format`` (the input file is bad; retrying cannot
+  help), ``transient`` (resource pressure / flaky I/O; worth retrying),
+  and ``permanent`` (everything else, including programming errors in an
+  algorithm — isolated, recorded, not retried).
+* :class:`RetryPolicy` decides how many attempts a cell gets and how
+  long to wait between them: exponential backoff with deterministic
+  jitter (seeded from the cell key, so two runs of the same grid sleep
+  the same amount), with the clock injectable for tests.
+* :class:`FaultPlan` is a deterministic fault-injection harness: "fail
+  algorithm X on dataset Y with exception Z on attempt N". The runner
+  accepts any callable hook with the same signature; the plan records
+  every injection so tests can assert exactly which attempts fired.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+import traceback
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..exceptions import DataFormatError, ReproError, TransientError
+from .timeouts import EvaluationTimeout
+
+__all__ = [
+    "TIMEOUT",
+    "TRANSIENT",
+    "PERMANENT",
+    "DATA_FORMAT",
+    "FAILURE_KINDS",
+    "classify_failure",
+    "failure_reason",
+    "format_traceback",
+    "RetryPolicy",
+    "Fault",
+    "FaultPlan",
+]
+
+#: Failure kinds — the taxonomy every recorded cell failure carries.
+TIMEOUT = "timeout"
+TRANSIENT = "transient"
+PERMANENT = "permanent"
+DATA_FORMAT = "data-format"
+
+FAILURE_KINDS = (TIMEOUT, TRANSIENT, PERMANENT, DATA_FORMAT)
+
+#: Kinds worth another attempt. Timeouts are excluded by design: a cell
+#: that burnt its whole budget once will burn it again.
+RETRYABLE_KINDS = frozenset({TRANSIENT})
+
+
+def classify_failure(error: BaseException) -> str:
+    """Sort ``error`` into one of :data:`FAILURE_KINDS`.
+
+    ``EvaluationTimeout`` -> ``timeout``; ``DataFormatError`` ->
+    ``data-format``; :class:`~repro.exceptions.TransientError`,
+    ``OSError`` and ``MemoryError`` -> ``transient`` (resource pressure
+    or flaky I/O may clear on a later attempt); anything else ->
+    ``permanent``.
+    """
+    if isinstance(error, EvaluationTimeout):
+        return TIMEOUT
+    if isinstance(error, DataFormatError):
+        return DATA_FORMAT
+    if isinstance(error, (TransientError, OSError, MemoryError)):
+        return TRANSIENT
+    return PERMANENT
+
+
+def failure_reason(error: BaseException) -> str:
+    """The string recorded in ``RunReport.failures`` for ``error``.
+
+    Framework errors read naturally on their own; foreign exceptions
+    (``ValueError``, ``LinAlgError``, ...) keep their class name so a
+    report line identifies the failure without the traceback.
+    """
+    if isinstance(error, ReproError):
+        return str(error)
+    return f"{type(error).__name__}: {error}"
+
+
+def format_traceback(error: BaseException, limit: int = 12) -> str:
+    """Compact traceback (innermost ``limit`` frames) for span context."""
+    lines = traceback.format_exception(type(error), error, error.__traceback__)
+    text = "".join(lines).rstrip()
+    tail = text.splitlines()[-limit:]
+    return "\n".join(tail)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic jitter.
+
+    Attempt ``n`` (1-based) failing transiently waits
+    ``min(base_delay * backoff**(n-1), max_delay)`` scaled by a jitter
+    factor in ``[1, 1 + jitter]`` before attempt ``n + 1``. The jitter is
+    drawn from an RNG seeded with the cell key and attempt number, so a
+    re-run of the same grid produces identical delays — determinism the
+    checkpoint/resume equality guarantee depends on.
+
+    ``sleep`` is the injectable clock (tests pass a recorder instead of
+    ``time.sleep``); ``classify`` maps exceptions to failure kinds and
+    defaults to :func:`classify_failure`.
+    """
+
+    max_attempts: int = 1
+    base_delay: float = 1.0
+    backoff: float = 2.0
+    max_delay: float = 60.0
+    jitter: float = 0.1
+    classify: Callable[[BaseException], str] = classify_failure
+    sleep: Callable[[float], None] = time.sleep
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ReproError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ReproError("delays must be non-negative")
+
+    def should_retry(self, error: BaseException, attempt: int) -> bool:
+        """Whether attempt ``attempt`` failing with ``error`` gets another."""
+        if attempt >= self.max_attempts:
+            return False
+        return self.classify(error) in RETRYABLE_KINDS
+
+    def delay(self, attempt: int, key: str = "") -> float:
+        """Seconds to wait after failed attempt ``attempt`` (1-based)."""
+        base = min(
+            self.base_delay * self.backoff ** (attempt - 1), self.max_delay
+        )
+        if self.jitter <= 0 or base <= 0:
+            return base
+        seed = zlib.crc32(key.encode("utf-8")) ^ attempt
+        factor = 1.0 + random.Random(seed).uniform(0.0, self.jitter)
+        return min(base * factor, self.max_delay)
+
+    def wait(self, attempt: int, key: str = "") -> float:
+        """Sleep the backoff delay for ``attempt``; returns the delay."""
+        delay = self.delay(attempt, key)
+        if delay > 0:
+            self.sleep(delay)
+        return delay
+
+
+#: Stage names a fault hook is consulted at.
+STAGE_EVALUATE = "evaluate"
+STAGE_LOAD = "load"
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One planned failure: match a grid cell attempt, raise an exception.
+
+    ``algorithm`` / ``dataset`` match exactly or via ``"*"`` (load-stage
+    faults have no algorithm; they match ``"*"`` or ``""``).
+    ``attempts`` is the set of 1-based attempt numbers that fail —
+    ``None`` means every attempt (retry exhaustion). ``exception`` is an
+    exception class or zero-argument factory producing the raised error.
+    """
+
+    dataset: str
+    algorithm: str = "*"
+    exception: Callable[[], BaseException] = TransientError
+    attempts: frozenset[int] | None = frozenset({1})
+    stage: str = STAGE_EVALUATE
+
+    def matches(
+        self, stage: str, algorithm: str, dataset: str, attempt: int
+    ) -> bool:
+        if stage != self.stage:
+            return False
+        if self.dataset not in ("*", dataset):
+            return False
+        if self.algorithm not in ("*", algorithm):
+            return False
+        return self.attempts is None or attempt in self.attempts
+
+    def build(self) -> BaseException:
+        error = self.exception()
+        if not isinstance(error, BaseException):
+            raise ReproError(
+                f"fault exception factory returned {type(error).__name__}, "
+                "not an exception"
+            )
+        if not error.args:
+            error.args = (
+                f"injected fault ({self.stage} {self.algorithm} "
+                f"on {self.dataset})",
+            )
+        return error
+
+
+@dataclass
+class FaultPlan:
+    """Deterministic fault-injection harness for the grid runner.
+
+    Pass an instance as ``BenchmarkRunner(fault_injector=plan)``; the
+    runner consults it before every dataset load and every evaluation
+    attempt. Matching faults raise; every injection is appended to
+    ``injected`` as ``(stage, algorithm, dataset, attempt)`` so tests can
+    assert the exact failure schedule that ran.
+    """
+
+    faults: list[Fault] = field(default_factory=list)
+    injected: list[tuple[str, str, str, int]] = field(default_factory=list)
+
+    def fail(
+        self,
+        dataset: str,
+        algorithm: str = "*",
+        exception: Callable[[], BaseException] = TransientError,
+        attempts: tuple[int, ...] | None = (1,),
+        stage: str = STAGE_EVALUATE,
+    ) -> "FaultPlan":
+        """Add a fault; returns ``self`` for chaining."""
+        self.faults.append(
+            Fault(
+                dataset=dataset,
+                algorithm=algorithm,
+                exception=exception,
+                attempts=None if attempts is None else frozenset(attempts),
+                stage=stage,
+            )
+        )
+        return self
+
+    def __call__(
+        self, stage: str, algorithm: str, dataset: str, attempt: int
+    ) -> None:
+        for fault in self.faults:
+            if fault.matches(stage, algorithm, dataset, attempt):
+                self.injected.append((stage, algorithm, dataset, attempt))
+                raise fault.build()

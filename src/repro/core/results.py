@@ -13,17 +13,29 @@ import json
 import os
 from typing import Iterable
 
+from typing import TYPE_CHECKING
+
 from ..exceptions import DataFormatError
 from .categorization import DatasetCategories
 from .evaluation import EvaluationResult, FoldResult
-from .runner import RunReport
 
-__all__ = ["save_report", "load_report", "report_to_markdown"]
+if TYPE_CHECKING:  # break the runner -> checkpoint -> results cycle
+    from .runner import RunReport
+
+__all__ = [
+    "save_report",
+    "load_report",
+    "report_to_markdown",
+    "fold_to_dict",
+    "fold_from_dict",
+    "categories_from_names",
+]
 
 _FORMAT_VERSION = 1
 
 
-def _fold_to_dict(fold: FoldResult) -> dict:
+def fold_to_dict(fold: FoldResult) -> dict:
+    """JSON-serialisable form of one fold (shared with checkpoints)."""
     return {
         "accuracy": fold.accuracy,
         "f1": fold.f1,
@@ -35,6 +47,15 @@ def _fold_to_dict(fold: FoldResult) -> dict:
     }
 
 
+def fold_from_dict(payload: dict) -> FoldResult:
+    """Inverse of :func:`fold_to_dict`."""
+    return FoldResult(**payload)
+
+
+# Backwards-compatible alias (pre-resilience name).
+_fold_to_dict = fold_to_dict
+
+
 def save_report(report: RunReport, path: str | os.PathLike) -> None:
     """Serialise a run report (results, failures, categories) to JSON."""
     payload = {
@@ -43,7 +64,7 @@ def save_report(report: RunReport, path: str | os.PathLike) -> None:
             {
                 "algorithm": algorithm,
                 "dataset": dataset,
-                "folds": [_fold_to_dict(fold) for fold in result.folds],
+                "folds": [fold_to_dict(fold) for fold in result.folds],
             }
             for (algorithm, dataset), result in report.results.items()
         ],
@@ -61,7 +82,8 @@ def save_report(report: RunReport, path: str | os.PathLike) -> None:
         json.dump(payload, handle, indent=2, sort_keys=True)
 
 
-def _categories_from_names(names: Iterable[str]) -> DatasetCategories:
+def categories_from_names(names: Iterable[str]) -> DatasetCategories:
+    """Rebuild a :class:`DatasetCategories` from its flag-name list."""
     names = set(names)
     return DatasetCategories(
         wide="Wide" in names,
@@ -77,6 +99,8 @@ def _categories_from_names(names: Iterable[str]) -> DatasetCategories:
 
 def load_report(path: str | os.PathLike) -> RunReport:
     """Load a report previously written by :func:`save_report`."""
+    from .runner import RunReport
+
     with open(path, "r", encoding="utf-8") as handle:
         payload = json.load(handle)
     if payload.get("version") != _FORMAT_VERSION:
@@ -85,7 +109,7 @@ def load_report(path: str | os.PathLike) -> RunReport:
         )
     report = RunReport()
     for entry in payload["results"]:
-        folds = tuple(FoldResult(**fold) for fold in entry["folds"])
+        folds = tuple(fold_from_dict(fold) for fold in entry["folds"])
         report.results[(entry["algorithm"], entry["dataset"])] = (
             EvaluationResult(entry["algorithm"], entry["dataset"], folds)
         )
@@ -94,7 +118,7 @@ def load_report(path: str | os.PathLike) -> RunReport:
             "reason"
         ]
     for dataset, names in payload["categories"].items():
-        report.categories[dataset] = _categories_from_names(names)
+        report.categories[dataset] = categories_from_names(names)
     report._frequencies.update(payload.get("frequencies", {}))
     return report
 

@@ -7,10 +7,21 @@ runs after 48 hours — EDSC never finished the 'Wide' datasets), and
 aggregate each metric over the Table 3 dataset categories to produce the
 series plotted in Figures 9-12 and the online-feasibility heatmap of
 Figure 13.
+
+Fault tolerance: every cell (including the dataset load) is crash-
+isolated — *any* exception is caught, classified (timeout / transient /
+permanent / data-format, see :mod:`repro.core.resilience`), recorded in
+``RunReport.failures`` with traceback context on the cell span, and the
+grid keeps going. Transient failures are retried with exponential
+backoff. With a checkpoint attached, each cell's outcome is appended to
+an append-only JSONL file as it completes, and ``resume_from=`` restores
+a killed run, skipping finished cells (see
+:mod:`repro.core.checkpoint`).
 """
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable
@@ -28,9 +39,16 @@ from .categorization import (
     categorize,
     category_names,
 )
+from .checkpoint import CheckpointWriter, grid_fingerprint, load_checkpoint
 from .evaluation import EvaluationResult, evaluate
 from .registry import AlgorithmRegistry, DatasetRegistry
-from .timeouts import EvaluationTimeout, time_limit
+from .resilience import (
+    TIMEOUT,
+    RetryPolicy,
+    failure_reason,
+    format_traceback,
+)
+from .timeouts import time_limit
 
 _logger = get_logger("core.runner")
 
@@ -159,9 +177,34 @@ class BenchmarkRunner:
         Optional callable receiving human-readable progress lines.
     metrics:
         Optional :class:`repro.obs.metrics.MetricsRegistry` to record run
-        counters into (cells completed / timed out / failed, grid
-        completion). A fresh registry is created when omitted; it is
+        counters into (cells completed / timed out / failed / retried,
+        grid completion). A fresh registry is created when omitted; it is
         always available as ``runner.metrics`` after construction.
+    retry_policy:
+        :class:`repro.core.resilience.RetryPolicy` governing how many
+        attempts a transiently-failing cell gets and the backoff between
+        them. The default policy makes a single attempt (no retries).
+        Timeouts and permanent/data-format failures are never retried.
+    checkpoint_path:
+        Write an append-only JSONL checkpoint of every cell outcome to
+        this path as the grid runs, so a killed run can be resumed.
+    resume_from:
+        Path of a checkpoint from a previous (killed) run. Its completed
+        cells are restored into the report and skipped; the checkpoint's
+        grid fingerprint must match this run's (seed, folds, budget,
+        algorithm/dataset lists) or
+        :class:`repro.exceptions.CheckpointMismatchError` is raised.
+        When ``checkpoint_path`` is omitted, new outcomes append to the
+        resumed file.
+    fault_injector:
+        Deterministic fault-injection hook for tests: a callable
+        ``(stage, algorithm, dataset, attempt)`` consulted before every
+        dataset load (``stage="load"``) and evaluation attempt
+        (``stage="evaluate"``); raising injects the failure. See
+        :class:`repro.core.resilience.FaultPlan`.
+    fingerprint_extra:
+        Extra key/value context folded into the checkpoint fingerprint
+        (the CLI records the scale factor and registry profile here).
 
     Tracing is picked up from the process-wide tracer
     (:func:`repro.obs.trace.get_tracer`) at :meth:`run` time; per-cell
@@ -180,6 +223,11 @@ class BenchmarkRunner:
         seed: int = 0,
         progress: Callable[[str], None] | None = None,
         metrics: MetricsRegistry | None = None,
+        retry_policy: RetryPolicy | None = None,
+        checkpoint_path: str | os.PathLike | None = None,
+        resume_from: str | os.PathLike | None = None,
+        fault_injector: Callable[[str, str, str, int], None] | None = None,
+        fingerprint_extra: dict | None = None,
     ) -> None:
         self.algorithms = algorithms
         self.datasets = datasets
@@ -190,6 +238,11 @@ class BenchmarkRunner:
         self.seed = seed
         self.progress = progress or (lambda line: None)
         self.metrics = metrics or MetricsRegistry()
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.checkpoint_path = checkpoint_path
+        self.resume_from = resume_from
+        self.fault_injector = fault_injector
+        self.fingerprint_extra = fingerprint_extra
 
     def _categorize(self, dataset: TimeSeriesDataset) -> DatasetCategories:
         # The paper's 12 datasets keep their published Table 3 assignment
@@ -204,6 +257,75 @@ class BenchmarkRunner:
             kwargs["large_threshold"] = self.large_threshold
         return categorize(dataset, **kwargs)
 
+    def fingerprint(
+        self,
+        algorithm_names: list[str] | None = None,
+        dataset_names: list[str] | None = None,
+    ) -> dict:
+        """The checkpoint fingerprint :meth:`run` would use for this grid."""
+        return grid_fingerprint(
+            seed=self.seed,
+            n_folds=self.n_folds,
+            time_budget_seconds=self.time_budget_seconds,
+            algorithms=algorithm_names or self.algorithms.names(),
+            datasets=dataset_names or self.datasets.names(),
+            wide_threshold=self.wide_threshold,
+            large_threshold=self.large_threshold,
+            extra=self.fingerprint_extra,
+        )
+
+    def _open_checkpoint(
+        self, report: RunReport, fingerprint: dict
+    ) -> tuple[CheckpointWriter | None, set[tuple[str, str]]]:
+        """Restore a resumed run's state and open the checkpoint writer.
+
+        Returns ``(writer, completed_keys)``; the writer is ``None`` when
+        checkpointing is off. Restored outcomes are copied into ``report``
+        before any cell runs.
+        """
+        completed: set[tuple[str, str]] = set()
+        state = None
+        if self.resume_from is not None:
+            state = load_checkpoint(self.resume_from)
+            state.validate_fingerprint(fingerprint)
+            report.results.update(state.results)
+            report.failures.update(state.failures)
+            report.categories.update(state.categories)
+            report._frequencies.update(state.frequencies)
+            completed = state.completed_keys()
+            _logger.info(
+                "resuming from %s: %d cells already complete "
+                "(%d results, %d failures)",
+                self.resume_from,
+                len(completed),
+                len(state.results),
+                len(state.failures),
+            )
+        path = self.checkpoint_path or self.resume_from
+        if path is None:
+            return None, completed
+        same_file = state is not None and os.path.realpath(
+            str(path)
+        ) == os.path.realpath(str(self.resume_from))
+        writer = CheckpointWriter(path, fingerprint, append=same_file)
+        if state is not None and not same_file:
+            # Resuming into a fresh checkpoint file: re-record the
+            # restored outcomes so the new file stands alone.
+            for name, categories in state.categories.items():
+                writer.write_dataset(
+                    name, categories, state.frequencies.get(name)
+                )
+            for (algorithm, dataset), result in state.results.items():
+                writer.write_result(algorithm, dataset, result)
+            for (algorithm, dataset), reason in state.failures.items():
+                writer.write_failure(
+                    algorithm,
+                    dataset,
+                    reason,
+                    state.failure_kinds.get((algorithm, dataset), "permanent"),
+                )
+        return writer, completed
+
     def run(
         self,
         algorithm_names: list[str] | None = None,
@@ -214,32 +336,176 @@ class BenchmarkRunner:
         algorithm_names = algorithm_names or self.algorithms.names()
         dataset_names = dataset_names or self.datasets.names()
         tracer = get_tracer()
-        telemetry = GridProgress(
-            len(algorithm_names) * len(dataset_names), logger=_logger
+        checkpoint, completed = self._open_checkpoint(
+            report, self.fingerprint(algorithm_names, dataset_names)
         )
+        n_to_run = (
+            len(algorithm_names) * len(dataset_names) - len(completed)
+        )
+        telemetry = GridProgress(n_to_run, logger=_logger)
         completion = self.metrics.gauge("grid_completion")
-        with tracer.span(
-            "grid",
-            n_algorithms=len(algorithm_names),
-            n_datasets=len(dataset_names),
-            n_folds=self.n_folds,
-            time_budget_seconds=self.time_budget_seconds,
-            seed=self.seed,
-        ):
-            for dataset_name in dataset_names:
-                dataset = self.datasets.load(dataset_name)
-                report.categories[dataset_name] = self._categorize(dataset)
-                if dataset.frequency_seconds is not None:
-                    report._frequencies[dataset_name] = (
-                        dataset.frequency_seconds
+        try:
+            with tracer.span(
+                "grid",
+                n_algorithms=len(algorithm_names),
+                n_datasets=len(dataset_names),
+                n_folds=self.n_folds,
+                time_budget_seconds=self.time_budget_seconds,
+                seed=self.seed,
+                resumed_cells=len(completed),
+            ):
+                for dataset_name in dataset_names:
+                    remaining = [
+                        name
+                        for name in algorithm_names
+                        if (name, dataset_name) not in completed
+                    ]
+                    if not remaining:
+                        continue
+                    dataset = self._load_dataset(
+                        dataset_name, remaining, report,
+                        tracer, telemetry, checkpoint,
                     )
-                for algorithm_name in algorithm_names:
-                    self._run_cell(
-                        report, algorithm_name, dataset_name, dataset,
-                        tracer, telemetry,
+                    if dataset is None:
+                        completion.set(telemetry.fraction_done)
+                        continue
+                    report.categories[dataset_name] = (
+                        self._categorize(dataset)
                     )
-                    completion.set(telemetry.fraction_done)
+                    if dataset.frequency_seconds is not None:
+                        report._frequencies[dataset_name] = (
+                            dataset.frequency_seconds
+                        )
+                    if checkpoint is not None:
+                        checkpoint.write_dataset(
+                            dataset_name,
+                            report.categories[dataset_name],
+                            dataset.frequency_seconds,
+                        )
+                    for algorithm_name in remaining:
+                        self._run_cell(
+                            report, algorithm_name, dataset_name, dataset,
+                            tracer, telemetry, checkpoint,
+                        )
+                        completion.set(telemetry.fraction_done)
+        finally:
+            if checkpoint is not None:
+                checkpoint.close()
         return report
+
+    def _load_dataset(
+        self,
+        dataset_name: str,
+        algorithm_names: list[str],
+        report: RunReport,
+        tracer,
+        telemetry: GridProgress,
+        checkpoint: CheckpointWriter | None,
+    ) -> TimeSeriesDataset | None:
+        """Load a dataset under crash isolation and the retry policy.
+
+        A terminal failure (corrupt file, missing generator, retry
+        exhaustion) records one failure per remaining cell of the dataset
+        — the grid keeps going — and returns ``None``.
+        """
+        policy = self.retry_policy
+        attempt = 0
+        with tracer.span("load", dataset=dataset_name) as span:
+            while True:
+                attempt += 1
+                try:
+                    if self.fault_injector is not None:
+                        self.fault_injector("load", "", dataset_name, attempt)
+                    return self.datasets.load(dataset_name)
+                except Exception as error:
+                    kind = policy.classify(error)
+                    reason = failure_reason(error)
+                    span.add_event(
+                        "attempt_failed",
+                        attempt=attempt,
+                        kind=kind,
+                        error=reason,
+                    )
+                    if policy.should_retry(error, attempt):
+                        self.metrics.counter("load_retries").inc()
+                        delay = policy.wait(
+                            attempt, key=f"load:{dataset_name}"
+                        )
+                        span.add_event(
+                            "retry", attempt=attempt, delay=delay
+                        )
+                        _logger.warning(
+                            "load %s: transient failure (%s), retrying "
+                            "attempt %d/%d after %.2fs",
+                            dataset_name, reason, attempt + 1,
+                            policy.max_attempts, delay,
+                        )
+                        continue
+                    span.set_status("error")
+                    span.set_attribute("reason", reason)
+                    span.set_attribute("failure_kind", kind)
+                    span.set_attribute("attempts", attempt)
+                    span.set_attribute(
+                        "traceback", format_traceback(error)
+                    )
+                    self.metrics.counter("datasets_failed").inc()
+                    cell_reason = f"dataset load failed: {reason}"
+                    for algorithm_name in algorithm_names:
+                        self.metrics.counter("cells_total").inc()
+                        self.metrics.counter("cells_failed").inc()
+                        report.failures[(algorithm_name, dataset_name)] = (
+                            cell_reason
+                        )
+                        if checkpoint is not None:
+                            checkpoint.write_failure(
+                                algorithm_name, dataset_name,
+                                cell_reason, kind, attempt,
+                            )
+                        telemetry.failed(
+                            algorithm_name, dataset_name, 0.0, cell_reason
+                        )
+                        self.progress(
+                            f"{algorithm_name} on {dataset_name}: "
+                            f"FAILED ({cell_reason})"
+                        )
+                    return None
+
+    def _record_failure(
+        self,
+        report: RunReport,
+        algorithm_name: str,
+        dataset_name: str,
+        reason: str,
+        kind: str,
+        attempt: int,
+        elapsed: float,
+        cell_span,
+        telemetry: GridProgress,
+        checkpoint: CheckpointWriter | None,
+        traceback_text: str | None = None,
+    ) -> None:
+        """Record one terminal cell failure everywhere it must appear."""
+        timeout = kind == TIMEOUT
+        cell_span.set_status("timeout" if timeout else "error")
+        cell_span.set_attribute("reason", reason)
+        cell_span.set_attribute("failure_kind", kind)
+        cell_span.set_attribute("attempts", attempt)
+        if traceback_text is not None:
+            cell_span.set_attribute("traceback", traceback_text)
+        self.metrics.counter(
+            "cells_timeout" if timeout else "cells_failed"
+        ).inc()
+        report.failures[(algorithm_name, dataset_name)] = reason
+        if checkpoint is not None:
+            checkpoint.write_failure(
+                algorithm_name, dataset_name, reason, kind, attempt
+            )
+        telemetry.failed(
+            algorithm_name, dataset_name, elapsed, reason, timeout=timeout
+        )
+        self.progress(
+            f"{algorithm_name} on {dataset_name}: FAILED ({reason})"
+        )
 
     def _run_cell(
         self,
@@ -249,62 +515,89 @@ class BenchmarkRunner:
         dataset: TimeSeriesDataset,
         tracer,
         telemetry: GridProgress,
+        checkpoint: CheckpointWriter | None = None,
     ) -> None:
-        """One (algorithm, dataset) pair: evaluate, record, report."""
+        """One (algorithm, dataset) pair: evaluate, record, report.
+
+        Crash-isolated: any exception (not just ``ReproError``) is
+        caught, classified, and recorded as a failure; transient failures
+        are retried under the runner's :class:`RetryPolicy`; the grid
+        never aborts because of one bad cell.
+        """
         info = self.algorithms.get(algorithm_name)
+        policy = self.retry_policy
         self.metrics.counter("cells_total").inc()
         telemetry.started(algorithm_name, dataset_name)
         with tracer.span(
             "cell", algorithm=algorithm_name, dataset=dataset_name
         ) as cell_span:
             start = time.perf_counter()
-            try:
-                # Preemptive kill rule (the paper's 48-hour cutoff);
-                # falls back to the cooperative check below when
-                # SIGALRM is unavailable (non-Unix or worker thread).
-                with time_limit(self.time_budget_seconds):
-                    result = evaluate(
-                        info.factory,
-                        dataset,
-                        algorithm_name,
-                        n_folds=self.n_folds,
-                        seed=self.seed,
+            attempt = 0
+            while True:
+                attempt += 1
+                try:
+                    if self.fault_injector is not None:
+                        self.fault_injector(
+                            "evaluate", algorithm_name, dataset_name, attempt
+                        )
+                    # Preemptive kill rule (the paper's 48-hour cutoff);
+                    # falls back to the cooperative check below when
+                    # SIGALRM is unavailable (non-Unix or worker thread).
+                    with time_limit(self.time_budget_seconds):
+                        result = evaluate(
+                            info.factory,
+                            dataset,
+                            algorithm_name,
+                            n_folds=self.n_folds,
+                            seed=self.seed,
+                        )
+                    break
+                except Exception as error:
+                    kind = policy.classify(error)
+                    reason = failure_reason(error)
+                    cell_span.add_event(
+                        "attempt_failed",
+                        attempt=attempt,
+                        kind=kind,
+                        error=reason,
                     )
-            except ReproError as error:
-                elapsed = time.perf_counter() - start
-                timeout = isinstance(error, EvaluationTimeout)
-                cell_span.set_status("timeout" if timeout else "error")
-                cell_span.set_attribute("reason", str(error))
-                self.metrics.counter(
-                    "cells_timeout" if timeout else "cells_failed"
-                ).inc()
-                report.failures[(algorithm_name, dataset_name)] = str(error)
-                telemetry.failed(
-                    algorithm_name, dataset_name, elapsed, str(error),
-                    timeout=timeout,
-                )
-                self.progress(
-                    f"{algorithm_name} on {dataset_name}: FAILED ({error})"
-                )
-                return
+                    if policy.should_retry(error, attempt):
+                        self.metrics.counter("cell_retries").inc()
+                        delay = policy.wait(
+                            attempt, key=f"{algorithm_name}:{dataset_name}"
+                        )
+                        cell_span.add_event(
+                            "retry", attempt=attempt, delay=delay
+                        )
+                        _logger.warning(
+                            "%s on %s: transient failure (%s), retrying "
+                            "attempt %d/%d after %.2fs",
+                            algorithm_name, dataset_name, reason,
+                            attempt + 1, policy.max_attempts, delay,
+                        )
+                        continue
+                    self._record_failure(
+                        report, algorithm_name, dataset_name, reason, kind,
+                        attempt, time.perf_counter() - start, cell_span,
+                        telemetry, checkpoint,
+                        traceback_text=format_traceback(error),
+                    )
+                    return
             elapsed = time.perf_counter() - start
             cell_span.set_attribute("seconds", elapsed)
+            cell_span.set_attribute("attempts", attempt)
             if elapsed > self.time_budget_seconds:
-                reason = f"exceeded time budget ({elapsed:.1f}s)"
-                cell_span.set_status("timeout")
-                cell_span.set_attribute("reason", reason)
-                self.metrics.counter("cells_timeout").inc()
-                report.failures[(algorithm_name, dataset_name)] = reason
-                telemetry.failed(
-                    algorithm_name, dataset_name, elapsed, reason,
-                    timeout=True,
-                )
-                self.progress(
-                    f"{algorithm_name} on {dataset_name}: over budget "
-                    f"({elapsed:.1f}s), recorded as timeout"
+                # Cooperative after-the-fact budget check (degraded
+                # no-SIGALRM mode): classified timeout, never retried.
+                self._record_failure(
+                    report, algorithm_name, dataset_name,
+                    f"exceeded time budget ({elapsed:.1f}s)", TIMEOUT,
+                    attempt, elapsed, cell_span, telemetry, checkpoint,
                 )
                 return
             report.results[(algorithm_name, dataset_name)] = result
+            if checkpoint is not None:
+                checkpoint.write_result(algorithm_name, dataset_name, result)
             self.metrics.counter("cells_completed").inc()
             self.metrics.timer("cell_seconds").observe(elapsed)
             detail = (

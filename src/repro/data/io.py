@@ -12,6 +12,12 @@ of each row, the class label. Files of type .arff are also supported."
 * :func:`load_arff` / :func:`save_arff` — a pragmatic subset of ARFF:
   numeric attributes for the time-points plus a nominal/numeric class
   attribute in the final position.
+
+Both loaders accept ``strict=False`` (lenient mode): malformed data rows
+are skipped — counted and reported through one ``repro.data.io`` logger
+warning per file — instead of raising :class:`DataFormatError`. Header
+errors, unreadable files, and files with *no* valid rows still raise;
+lenient mode only tolerates bad rows inside an otherwise usable file.
 """
 
 from __future__ import annotations
@@ -23,7 +29,10 @@ from typing import Sequence
 import numpy as np
 
 from ..exceptions import DataFormatError
+from ..obs.logging import get_logger
 from .dataset import TimeSeriesDataset
+
+_logger = get_logger("data.io")
 
 __all__ = [
     "load_csv",
@@ -44,18 +53,40 @@ def _parse_cell(cell: str) -> float:
         raise DataFormatError(f"cannot parse value {cell!r}") from error
 
 
+def _report_skipped(path, skipped: list[str]) -> None:
+    """One counted warning per file for lenient-mode row skips."""
+    if skipped:
+        _logger.warning(
+            "%s: skipped %d malformed row(s) in lenient mode (first: %s)",
+            path,
+            len(skipped),
+            skipped[0],
+        )
+
+
 def load_csv(
     path: str | os.PathLike,
     name: str | None = None,
     frequency_seconds: float | None = None,
+    strict: bool = True,
 ) -> TimeSeriesDataset:
     """Load a univariate dataset from the paper's CSV layout.
 
     Each row is one instance: ``label, x_0, x_1, ..., x_{L-1}``. All rows
-    must have the same length; blank lines are skipped.
+    must have the same length; blank lines are skipped. With
+    ``strict=False`` malformed rows (bad cells, non-integer labels, or a
+    length disagreeing with the first valid row) are skipped with a
+    counted warning instead of raising.
     """
     rows: list[list[float]] = []
     labels: list[int] = []
+    skipped: list[str] = []
+
+    def bad_row(message: str) -> None:
+        if strict:
+            raise DataFormatError(message)
+        skipped.append(message)
+
     with open(path, "r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
@@ -63,18 +94,31 @@ def load_csv(
                 continue
             cells = line.split(",")
             if len(cells) < 2:
-                raise DataFormatError(
+                bad_row(
                     f"{path}:{line_number}: row needs a label and at least "
                     "one time-point"
                 )
-            label_value = _parse_cell(cells[0])
+                continue
+            try:
+                label_value = _parse_cell(cells[0])
+                values = [_parse_cell(cell) for cell in cells[1:]]
+            except DataFormatError as error:
+                bad_row(f"{path}:{line_number}: {error}")
+                continue
             if np.isnan(label_value) or label_value != int(label_value):
-                raise DataFormatError(
+                bad_row(
                     f"{path}:{line_number}: label {cells[0]!r} is not an "
                     "integer"
                 )
+                continue
+            if not strict and rows and len(values) != len(rows[0]):
+                bad_row(
+                    f"{path}:{line_number}: row length {len(values)} "
+                    f"differs from first row ({len(rows[0])})"
+                )
+                continue
             labels.append(int(label_value))
-            rows.append([_parse_cell(cell) for cell in cells[1:]])
+            rows.append(values)
     if not rows:
         raise DataFormatError(f"{path}: no data rows")
     lengths = {len(row) for row in rows}
@@ -82,6 +126,7 @@ def load_csv(
         raise DataFormatError(
             f"{path}: rows have inconsistent lengths {sorted(lengths)}"
         )
+    _report_skipped(path, skipped)
     return TimeSeriesDataset(
         np.asarray(rows, dtype=float),
         np.asarray(labels, dtype=int),
@@ -132,12 +177,15 @@ def load_arff(
     path: str | os.PathLike,
     name: str | None = None,
     frequency_seconds: float | None = None,
+    strict: bool = True,
 ) -> TimeSeriesDataset:
     """Load a univariate dataset from an ARFF file.
 
     Supports numeric time-point attributes followed by one class attribute
     (nominal ``{a,b,...}`` or numeric) as the last column — the layout used
-    by the UEA & UCR archive exports.
+    by the UEA & UCR archive exports. With ``strict=False`` malformed data
+    rows (wrong cell count, unknown class value, unparsable cells) are
+    skipped with a counted warning; header problems still raise.
     """
     attributes: list[tuple[str, str]] = []
     data_rows: list[str] = []
@@ -170,24 +218,46 @@ def load_arff(
 
     rows: list[list[float]] = []
     labels: list[int] = []
+    skipped: list[str] = []
+
+    def bad_row(message: str) -> None:
+        if strict:
+            raise DataFormatError(message)
+        skipped.append(message)
+
     for line_number, line in enumerate(data_rows, start=1):
         cells = [cell.strip() for cell in line.split(",")]
         if len(cells) != len(attributes):
-            raise DataFormatError(
+            bad_row(
                 f"{path}: data row {line_number} has {len(cells)} cells, "
                 f"expected {len(attributes)}"
             )
+            continue
         *point_cells, class_cell = cells
         if nominal_values is not None:
-            try:
-                labels.append(nominal_values.index(class_cell))
-            except ValueError as error:
-                raise DataFormatError(
-                    f"{path}: unknown class value {class_cell!r}"
-                ) from error
+            if class_cell not in nominal_values:
+                bad_row(f"{path}: unknown class value {class_cell!r}")
+                continue
+            label = nominal_values.index(class_cell)
         else:
-            labels.append(int(float(class_cell)))
-        rows.append([_parse_cell(cell) for cell in point_cells])
+            try:
+                label = int(float(class_cell))
+            except ValueError:
+                bad_row(
+                    f"{path}: data row {line_number} has non-numeric "
+                    f"class {class_cell!r}"
+                )
+                continue
+        try:
+            values = [_parse_cell(cell) for cell in point_cells]
+        except DataFormatError as error:
+            bad_row(f"{path}: data row {line_number}: {error}")
+            continue
+        labels.append(label)
+        rows.append(values)
+    if not rows:
+        raise DataFormatError(f"{path}: no valid data rows")
+    _report_skipped(path, skipped)
     return TimeSeriesDataset(
         np.asarray(rows, dtype=float),
         np.asarray(labels, dtype=int),

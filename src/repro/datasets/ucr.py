@@ -16,6 +16,7 @@ proportionally scaled Wide/Large thresholds (the benches do).
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Callable
 
@@ -280,7 +281,9 @@ def generate(name: str, scale: float = 1.0, seed: int = 0) -> TimeSeriesDataset:
     while preserving class structure and imbalance.
     """
     spec = dataset_spec(name)
-    rng = np.random.default_rng(seed + hash(name) % 100000)
+    # crc32, not hash(): str hashing is randomised per process, which
+    # would make "same seed" runs irreproducible across invocations.
+    rng = np.random.default_rng(seed + zlib.crc32(name.encode()) % 100000)
     height = scaled_count(spec.height, scale, minimum=4 * spec.n_classes)
     length = (
         scaled_count(spec.length, scale, minimum=30)

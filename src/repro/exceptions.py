@@ -45,3 +45,20 @@ class ConfigurationError(ReproError):
 
 class RegistryError(ReproError):
     """Raised on unknown names or duplicate registrations in a registry."""
+
+
+class TransientError(ReproError):
+    """Marks a failure expected to clear on retry (resource pressure,
+    flaky I/O). The runner's retry policy re-attempts cells whose failure
+    classifies as transient; see :mod:`repro.core.resilience`."""
+
+
+class CheckpointError(ReproError):
+    """Raised when a grid checkpoint file is missing, corrupt, or
+    unreadable (see :mod:`repro.core.checkpoint`)."""
+
+
+class CheckpointMismatchError(CheckpointError):
+    """Raised when resuming against a checkpoint whose grid fingerprint
+    (seed, folds, budget, algorithm/dataset lists) differs from the
+    requested run — resuming would silently mix incompatible results."""

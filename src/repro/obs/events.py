@@ -47,6 +47,7 @@ class SpanRecord:
     thread: str = "MainThread"
     memory_peak_bytes: int | None = None
     attributes: dict[str, Any] = field(default_factory=dict)
+    events: list[dict[str, Any]] = field(default_factory=list)
 
 
 def _sanitize(value: Any) -> Any:
@@ -77,6 +78,7 @@ def span_to_record(span: Span) -> dict[str, Any]:
         "thread": span.thread_name,
         "memory_peak_bytes": span.memory_peak_bytes,
         "attributes": _sanitize(span.attributes),
+        "events": _sanitize(span.events),
     }
 
 
@@ -179,6 +181,7 @@ class TraceReader:
                         thread=record.get("thread", "MainThread"),
                         memory_peak_bytes=record.get("memory_peak_bytes"),
                         attributes=record.get("attributes", {}) or {},
+                        events=record.get("events", []) or [],
                     )
 
     def spans(self) -> list[SpanRecord]:

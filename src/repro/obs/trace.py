@@ -55,6 +55,7 @@ class Span:
         "span_id",
         "parent_id",
         "attributes",
+        "events",
         "status",
         "start_unix",
         "thread_name",
@@ -74,6 +75,7 @@ class Span:
         self.span_id = span_id
         self.parent_id = parent_id
         self.attributes = attributes
+        self.events: list[dict[str, Any]] = []
         self.status = STATUS_OK
         self.start_unix = time.time()
         self.thread_name = threading.current_thread().name
@@ -89,6 +91,20 @@ class Span:
     def set_status(self, status: str) -> None:
         """Mark the span ``ok`` / ``error`` / ``timeout``."""
         self.status = status
+
+    def add_event(self, name: str, **attributes: Any) -> None:
+        """Append a timestamped point event (e.g. a retry attempt).
+
+        ``offset`` is seconds since the span opened, so a trace shows
+        *when inside the cell* each attempt failed.
+        """
+        self.events.append(
+            {
+                "name": name,
+                "offset": time.perf_counter() - self._start,
+                "attributes": attributes,
+            }
+        )
 
     # -- reading -------------------------------------------------------
     @property
@@ -121,6 +137,7 @@ class _NullSpan:
     parent_id = None
     status = STATUS_OK
     attributes: dict[str, Any] = {}
+    events: list = []
     duration = 0.0
     ended = True
     memory_peak_bytes = None
@@ -129,6 +146,9 @@ class _NullSpan:
         pass
 
     def set_status(self, status: str) -> None:
+        pass
+
+    def add_event(self, name: str, **attributes: Any) -> None:
         pass
 
     def __enter__(self) -> "_NullSpan":

@@ -1,0 +1,350 @@
+"""Tests for cell-level checkpointing and kill/resume semantics."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AlgorithmRegistry,
+    BenchmarkRunner,
+    DatasetRegistry,
+    EarlyClassifier,
+    EarlyPrediction,
+)
+from repro.core.checkpoint import (
+    CheckpointWriter,
+    grid_fingerprint,
+    load_checkpoint,
+)
+from repro.core.resilience import FaultPlan
+from repro.exceptions import (
+    CheckpointError,
+    CheckpointMismatchError,
+)
+from tests.conftest import make_sinusoid_dataset
+
+
+class _Fast(EarlyClassifier):
+    supports_multivariate = True
+
+    def _train(self, dataset):
+        values, counts = np.unique(dataset.labels, return_counts=True)
+        self._majority = int(values[counts.argmax()])
+
+    def _predict(self, dataset):
+        return [
+            EarlyPrediction(self._majority, 1, dataset.length)
+            for _ in range(dataset.n_instances)
+        ]
+
+
+class _Broken(_Fast):
+    def _train(self, dataset):
+        raise ValueError("always broken")
+
+
+_TRAIN_CALLS = []
+
+
+class _Counting(_Fast):
+    def _train(self, dataset):
+        _TRAIN_CALLS.append(dataset.name)
+        super()._train(dataset)
+
+
+def _registries(with_broken=False, counting=False):
+    algorithms = AlgorithmRegistry()
+    algorithms.register("FAST", _Counting if counting else _Fast)
+    if with_broken:
+        algorithms.register("BROKEN", _Broken)
+    datasets = DatasetRegistry()
+    datasets.register("alpha", lambda: make_sinusoid_dataset(16, name="alpha"))
+    datasets.register("beta", lambda: make_sinusoid_dataset(16, name="beta"))
+    return algorithms, datasets
+
+
+def _metric_view(report):
+    """The comparison the acceptance criterion asks for: keys plus the
+    quality metrics (timings are wall-clock and legitimately differ)."""
+    return {
+        "results": {
+            key: [
+                (f.accuracy, f.f1, f.earliness, f.harmonic_mean, f.n_test)
+                for f in result.folds
+            ]
+            for key, result in sorted(report.results.items())
+        },
+        "failures": dict(sorted(report.failures.items())),
+        "categories": {
+            name: categories.names()
+            for name, categories in sorted(report.categories.items())
+        },
+    }
+
+
+class TestFingerprint:
+    def test_equal_for_identical_configuration(self):
+        a = grid_fingerprint(0, 5, float("inf"), ["A"], ["D"], None, None)
+        b = grid_fingerprint(0, 5, float("inf"), ["A"], ["D"], None, None)
+        assert a == b
+
+    def test_differs_on_any_knob(self):
+        base = dict(
+            seed=0, n_folds=5, time_budget_seconds=10.0,
+            algorithms=["A"], datasets=["D"],
+        )
+        reference = grid_fingerprint(**base)
+        assert grid_fingerprint(**{**base, "seed": 1}) != reference
+        assert grid_fingerprint(**{**base, "n_folds": 3}) != reference
+        assert grid_fingerprint(**{**base, "algorithms": ["B"]}) != reference
+
+    def test_infinite_budget_is_json_safe(self):
+        fingerprint = grid_fingerprint(0, 5, float("inf"), ["A"], ["D"])
+        assert json.loads(json.dumps(fingerprint)) == fingerprint
+
+
+class TestWriterAndLoader:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "grid.ckpt"
+        fingerprint = grid_fingerprint(0, 2, float("inf"), ["A"], ["D"])
+        algorithms, datasets = _registries()
+        report = BenchmarkRunner(algorithms, datasets, n_folds=2).run()
+        with CheckpointWriter(path, fingerprint) as writer:
+            for name, categories in report.categories.items():
+                writer.write_dataset(name, categories, None)
+            for (algorithm, dataset), result in report.results.items():
+                writer.write_result(algorithm, dataset, result)
+            writer.write_failure("A", "D", "broke", "permanent", attempts=2)
+        state = load_checkpoint(path)
+        assert state.fingerprint == fingerprint
+        assert set(state.results) == set(report.results)
+        assert state.failures == {("A", "D"): "broke"}
+        assert state.failure_kinds == {("A", "D"): "permanent"}
+        assert state.categories["alpha"].names() == (
+            report.categories["alpha"].names()
+        )
+        restored = state.results[("FAST", "alpha")]
+        original = report.results[("FAST", "alpha")]
+        assert restored.accuracy == original.accuracy
+        assert restored.folds == original.folds
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(CheckpointError, match="not found"):
+            load_checkpoint(tmp_path / "nothing.ckpt")
+
+    def test_missing_meta_raises(self, tmp_path):
+        path = tmp_path / "grid.ckpt"
+        path.write_text('{"type":"cell"}\n{"type":"cell"}\n')
+        with pytest.raises(CheckpointError, match="meta"):
+            load_checkpoint(path)
+
+    def test_unsupported_version_raises(self, tmp_path):
+        path = tmp_path / "grid.ckpt"
+        path.write_text('{"type":"meta","version":99,"fingerprint":{}}\n')
+        with pytest.raises(CheckpointError, match="version"):
+            load_checkpoint(path)
+
+    def test_truncated_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "grid.ckpt"
+        fingerprint = {"seed": 0}
+        with CheckpointWriter(path, fingerprint) as writer:
+            writer.write_failure("A", "D", "broke", "permanent")
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"type":"cell","algorithm":"B","da')  # killed here
+        state = load_checkpoint(path)
+        assert state.truncated
+        assert state.failures == {("A", "D"): "broke"}
+
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        path = tmp_path / "grid.ckpt"
+        with CheckpointWriter(path, {"seed": 0}) as writer:
+            writer.write_failure("A", "D", "broke", "permanent")
+        lines = path.read_text().splitlines()
+        lines.insert(1, "not json at all")
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointError, match="corrupt"):
+            load_checkpoint(path)
+
+    def test_fingerprint_mismatch_names_differing_keys(self):
+        from repro.core.checkpoint import CheckpointState
+
+        state = CheckpointState(fingerprint={"seed": 0, "n_folds": 2})
+        with pytest.raises(CheckpointMismatchError, match="seed"):
+            state.validate_fingerprint({"seed": 1, "n_folds": 2})
+
+
+class TestRunnerCheckpointing:
+    def test_run_writes_checkpoint(self, tmp_path):
+        path = tmp_path / "grid.ckpt"
+        algorithms, datasets = _registries(with_broken=True)
+        report = BenchmarkRunner(
+            algorithms, datasets, n_folds=2, checkpoint_path=path
+        ).run()
+        state = load_checkpoint(path)
+        assert set(state.results) == set(report.results)
+        assert state.failures == report.failures
+        assert set(state.categories) == {"alpha", "beta"}
+
+    def test_resume_produces_identical_report(self, tmp_path):
+        """Kill a run after N cells (simulated by truncating the
+        checkpoint), resume, and get the same report as an uninterrupted
+        run — the acceptance criterion."""
+        path = tmp_path / "grid.ckpt"
+        algorithms, datasets = _registries(with_broken=True)
+        uninterrupted = BenchmarkRunner(
+            algorithms, datasets, n_folds=2, checkpoint_path=path
+        ).run()
+        full_lines = path.read_text().splitlines()
+        # Simulate a SIGKILL mid-run: keep meta + the first dataset's
+        # records plus a half-written line.
+        cut = 4
+        path.write_text(
+            "\n".join(full_lines[:cut]) + '\n{"type":"cell","alg'
+        )
+        algorithms2, datasets2 = _registries(with_broken=True)
+        resumed = BenchmarkRunner(
+            algorithms2, datasets2, n_folds=2, resume_from=path
+        ).run()
+        assert _metric_view(resumed) == _metric_view(uninterrupted)
+
+    def test_resume_skips_completed_cells(self, tmp_path):
+        path = tmp_path / "grid.ckpt"
+        _TRAIN_CALLS.clear()
+        algorithms, datasets = _registries(counting=True)
+        BenchmarkRunner(
+            algorithms, datasets, n_folds=2, checkpoint_path=path
+        ).run()
+        first_run_calls = len(_TRAIN_CALLS)
+        assert first_run_calls > 0
+        algorithms2, datasets2 = _registries(counting=True)
+        resumed = BenchmarkRunner(
+            algorithms2, datasets2, n_folds=2, resume_from=path
+        ).run()
+        # Everything was checkpointed: not a single new training run.
+        assert len(_TRAIN_CALLS) == first_run_calls
+        assert set(resumed.results) == {("FAST", "alpha"), ("FAST", "beta")}
+        assert set(resumed.categories) == {"alpha", "beta"}
+
+    def test_resume_skips_failed_cells_without_rerunning(self, tmp_path):
+        path = tmp_path / "grid.ckpt"
+        algorithms, datasets = _registries(with_broken=True)
+        plan = FaultPlan()
+        BenchmarkRunner(
+            algorithms, datasets, n_folds=2,
+            checkpoint_path=path, fault_injector=plan,
+        ).run()
+        algorithms2, datasets2 = _registries(with_broken=True)
+        plan2 = FaultPlan()
+        resumed = BenchmarkRunner(
+            algorithms2, datasets2, n_folds=2,
+            resume_from=path, fault_injector=plan2,
+        ).run()
+        # Failures restored from the checkpoint, not re-attempted.
+        assert ("BROKEN", "alpha") in resumed.failures
+        assert plan2.injected == []
+
+    def test_resume_refuses_mismatched_grid(self, tmp_path):
+        path = tmp_path / "grid.ckpt"
+        algorithms, datasets = _registries()
+        BenchmarkRunner(
+            algorithms, datasets, n_folds=2, checkpoint_path=path, seed=0
+        ).run()
+        algorithms2, datasets2 = _registries()
+        with pytest.raises(CheckpointMismatchError, match="seed"):
+            BenchmarkRunner(
+                algorithms2, datasets2, n_folds=2,
+                resume_from=path, seed=1,
+            ).run()
+
+    def test_resume_into_fresh_path_rewrites_state(self, tmp_path):
+        original = tmp_path / "grid.ckpt"
+        fresh = tmp_path / "grid2.ckpt"
+        algorithms, datasets = _registries(with_broken=True)
+        BenchmarkRunner(
+            algorithms, datasets, n_folds=2, checkpoint_path=original
+        ).run()
+        algorithms2, datasets2 = _registries(with_broken=True)
+        resumed = BenchmarkRunner(
+            algorithms2, datasets2, n_folds=2,
+            resume_from=original, checkpoint_path=fresh,
+        ).run()
+        # The fresh checkpoint stands alone: loading it restores the
+        # full report.
+        state = load_checkpoint(fresh)
+        assert set(state.results) == set(resumed.results)
+        assert state.failures == resumed.failures
+
+    def test_partial_resume_only_runs_missing_cells(self, tmp_path):
+        path = tmp_path / "grid.ckpt"
+        _TRAIN_CALLS.clear()
+        algorithms, datasets = _registries(counting=True)
+        uninterrupted = BenchmarkRunner(
+            algorithms, datasets, n_folds=2, checkpoint_path=path
+        ).run()
+        lines = path.read_text().splitlines()
+        # Drop beta's records entirely (meta, alpha dataset, alpha cell).
+        path.write_text("\n".join(lines[:3]) + "\n")
+        _TRAIN_CALLS.clear()
+        algorithms2, datasets2 = _registries(counting=True)
+        resumed = BenchmarkRunner(
+            algorithms2, datasets2, n_folds=2, resume_from=path
+        ).run()
+        assert set(_TRAIN_CALLS) == {"beta"}  # alpha restored, not re-run
+        assert _metric_view(resumed) == _metric_view(uninterrupted)
+        # The checkpoint file now holds the full grid again.
+        assert set(load_checkpoint(path).results) == set(resumed.results)
+
+
+class TestCliCheckpointing:
+    def test_checkpoint_and_resume_flags(self, tmp_path):
+        import io
+
+        from repro.core.cli import main
+
+        path = tmp_path / "run.ckpt"
+        arguments = [
+            "--algorithms", "ECTS",
+            "--datasets", "PowerCons",
+            "--scale", "0.08",
+            "--folds", "2",
+            "--checkpoint", str(path),
+        ]
+        out = io.StringIO()
+        assert main(arguments, out=out) == 0
+        assert path.exists()
+        state = load_checkpoint(path)
+        assert ("ECTS", "PowerCons") in state.results
+        # Resume: everything already done, still exits cleanly.
+        out = io.StringIO()
+        assert main(arguments + ["--resume"], out=out) == 0
+
+    def test_resume_requires_checkpoint_flag(self):
+        import io
+
+        from repro.core.cli import main
+
+        out = io.StringIO()
+        assert main(["--resume"], out=out) == 2
+        assert "--checkpoint" in out.getvalue()
+
+    def test_cli_refuses_mismatched_resume(self, tmp_path):
+        import io
+
+        from repro.core.cli import main
+
+        path = tmp_path / "run.ckpt"
+        base = [
+            "--algorithms", "ECTS",
+            "--datasets", "PowerCons",
+            "--scale", "0.08",
+            "--folds", "2",
+            "--checkpoint", str(path),
+        ]
+        out = io.StringIO()
+        assert main(base, out=out) == 0
+        out = io.StringIO()
+        changed = list(base)
+        changed[changed.index("0.08")] = "0.09"  # different scale
+        assert main(changed + ["--resume"], out=out) == 2
+        assert "fingerprint" in out.getvalue()

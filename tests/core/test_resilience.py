@@ -1,0 +1,368 @@
+"""Tests for the resilience layer: classification, retries, fault injection.
+
+All timing is injected (no real sleeps): retry backoff goes through a
+recording fake clock, and failures are scheduled deterministically with
+:class:`FaultPlan`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AlgorithmRegistry,
+    BenchmarkRunner,
+    DatasetRegistry,
+    EarlyClassifier,
+    EarlyPrediction,
+)
+from repro.core.resilience import (
+    DATA_FORMAT,
+    PERMANENT,
+    TIMEOUT,
+    TRANSIENT,
+    Fault,
+    FaultPlan,
+    RetryPolicy,
+    classify_failure,
+    failure_reason,
+)
+from repro.core.timeouts import EvaluationTimeout
+from repro.exceptions import (
+    ConvergenceError,
+    DataFormatError,
+    ReproError,
+    TransientError,
+)
+from tests.conftest import make_sinusoid_dataset
+
+
+class _Fast(EarlyClassifier):
+    supports_multivariate = True
+
+    def _train(self, dataset):
+        values, counts = np.unique(dataset.labels, return_counts=True)
+        self._majority = int(values[counts.argmax()])
+
+    def _predict(self, dataset):
+        return [
+            EarlyPrediction(self._majority, 1, dataset.length)
+            for _ in range(dataset.n_instances)
+        ]
+
+
+class _LinAlgBroken(_Fast):
+    def _train(self, dataset):
+        raise np.linalg.LinAlgError("singular matrix")
+
+
+def _registries(extra_algorithms=()):
+    algorithms = AlgorithmRegistry()
+    algorithms.register("FAST", _Fast)
+    for name, factory in extra_algorithms:
+        algorithms.register(name, factory)
+    datasets = DatasetRegistry()
+    datasets.register("alpha", lambda: make_sinusoid_dataset(16, name="alpha"))
+    datasets.register("beta", lambda: make_sinusoid_dataset(16, name="beta"))
+    return algorithms, datasets
+
+
+def _no_sleep_policy(**kwargs):
+    """A retry policy whose clock records instead of sleeping."""
+    slept = []
+    policy = RetryPolicy(sleep=slept.append, **kwargs)
+    return policy, slept
+
+
+class TestClassification:
+    def test_timeout(self):
+        assert classify_failure(EvaluationTimeout("budget")) == TIMEOUT
+
+    def test_data_format(self):
+        assert classify_failure(DataFormatError("bad csv")) == DATA_FORMAT
+
+    def test_transient_marker_and_os_errors(self):
+        assert classify_failure(TransientError("flaky")) == TRANSIENT
+        assert classify_failure(OSError("disk")) == TRANSIENT
+        assert classify_failure(MemoryError()) == TRANSIENT
+
+    def test_everything_else_is_permanent(self):
+        assert classify_failure(ValueError("bad")) == PERMANENT
+        assert classify_failure(np.linalg.LinAlgError("x")) == PERMANENT
+        assert classify_failure(ConvergenceError("x")) == PERMANENT
+
+    def test_failure_reason_keeps_foreign_class_names(self):
+        assert failure_reason(ValueError("bad")) == "ValueError: bad"
+        assert failure_reason(ConvergenceError("no progress")) == (
+            "no progress"
+        )
+
+
+class TestRetryPolicy:
+    def test_delays_grow_exponentially_and_cap(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=1.0, backoff=2.0,
+            max_delay=3.0, jitter=0.0,
+        )
+        assert policy.delay(1) == 1.0
+        assert policy.delay(2) == 2.0
+        assert policy.delay(3) == 3.0  # capped
+        assert policy.delay(4) == 3.0
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=1.0, jitter=0.25)
+        first = policy.delay(1, key="ECTS:alpha")
+        again = policy.delay(1, key="ECTS:alpha")
+        other = policy.delay(1, key="ECTS:beta")
+        assert first == again  # seeded by (key, attempt): reproducible
+        assert 1.0 <= first <= 1.25
+        assert 1.0 <= other <= 1.25
+
+    def test_only_transient_failures_retry(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.should_retry(TransientError("x"), 1)
+        assert not policy.should_retry(TransientError("x"), 3)  # exhausted
+        assert not policy.should_retry(EvaluationTimeout("x"), 1)
+        assert not policy.should_retry(ValueError("x"), 1)
+        assert not policy.should_retry(DataFormatError("x"), 1)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ReproError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ReproError):
+            RetryPolicy(base_delay=-1.0)
+
+    def test_wait_uses_injected_clock(self):
+        policy, slept = _no_sleep_policy(
+            max_attempts=2, base_delay=0.5, jitter=0.0
+        )
+        assert policy.wait(1) == 0.5
+        assert slept == [0.5]
+
+
+class TestFaultPlan:
+    def test_matches_cell_and_attempt(self):
+        fault = Fault(dataset="alpha", algorithm="FAST",
+                      attempts=frozenset({2}))
+        assert fault.matches("evaluate", "FAST", "alpha", 2)
+        assert not fault.matches("evaluate", "FAST", "alpha", 1)
+        assert not fault.matches("evaluate", "FAST", "beta", 2)
+        assert not fault.matches("load", "FAST", "alpha", 2)
+
+    def test_wildcards_and_every_attempt(self):
+        fault = Fault(dataset="*", algorithm="*", attempts=None)
+        for attempt in (1, 5, 99):
+            assert fault.matches("evaluate", "X", "Y", attempt)
+
+    def test_injection_raises_and_records(self):
+        plan = FaultPlan().fail(
+            "alpha", "FAST", exception=lambda: ValueError("boom")
+        )
+        with pytest.raises(ValueError, match="boom"):
+            plan("evaluate", "FAST", "alpha", 1)
+        plan("evaluate", "FAST", "alpha", 2)  # attempt 2 passes
+        plan("evaluate", "FAST", "beta", 1)  # other cell passes
+        assert plan.injected == [("evaluate", "FAST", "alpha", 1)]
+
+    def test_default_exception_message_names_the_cell(self):
+        plan = FaultPlan().fail("alpha", "FAST")
+        with pytest.raises(TransientError, match="FAST on alpha"):
+            plan("evaluate", "FAST", "alpha", 1)
+
+
+class TestCrashIsolation:
+    def test_non_repro_error_no_longer_aborts_the_grid(self):
+        """Regression: a raw LinAlgError from one fit must be recorded as
+        a failure, not abort the whole grid (seed only caught ReproError)."""
+        algorithms, datasets = _registries(
+            extra_algorithms=[("BROKEN", _LinAlgBroken)]
+        )
+        report = BenchmarkRunner(algorithms, datasets, n_folds=2).run()
+        assert ("BROKEN", "alpha") in report.failures
+        assert "LinAlgError" in report.failures[("BROKEN", "alpha")]
+        # The healthy algorithm still completed every dataset.
+        assert ("FAST", "alpha") in report.results
+        assert ("FAST", "beta") in report.results
+
+    def test_injected_permanent_failure_isolates_one_cell(self):
+        algorithms, datasets = _registries()
+        plan = FaultPlan().fail(
+            "alpha", "FAST", exception=lambda: ValueError("injected")
+        )
+        runner = BenchmarkRunner(
+            algorithms, datasets, n_folds=2, fault_injector=plan
+        )
+        report = runner.run()
+        assert report.failures == {
+            ("FAST", "alpha"): "ValueError: injected"
+        }
+        assert ("FAST", "beta") in report.results
+        assert runner.metrics.snapshot()["cells_failed"] == 1
+
+    def test_failure_annotates_span_with_taxonomy_and_traceback(self):
+        from repro.obs.trace import Tracer, use_tracer
+
+        algorithms, datasets = _registries(
+            extra_algorithms=[("BROKEN", _LinAlgBroken)]
+        )
+        tracer = Tracer()
+        with use_tracer(tracer):
+            BenchmarkRunner(algorithms, datasets, n_folds=2).run(
+                algorithm_names=["BROKEN"], dataset_names=["alpha"]
+            )
+        (cell,) = [s for s in tracer.finished_spans() if s.name == "cell"]
+        assert cell.status == "error"
+        assert cell.attributes["failure_kind"] == "permanent"
+        assert cell.attributes["attempts"] == 1
+        assert "LinAlgError" in cell.attributes["traceback"]
+        assert cell.events[0]["name"] == "attempt_failed"
+
+
+class TestRetries:
+    def test_transient_failure_retried_until_success(self):
+        algorithms, datasets = _registries()
+        plan = FaultPlan().fail("alpha", "FAST", attempts=(1, 2))
+        policy, slept = _no_sleep_policy(
+            max_attempts=3, base_delay=1.0, jitter=0.0
+        )
+        runner = BenchmarkRunner(
+            algorithms, datasets, n_folds=2,
+            retry_policy=policy, fault_injector=plan,
+        )
+        report = runner.run()
+        assert ("FAST", "alpha") in report.results  # third attempt wins
+        assert not report.failures
+        assert plan.injected == [
+            ("evaluate", "FAST", "alpha", 1),
+            ("evaluate", "FAST", "alpha", 2),
+        ]
+        assert slept == [1.0, 2.0]  # exponential, deterministic, fake clock
+        assert runner.metrics.snapshot()["cell_retries"] == 2
+
+    def test_retry_events_recorded_on_cell_span(self):
+        from repro.obs.trace import Tracer, use_tracer
+
+        algorithms, datasets = _registries()
+        plan = FaultPlan().fail("alpha", "FAST", attempts=(1,))
+        policy, _ = _no_sleep_policy(max_attempts=2, jitter=0.0)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            BenchmarkRunner(
+                algorithms, datasets, n_folds=2,
+                retry_policy=policy, fault_injector=plan,
+            ).run(dataset_names=["alpha"])
+        (cell,) = [s for s in tracer.finished_spans() if s.name == "cell"]
+        names = [event["name"] for event in cell.events]
+        assert names == ["attempt_failed", "retry"]
+        assert cell.attributes["attempts"] == 2
+        assert cell.status == "ok"
+
+    def test_retry_exhaustion_records_transient_failure(self):
+        algorithms, datasets = _registries()
+        plan = FaultPlan().fail("alpha", "FAST", attempts=None)
+        policy, slept = _no_sleep_policy(
+            max_attempts=3, base_delay=1.0, jitter=0.0
+        )
+        runner = BenchmarkRunner(
+            algorithms, datasets, n_folds=2,
+            retry_policy=policy, fault_injector=plan,
+        )
+        report = runner.run(dataset_names=["alpha"])
+        assert ("FAST", "alpha") in report.failures
+        assert len(plan.injected) == 3  # every attempt consumed
+        assert slept == [1.0, 2.0]  # no sleep after the final attempt
+        assert runner.metrics.snapshot()["cells_failed"] == 1
+
+    def test_permanent_failure_never_retried(self):
+        algorithms, datasets = _registries()
+        plan = FaultPlan().fail(
+            "alpha", "FAST",
+            exception=lambda: ValueError("permanent"), attempts=None,
+        )
+        policy, slept = _no_sleep_policy(max_attempts=5)
+        report = BenchmarkRunner(
+            algorithms, datasets, n_folds=2,
+            retry_policy=policy, fault_injector=plan,
+        ).run(dataset_names=["alpha"])
+        assert len(plan.injected) == 1
+        assert slept == []
+        assert ("FAST", "alpha") in report.failures
+
+    def test_timeout_never_retried(self):
+        algorithms, datasets = _registries()
+        plan = FaultPlan().fail(
+            "alpha", "FAST",
+            exception=lambda: EvaluationTimeout("budget burnt"),
+            attempts=None,
+        )
+        policy, slept = _no_sleep_policy(max_attempts=5)
+        runner = BenchmarkRunner(
+            algorithms, datasets, n_folds=2,
+            retry_policy=policy, fault_injector=plan,
+        )
+        report = runner.run(dataset_names=["alpha"])
+        assert len(plan.injected) == 1
+        assert slept == []
+        assert report.failures[("FAST", "alpha")] == "budget burnt"
+        assert runner.metrics.snapshot()["cells_timeout"] == 1
+
+
+class TestDatasetLoadIsolation:
+    def test_load_failure_records_per_cell_failures(self):
+        algorithms, datasets = _registries()
+        plan = FaultPlan().fail(
+            "alpha",
+            exception=lambda: DataFormatError("corrupt file"),
+            attempts=None, stage="load",
+        )
+        runner = BenchmarkRunner(
+            algorithms, datasets, n_folds=2, fault_injector=plan
+        )
+        report = runner.run()
+        assert report.failures[("FAST", "alpha")] == (
+            "dataset load failed: corrupt file"
+        )
+        assert ("FAST", "beta") in report.results  # grid kept going
+        assert "alpha" not in report.categories
+        assert runner.metrics.snapshot()["datasets_failed"] == 1
+
+    def test_missing_dataset_is_isolated_too(self):
+        algorithms = AlgorithmRegistry()
+        algorithms.register("FAST", _Fast)
+        datasets = DatasetRegistry()
+        datasets.register("good", lambda: make_sinusoid_dataset(16))
+
+        def explode():
+            raise RuntimeError("generator bug")
+
+        datasets.register("bad", explode)
+        report = BenchmarkRunner(algorithms, datasets, n_folds=2).run()
+        assert ("FAST", "good") in report.results
+        assert "RuntimeError: generator bug" in report.failures[
+            ("FAST", "bad")
+        ]
+
+    def test_transient_load_failure_retried(self):
+        algorithms, datasets = _registries()
+        plan = FaultPlan().fail("alpha", attempts=(1,), stage="load")
+        policy, slept = _no_sleep_policy(max_attempts=2, jitter=0.0)
+        runner = BenchmarkRunner(
+            algorithms, datasets, n_folds=2,
+            retry_policy=policy, fault_injector=plan,
+        )
+        report = runner.run(dataset_names=["alpha"])
+        assert ("FAST", "alpha") in report.results
+        assert slept == [1.0]
+        assert runner.metrics.snapshot()["load_retries"] == 1
+
+    def test_generic_callable_hook_works(self):
+        calls = []
+
+        def hook(stage, algorithm, dataset, attempt):
+            calls.append((stage, algorithm, dataset, attempt))
+
+        algorithms, datasets = _registries()
+        BenchmarkRunner(
+            algorithms, datasets, n_folds=2, fault_injector=hook
+        ).run(dataset_names=["alpha"])
+        assert ("load", "", "alpha", 1) in calls
+        assert ("evaluate", "FAST", "alpha", 1) in calls

@@ -107,6 +107,21 @@ class TestTimeLimit:
         finally:
             reset_warnings()
 
+    def test_nested_limits_inner_timeout_in_degraded_outer(self, monkeypatch):
+        """An armed inner limit still fires when an outer (disabled or
+        degraded) limit wraps it — the timer save/restore must nest."""
+        with time_limit(None):
+            with pytest.raises(EvaluationTimeout):
+                with time_limit(0.1):
+                    while True:
+                        time.sleep(0.01)
+        # And the other nesting order: inner no-op inside armed outer.
+        with pytest.raises(EvaluationTimeout):
+            with time_limit(0.15):
+                with time_limit(None):
+                    while True:
+                        time.sleep(0.01)
+
     def test_runner_records_preempted_pair(self):
         from repro.core import (
             AlgorithmRegistry,
@@ -140,3 +155,87 @@ class TestTimeLimit:
         report = runner.run()
         assert time.perf_counter() - start < 5.0
         assert ("SLEEPY", "toy") in report.failures
+
+
+class TestTimeoutsNeverRetry:
+    """A timed-out cell is classified ``timeout`` — terminal by design:
+    retrying would burn the budget again. Covers both the SIGALRM kill
+    rule and the degraded cooperative check."""
+
+    def _sleepy_registries(self, seconds=0.6):
+        from repro.core import (
+            AlgorithmRegistry,
+            DatasetRegistry,
+            EarlyClassifier,
+            EarlyPrediction,
+        )
+        from tests.conftest import make_sinusoid_dataset
+
+        class _Sleepy(EarlyClassifier):
+            supports_multivariate = True
+
+            def _train(self, dataset):
+                time.sleep(seconds)
+
+            def _predict(self, dataset):
+                return [
+                    EarlyPrediction(0, 1, dataset.length)
+                    for _ in range(dataset.n_instances)
+                ]
+
+        algorithms = AlgorithmRegistry()
+        algorithms.register("SLEEPY", _Sleepy)
+        datasets = DatasetRegistry()
+        datasets.register("toy", lambda: make_sinusoid_dataset(12))
+        return algorithms, datasets
+
+    def test_preempted_timeout_not_retried(self):
+        from repro.core import BenchmarkRunner
+        from repro.core.resilience import RetryPolicy
+
+        slept = []
+        policy = RetryPolicy(max_attempts=5, sleep=slept.append)
+        algorithms, datasets = self._sleepy_registries(seconds=10.0)
+        runner = BenchmarkRunner(
+            algorithms, datasets, n_folds=2,
+            time_budget_seconds=0.2, retry_policy=policy,
+        )
+        report = runner.run()
+        assert ("SLEEPY", "toy") in report.failures
+        assert slept == []  # no retry, no backoff sleep
+        assert runner.metrics.snapshot()["cells_timeout"] == 1
+        assert runner.metrics.snapshot().get("cell_retries", 0) == 0
+
+    def test_degraded_cooperative_timeout_not_retried(self, monkeypatch):
+        """No SIGALRM: the budget degrades to the after-the-fact check;
+        the over-budget cell must still be classified timeout (never
+        transient) and must not be retried."""
+        from repro.core import BenchmarkRunner, timeouts
+        from repro.core.resilience import RetryPolicy
+        from repro.obs.logging import reset_warnings
+        from repro.obs.trace import Tracer, use_tracer
+
+        monkeypatch.setattr(timeouts, "_alarm_supported", lambda: False)
+        reset_warnings()
+        try:
+            slept = []
+            policy = RetryPolicy(max_attempts=5, sleep=slept.append)
+            algorithms, datasets = self._sleepy_registries(seconds=0.3)
+            tracer = Tracer()
+            runner = BenchmarkRunner(
+                algorithms, datasets, n_folds=2,
+                time_budget_seconds=0.1, retry_policy=policy,
+            )
+            with use_tracer(tracer):
+                report = runner.run()
+            assert "budget" in report.failures[("SLEEPY", "toy")]
+            assert slept == []
+            (cell,) = [
+                s for s in tracer.finished_spans() if s.name == "cell"
+            ]
+            assert cell.status == "timeout"
+            assert cell.attributes["failure_kind"] == "timeout"
+            assert cell.attributes.get("time_limit_degraded") is True
+            assert cell.attributes["attempts"] == 1
+        finally:
+            reset_warnings()

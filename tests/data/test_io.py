@@ -186,3 +186,93 @@ class TestArff:
             loaded.values, sinusoid_dataset.values, rtol=1e-12
         )
         np.testing.assert_array_equal(loaded.labels, sinusoid_dataset.labels)
+
+
+class TestLenientMode:
+    """``strict=False``: malformed rows are skipped with a counted
+    warning instead of aborting the load (see docs/resilience.md)."""
+
+    def _messy_csv(self, tmp_path):
+        path = tmp_path / "messy.csv"
+        path.write_text(
+            "0,1.0,2.0,3.0\n"
+            "not-a-label,1.0,2.0,3.0\n"   # bad label
+            "1,4.0,oops,6.0\n"            # unparsable cell
+            "1,7.0,8.0\n"                 # wrong length
+            "1,7.0,8.0,9.0\n"
+        )
+        return path
+
+    def test_csv_strict_raises(self, tmp_path):
+        with pytest.raises(DataFormatError):
+            load_csv(self._messy_csv(tmp_path))
+
+    def test_csv_lenient_skips_and_counts(self, tmp_path, caplog):
+        import logging
+
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            ds = load_csv(self._messy_csv(tmp_path), strict=False)
+        assert ds.n_instances == 2
+        assert ds.labels.tolist() == [0, 1]
+        warnings = [
+            record for record in caplog.records
+            if "skipped 3 malformed row" in record.message
+        ]
+        assert len(warnings) == 1
+        assert warnings[0].name == "repro.data.io"
+
+    def test_csv_lenient_with_no_valid_rows_still_raises(self, tmp_path):
+        path = tmp_path / "hopeless.csv"
+        path.write_text("x\nbad,row\n")
+        with pytest.raises(DataFormatError, match="no data rows"):
+            load_csv(path, strict=False)
+
+    def _messy_arff(self, tmp_path):
+        path = tmp_path / "messy.arff"
+        path.write_text(
+            "@relation demo\n"
+            "@attribute t0 numeric\n"
+            "@attribute t1 numeric\n"
+            "@attribute class {a,b}\n"
+            "@data\n"
+            "1.0,2.0,a\n"
+            "1.0,2.0,zzz\n"      # unknown class
+            "1.0,b\n"            # wrong cell count
+            "1.0,oops,b\n"       # unparsable cell
+            "3.0,4.0,b\n"
+        )
+        return path
+
+    def test_arff_strict_raises(self, tmp_path):
+        with pytest.raises(DataFormatError, match="unknown class"):
+            load_arff(self._messy_arff(tmp_path))
+
+    def test_arff_lenient_skips_and_counts(self, tmp_path, caplog):
+        import logging
+
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            ds = load_arff(self._messy_arff(tmp_path), strict=False)
+        assert ds.n_instances == 2
+        assert ds.labels.tolist() == [0, 1]
+        assert any(
+            "skipped 3 malformed row" in record.message
+            for record in caplog.records
+        )
+
+    def test_arff_header_errors_raise_even_lenient(self, tmp_path):
+        path = tmp_path / "noheader.arff"
+        path.write_text("@data\n1.0,a\n")
+        with pytest.raises(DataFormatError, match="attribute"):
+            load_arff(path, strict=False)
+
+    def test_lenient_mode_emits_no_warning_for_clean_files(
+        self, tmp_path, caplog
+    ):
+        import logging
+
+        path = tmp_path / "clean.csv"
+        path.write_text("0,1.0,2.0\n1,3.0,4.0\n")
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            ds = load_csv(path, strict=False)
+        assert ds.n_instances == 2
+        assert not caplog.records

@@ -194,6 +194,33 @@ class TestUcrGenerators:
         third = ucr.generate("PowerCons", scale=0.2, seed=5)
         assert not np.array_equal(first.values, third.values)
 
+    def test_deterministic_across_processes(self):
+        """The seed offset must not involve ``hash(name)``: str hashing
+        is randomised per interpreter, which would make same-seed runs
+        differ across invocations (and break checkpoint resume)."""
+        import os
+        import subprocess
+        import sys
+
+        script = (
+            "from repro.datasets import ucr\n"
+            "d = ucr.generate('PowerCons', scale=0.2, seed=4)\n"
+            "print(float(d.values.sum()), float(abs(d.values).sum()))\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = "12345"  # force a distinct hash seed
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(os.path.dirname(ucr.__file__), "..", ".."),
+             env.get("PYTHONPATH", "")]
+        )
+        output = subprocess.run(
+            [sys.executable, "-c", script],
+            env=env, capture_output=True, text=True, check=True,
+        ).stdout.split()
+        local = ucr.generate("PowerCons", scale=0.2, seed=4)
+        assert float(output[0]) == float(local.values.sum())
+        assert float(output[1]) == float(abs(local.values).sum())
+
     def test_wide_datasets_scale_length(self):
         dataset = ucr.generate("PLAID", scale=0.1, seed=0)
         assert dataset.length < 1345

@@ -118,3 +118,17 @@ class TestErrors:
                 with tracer.span("cell"):
                     pass
             assert writer.n_spans == 5
+
+
+class TestEventPersistence:
+    def test_events_roundtrip_through_jsonl(self, tmp_path):
+        from repro.obs.trace import Tracer
+
+        path = tmp_path / "trace.jsonl"
+        with TraceWriter(path) as writer:
+            tracer = Tracer(on_finish=writer.write_span)
+            with tracer.span("cell") as span:
+                span.add_event("retry", attempt=1, delay=2.0)
+        (record,) = read_spans(path)
+        assert record.events[0]["name"] == "retry"
+        assert record.events[0]["attributes"]["attempt"] == 1

@@ -76,8 +76,11 @@ class TestRunnerTracing:
         by_name = {}
         for span in spans:
             by_name.setdefault(span.name, []).append(span)
-        assert set(by_name) == {"grid", "cell", "fold", "fit", "predict"}
+        assert set(by_name) == {
+            "grid", "load", "cell", "fold", "fit", "predict"
+        }
         assert len(by_name["grid"]) == 1
+        assert len(by_name["load"]) == 2  # one per dataset
         assert len(by_name["cell"]) == 2  # 1 algorithm x 2 datasets
         assert len(by_name["fold"]) == 4
         assert len(by_name["fit"]) == len(by_name["predict"]) == 4
@@ -86,6 +89,9 @@ class TestRunnerTracing:
         for cell in by_name["cell"]:
             assert cell.parent_id == grid.span_id
             assert set(cell.attributes) >= {"algorithm", "dataset"}
+        for load in by_name["load"]:
+            assert load.parent_id == grid.span_id
+            assert load.status == "ok"
         for fold in by_name["fold"]:
             assert ids[fold.parent_id].name == "cell"
         for leaf in by_name["fit"] + by_name["predict"]:

@@ -179,3 +179,24 @@ class TestMemoryTracing:
         with tracer.span("alloc"):
             _ = [0] * 1000
         assert tracer.finished_spans()[0].memory_peak_bytes is None
+
+
+class TestSpanEvents:
+    def test_add_event_records_name_offset_attributes(self):
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+        with tracer.span("cell") as span:
+            span.add_event("attempt_failed", attempt=1, kind="transient")
+            span.add_event("retry", attempt=1, delay=0.5)
+        assert [event["name"] for event in span.events] == [
+            "attempt_failed", "retry",
+        ]
+        assert span.events[0]["attributes"]["kind"] == "transient"
+        assert span.events[0]["offset"] >= 0.0
+
+    def test_null_span_add_event_is_noop(self):
+        from repro.obs.trace import NULL_SPAN
+
+        NULL_SPAN.add_event("anything", foo=1)
+        assert NULL_SPAN.events == []

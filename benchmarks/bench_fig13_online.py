@@ -19,6 +19,7 @@ from _harness import (
 
 from repro.core import StreamingSession, default_algorithms, wrap_for_dataset
 from repro.core.charts import heatmap
+from repro.serve import ServeFaultPlan, run_serve_sim
 
 
 def test_fig13_online(benchmark):
@@ -69,24 +70,68 @@ def test_fig13_online(benchmark):
     classifier.train(bench_dataset)
     session = StreamingSession(classifier, bench_dataset.length)
     session.run(bench_dataset.values[0])
-    latency = session.latency_summary()
+    # The feasibility budget is the sampling period: over_budget_count is
+    # how many consultations would have dropped an observation, and p99
+    # is the tail the online criterion is really about (a feasible mean
+    # with an over-budget p99 still loses data).
+    budget = bench_dataset.frequency_seconds or 1.0
+    latency = session.latency_summary(budget_seconds=budget)
     lines.extend(
         [
             "",
-            "## Streaming push latency (ECTS, point-by-point)",
+            "## Streaming push latency (ECTS, point-by-point, "
+            f"budget = {budget:g}s sampling period)",
             "",
-            "| count | mean | p50 | p95 | max |",
-            "|---|---|---|---|---|",
+            "| count | mean | p50 | p95 | p99 | max | over budget |",
+            "|---|---|---|---|---|---|---|",
             (
                 f"| {latency.count} | {latency.mean * 1000:.2f}ms "
                 f"| {latency.p50 * 1000:.2f}ms | {latency.p95 * 1000:.2f}ms "
-                f"| {latency.max * 1000:.2f}ms |"
+                f"| {latency.p99 * 1000:.2f}ms | {latency.max * 1000:.2f}ms "
+                f"| {latency.over_budget_count} |"
+            ),
+        ]
+    )
+
+    # Degraded-decision rate under consultation faults: replay the bench
+    # dataset through the resilient serving layer with every consultation
+    # timing out (injected, zero real delay). Every stream must still
+    # decide, with all decisions fallback-sourced; the same replay with
+    # no faults must stay entirely model-sourced.
+    chaos = run_serve_sim(
+        info.factory,
+        bench_dataset,
+        info.name,
+        n_streams=5,
+        fault_injector=ServeFaultPlan().timeout_consult(at=None),
+        deadline_seconds=60.0,
+    )
+    clean = run_serve_sim(info.factory, bench_dataset, info.name, n_streams=5)
+    lines.extend(
+        [
+            "",
+            "## Degraded-decision rate (guarded serving replay)",
+            "",
+            "| replay | streams decided | degraded rate | breaker trips |",
+            "|---|---|---|---|",
+            (
+                f"| all consults time out | {chaos.n_decided}/"
+                f"{chaos.n_streams} | {chaos.degraded_rate:.0%} "
+                f"| {chaos.n_breaker_trips} |"
+            ),
+            (
+                f"| no faults | {clean.n_decided}/{clean.n_streams} "
+                f"| {clean.degraded_rate:.0%} | {clean.n_breaker_trips} |"
             ),
         ]
     )
     write_report("fig13_online", "\n".join(lines))
     assert latency.count > 0
-    assert latency.p50 <= latency.p95 <= latency.max
+    assert latency.p50 <= latency.p95 <= latency.p99 <= latency.max
+    assert chaos.n_decided == chaos.n_streams
+    assert chaos.degraded_rate == 1.0
+    assert chaos.n_breaker_trips > 0
+    assert clean.degraded_rate == 0.0
 
     assert cells, "no feasibility cells computed"
     assert feasible_count > 0

@@ -137,6 +137,24 @@ class EarlyClassifier(ABC):
             )
         return predictions
 
+    def predict_one(self, series: np.ndarray) -> EarlyPrediction:
+        """Early-classify a single ``(n_variables, length)`` series.
+
+        Convenience wrapper around :meth:`predict` used by the streaming
+        and serving layers, which consult the classifier one observed
+        prefix at a time. A 1-D input is treated as univariate.
+        """
+        series = np.atleast_2d(np.asarray(series, dtype=float))
+        if series.ndim != 2:
+            raise DataError(
+                f"predict_one expects one (n_variables, length) series, "
+                f"got shape {series.shape}"
+            )
+        prefix = TimeSeriesDataset(
+            series[np.newaxis, :, :], np.zeros(1, dtype=int)
+        )
+        return self.predict(prefix)[0]
+
     # ------------------------------------------------------------------
     @property
     def is_trained(self) -> bool:
@@ -149,3 +167,15 @@ class EarlyClassifier(ABC):
         if self._trained_length is None:
             raise NotFittedError(f"{type(self).__name__} used before train")
         return self._trained_length
+
+    @property
+    def trained_variables(self) -> int:
+        """Number of variables seen during training.
+
+        The streaming/serving input guards validate every pushed point
+        against this count instead of letting a shape mismatch surface as
+        a raw numpy error deep inside the classifier.
+        """
+        if self._trained_variables is None:
+            raise NotFittedError(f"{type(self).__name__} used before train")
+        return self._trained_variables

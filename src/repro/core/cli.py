@@ -14,6 +14,11 @@ JSONL checkpoint, ``--resume`` restarts a killed run from it (skipping
 completed cells), and ``--retries N`` re-attempts transiently-failed
 cells with exponential backoff (see ``docs/resilience.md``).
 
+Serving: ``etsc-bench serve-sim ...`` replays a dataset through the
+resilient streaming endpoint — input guards, deadlines, fallback
+degradation, circuit breakers — and prints a feasibility/degradation
+report (see ``docs/serving.md``).
+
 Examples
 --------
 List what is available::
@@ -189,6 +194,15 @@ def _print_category_table(report, metric: str, out) -> None:
 def main(argv: list[str] | None = None, out=None) -> int:
     """Entry point; returns a process exit code."""
     out = out or sys.stdout
+    if argv is None:
+        argv = sys.argv[1:]
+    # The historical interface is flag-only; subcommands dispatch on the
+    # first positional token so existing ``etsc-bench --flags`` usage is
+    # untouched.
+    if argv and argv[0] == "serve-sim":
+        from ..serve.simulate import main as serve_sim_main
+
+        return serve_sim_main(argv[1:], out)
     arguments = build_parser().parse_args(argv)
     if arguments.log_level or arguments.progress:
         from ..obs.logging import configure_logging

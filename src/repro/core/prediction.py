@@ -8,7 +8,22 @@ import numpy as np
 
 from ..exceptions import DataError
 
-__all__ = ["EarlyPrediction", "collect_predictions"]
+__all__ = [
+    "EarlyPrediction",
+    "collect_predictions",
+    "SOURCE_MODEL",
+    "SOURCE_FALLBACK",
+    "PREDICTION_SOURCES",
+]
+
+#: Where a prediction came from. ``model`` is the trained early
+#: classifier; ``fallback`` marks answers produced by a cheap stand-in
+#: predictor after a consultation deadline miss, failure, or an open
+#: circuit breaker (see :mod:`repro.serve`).
+SOURCE_MODEL = "model"
+SOURCE_FALLBACK = "fallback"
+
+PREDICTION_SOURCES = (SOURCE_MODEL, SOURCE_FALLBACK)
 
 
 @dataclass(frozen=True)
@@ -26,12 +41,21 @@ class EarlyPrediction:
     confidence:
         Optional classifier confidence in ``[0, 1]``; ``None`` when the
         algorithm does not expose one.
+    degraded:
+        ``True`` when the serving layer could not obtain this answer from
+        the primary model (deadline miss, consultation failure, open
+        circuit breaker) and degraded to a fallback predictor.
+    source:
+        ``"model"`` for a primary-classifier answer, ``"fallback"`` for a
+        degraded one. ``degraded`` and ``source`` must agree.
     """
 
     label: int
     prefix_length: int
     series_length: int
     confidence: float | None = None
+    degraded: bool = False
+    source: str = SOURCE_MODEL
 
     def __post_init__(self) -> None:
         if not 1 <= self.prefix_length <= self.series_length:
@@ -42,6 +66,17 @@ class EarlyPrediction:
         if self.confidence is not None and not 0.0 <= self.confidence <= 1.0:
             raise DataError(
                 f"confidence must be in [0, 1], got {self.confidence}"
+            )
+        if self.source not in PREDICTION_SOURCES:
+            raise DataError(
+                f"source must be one of {PREDICTION_SOURCES}, "
+                f"got {self.source!r}"
+            )
+        if self.degraded != (self.source == SOURCE_FALLBACK):
+            raise DataError(
+                f"degraded={self.degraded} contradicts source="
+                f"{self.source!r}: fallback answers are degraded, model "
+                "answers are not"
             )
 
     @property

@@ -11,6 +11,12 @@ checked directly (the Figure 13 criterion).
 
 The session never un-commits: once a decision is emitted the remaining
 pushes are absorbed without further classifier calls.
+
+Production streams are not clean: points arrive malformed, consultations
+overrun the sampling period, classifiers throw. The resilient wrapper
+that handles all of that — input guards, deadlines, fallback degradation,
+circuit breakers — is :class:`repro.serve.GuardedStreamingSession`, which
+extends this class.
 """
 
 from __future__ import annotations
@@ -20,22 +26,31 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..data.dataset import TimeSeriesDataset
 from ..exceptions import DataError, NotFittedError
 from ..obs.trace import get_tracer
 from .base import EarlyClassifier
-from .prediction import EarlyPrediction
+from .prediction import SOURCE_FALLBACK, SOURCE_MODEL, EarlyPrediction
 
 __all__ = ["StreamingSession", "StreamingDecision", "LatencySummary"]
 
 
 @dataclass(frozen=True)
 class StreamingDecision:
-    """A decision emitted by a streaming session."""
+    """A decision emitted by a streaming session.
+
+    ``degraded`` / ``source`` mirror the fields of
+    :class:`~repro.core.prediction.EarlyPrediction`: a decision the
+    serving layer had to source from a fallback predictor (deadline miss,
+    consultation failure, open circuit breaker) carries
+    ``degraded=True, source="fallback"``. Plain sessions always emit
+    model-sourced decisions.
+    """
 
     label: int
     decided_at: int  # number of points observed when the decision fired
     confidence: float | None
+    degraded: bool = False
+    source: str = SOURCE_MODEL
 
 
 @dataclass(frozen=True)
@@ -44,14 +59,47 @@ class LatencySummary:
 
     The Figure 13 feasibility question is about the *distribution* of
     push latencies, not just their mean — a p95 above the sampling period
-    still drops observations even when the mean keeps up.
+    still drops observations even when the mean keeps up. ``p99`` exposes
+    the tail the paper's online criterion is really about, and
+    ``over_budget_count`` is the number of consultations that exceeded
+    the sampling period (0 when no budget was supplied), so Figure 13
+    feasibility can be read directly off the summary.
     """
 
     count: int
     mean: float
     p50: float
     p95: float
+    p99: float
     max: float
+    over_budget_count: int = 0
+
+    @classmethod
+    def from_latencies(
+        cls,
+        latencies: "np.ndarray | list[float]",
+        budget_seconds: float | None = None,
+    ) -> "LatencySummary":
+        """Summarize a latency sample (shared by sessions and serve-sim)."""
+        latencies = np.asarray(latencies, dtype=float)
+        if latencies.size == 0:
+            raise DataError("no consultations recorded yet")
+        if budget_seconds is not None and budget_seconds <= 0:
+            raise DataError("budget_seconds must be positive")
+        over_budget = (
+            int((latencies > budget_seconds).sum())
+            if budget_seconds is not None
+            else 0
+        )
+        return cls(
+            count=int(latencies.size),
+            mean=float(latencies.mean()),
+            p50=float(np.quantile(latencies, 0.50)),
+            p95=float(np.quantile(latencies, 0.95)),
+            p99=float(np.quantile(latencies, 0.99)),
+            max=float(latencies.max()),
+            over_budget_count=over_budget,
+        )
 
     def as_dict(self) -> dict[str, float]:
         """Plain-dict form (for JSON reports and metric snapshots)."""
@@ -60,7 +108,9 @@ class LatencySummary:
             "mean": self.mean,
             "p50": self.p50,
             "p95": self.p95,
+            "p99": self.p99,
             "max": self.max,
+            "over_budget_count": self.over_budget_count,
         }
 
 
@@ -103,6 +153,7 @@ class StreamingSession:
         self.check_every = check_every
         self._buffer: list[np.ndarray] = []
         self._decision: StreamingDecision | None = None
+        self._ended = False
         self.push_latencies: list[float] = []
 
     # ------------------------------------------------------------------
@@ -122,25 +173,79 @@ class StreamingSession:
         return self._decision is not None
 
     # ------------------------------------------------------------------
+    def _predict_prefix(self, values: np.ndarray) -> EarlyPrediction:
+        """One classifier consultation on the ``(V, t)`` observed prefix.
+
+        The resilient serving subclass overrides this hook to add fault
+        injection, deadline enforcement, circuit breaking, and fallback
+        degradation around the model call.
+        """
+        return self.classifier.predict_one(values)
+
     def _consult(self) -> None:
-        values = np.stack(self._buffer, axis=-1)[np.newaxis, :, :]
-        prefix = TimeSeriesDataset(values, np.zeros(1, dtype=int))
-        prediction: EarlyPrediction = self.classifier.predict(prefix)[0]
+        prediction = self._predict_prefix(np.stack(self._buffer, axis=-1))
         # The classifier treats the observed prefix as a complete series
         # and *forces* a decision at its last point. A commitment exactly
         # at the prefix end is therefore ambiguous (genuine rule-fire vs
         # forced) unless the true series has actually ended — so only
         # strictly-interior commitments and the final forced decision are
         # accepted; a genuine fire at the boundary is picked up on the
-        # next consultation.
-        genuine = prediction.prefix_length < self.n_observed
-        final = self.n_observed == self.series_length
+        # next consultation. Fallback-sourced answers carry no earliness
+        # trigger at all (their prefix_length always equals the observed
+        # length), so they can only ever commit as the forced final
+        # decision.
+        genuine = (
+            prediction.prefix_length < self.n_observed
+            and prediction.source != SOURCE_FALLBACK
+        )
+        final = self.n_observed == self.series_length or self._ended
         if genuine or final:
             self._decision = StreamingDecision(
                 label=prediction.label,
                 decided_at=self.n_observed,
                 confidence=prediction.confidence,
+                degraded=prediction.degraded,
+                source=prediction.source,
             )
+
+    def _timed_consult(self) -> None:
+        """Consult under a ``push`` span, recording the latency."""
+        with get_tracer().span("push", n_observed=self.n_observed) as span:
+            start = time.perf_counter()
+            self._consult()
+            latency = time.perf_counter() - start
+            self.push_latencies.append(latency)
+            span.set_attribute("seconds", latency)
+            span.set_attribute("decided", self._decision is not None)
+            if self._decision is not None:
+                span.set_attribute("source", self._decision.source)
+
+    def _coerce_point(self, point: np.ndarray | float) -> np.ndarray:
+        """Validate and coerce one pushed point to a float vector.
+
+        Raises an explicit :class:`~repro.exceptions.DataError` for
+        non-numeric input, non-1-D points, and channel counts that
+        disagree with the classifier's training data — rather than
+        letting a raw numpy error surface deep inside the classifier.
+        """
+        try:
+            point = np.asarray(point, dtype=float)
+        except (TypeError, ValueError) as error:
+            raise DataError(
+                f"pushed point is not numeric: {error}"
+            ) from error
+        point = np.atleast_1d(point)
+        if point.ndim != 1:
+            raise DataError(
+                f"a pushed point must be a scalar or a 1-D vector with one "
+                f"value per variable, got shape {point.shape}"
+            )
+        expected = self.classifier.trained_variables
+        if point.shape[0] != expected:
+            raise DataError(
+                f"point has {point.shape[0]} variables, expected {expected}"
+            )
+        return point
 
     def push(self, point: np.ndarray | float) -> StreamingDecision | None:
         """Observe one time-point; returns the decision once available.
@@ -150,12 +255,7 @@ class StreamingSession:
         """
         if self.n_observed >= self.series_length:
             raise DataError("stream already received its full series")
-        point = np.atleast_1d(np.asarray(point, dtype=float))
-        if self._buffer and point.shape != self._buffer[0].shape:
-            raise DataError(
-                f"point has {point.shape[0]} variables, expected "
-                f"{self._buffer[0].shape[0]}"
-            )
+        point = self._coerce_point(point)
         self._buffer.append(point)
         if self._decision is not None:
             return self._decision
@@ -164,13 +264,24 @@ class StreamingSession:
             or self.n_observed == self.series_length
         )
         if due:
-            with get_tracer().span("push", n_observed=self.n_observed) as span:
-                start = time.perf_counter()
-                self._consult()
-                latency = time.perf_counter() - start
-                self.push_latencies.append(latency)
-                span.set_attribute("seconds", latency)
-                span.set_attribute("decided", self._decision is not None)
+            self._timed_consult()
+        return self._decision
+
+    def finalize(self) -> StreamingDecision:
+        """Declare the stream over and force a decision on what arrived.
+
+        Needed when a stream ends short of ``series_length`` (sensor
+        dropout, or points rejected by a serving-layer input guard): the
+        classifier's forced commit at the observed prefix end is accepted
+        as final. Idempotent once decided.
+        """
+        if self._decision is not None:
+            return self._decision
+        if not self._buffer:
+            raise DataError("cannot finalize a stream with no observations")
+        self._ended = True
+        self._timed_consult()
+        assert self._decision is not None, "forced final decision missing"
         return self._decision
 
     def run(self, series: np.ndarray) -> StreamingDecision:
@@ -194,28 +305,27 @@ class StreamingSession:
         ) as span:
             for t in range(series.shape[1]):
                 decision = self.push(series[:, t])
-            assert decision is not None, (
-                "forced decision missing at full length"
-            )
+            if decision is None:
+                # Reachable only in subclasses that may skip points (an
+                # input guard rejecting malformed observations).
+                decision = self.finalize()
             span.set_attribute("decided_at", decision.decided_at)
             span.set_attribute("n_consultations", len(self.push_latencies))
         return decision
 
-    def latency_summary(self) -> LatencySummary:
-        """Mean/p50/p95/max of the recorded per-consultation latencies.
+    def latency_summary(
+        self, budget_seconds: float | None = None
+    ) -> LatencySummary:
+        """Mean/p50/p95/p99/max of the recorded consultation latencies.
 
         Shared by the Figure 13 bench and the metrics layer, so every
-        latency figure comes from the same order statistics.
+        latency figure comes from the same order statistics. With
+        ``budget_seconds`` (the stream's sampling period),
+        ``over_budget_count`` reports how many consultations overran it —
+        each one a dropped observation in a real deployment.
         """
-        if not self.push_latencies:
-            raise DataError("no consultations recorded yet")
-        latencies = np.asarray(self.push_latencies, dtype=float)
-        return LatencySummary(
-            count=int(latencies.size),
-            mean=float(latencies.mean()),
-            p50=float(np.quantile(latencies, 0.50)),
-            p95=float(np.quantile(latencies, 0.95)),
-            max=float(latencies.max()),
+        return LatencySummary.from_latencies(
+            self.push_latencies, budget_seconds
         )
 
     def mean_latency_ratio(self, frequency_seconds: float) -> float:

@@ -26,8 +26,20 @@ __all__ = [
 def fill_missing_array(series: np.ndarray) -> np.ndarray:
     """Fill NaN gaps in a 1-D series with the mean of the bracketing values.
 
-    Gaps at the start take the first observed value; gaps at the end take the
-    last observed value; an all-NaN series becomes all zeros.
+    Edge cases, in order of application:
+
+    - a gap at the *start* is back-filled with the first observed value
+      (there is no left bracket to average with);
+    - a gap at the *end* is forward-filled with the last observed value;
+    - an *all-NaN* series has no observations to extend at all and
+      becomes all zeros — callers that need a different sentinel should
+      check :meth:`TimeSeriesDataset.has_missing` first;
+    - interior gaps take the mean of the two bracketing observations,
+      computed as ``0.5*a + 0.5*b`` so two finite values near the float
+      limits never overflow to ``inf`` (``(a + b) / 2`` would).
+
+    The output therefore contains a non-finite value only where the
+    input already contained one that was not NaN (an explicit ``inf``).
     """
     series = np.asarray(series, dtype=float).copy()
     missing = np.isnan(series)
@@ -39,10 +51,14 @@ def fill_missing_array(series: np.ndarray) -> np.ndarray:
     # Leading and trailing gaps clamp to the nearest observation.
     series[: observed[0]] = series[observed[0]]
     series[observed[-1] + 1 :] = series[observed[-1]]
-    # Interior gaps take the mean of the bracketing observed values.
+    # Interior gaps take the mean of the bracketing observed values,
+    # halving each bracket *before* adding: 0.5*(a + b) overflows to inf
+    # for a, b near ±float64 max even though the mean is representable.
     for start, end in zip(observed[:-1], observed[1:]):
         if end - start > 1:
-            series[start + 1 : end] = 0.5 * (series[start] + series[end])
+            series[start + 1 : end] = (
+                0.5 * series[start] + 0.5 * series[end]
+            )
     return series
 
 

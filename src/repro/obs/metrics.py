@@ -258,4 +258,27 @@ def metrics_from_spans(spans: Iterable[Any]) -> MetricsRegistry:
                 registry.counter("predictions_emitted").inc(int(emitted))
         elif span.name == "push":
             registry.timer("push_latency_seconds").observe(span.duration)
+            # Serving-layer pushes annotate degraded consultations and
+            # breaker transitions (see repro.serve); roll them up so a
+            # trace file alone answers the resilience questions.
+            if span.attributes.get("source") == "fallback":
+                registry.counter("serve.degraded_decisions").inc()
+            for event in getattr(span, "events", ()) or ():
+                name = (
+                    event.get("name")
+                    if isinstance(event, dict)
+                    else getattr(event, "name", None)
+                )
+                attrs = (
+                    event.get("attributes", {})
+                    if isinstance(event, dict)
+                    else getattr(event, "attributes", {})
+                )
+                if (
+                    name == "breaker_transition"
+                    and attrs.get("to_state") == "open"
+                ):
+                    registry.counter("serve.breaker_trips").inc()
+                elif name == "consult_failed":
+                    registry.counter("serve.consult_failures").inc()
     return registry

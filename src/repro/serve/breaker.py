@@ -1,0 +1,164 @@
+"""Per-session circuit breaker for classifier consultations.
+
+A classifier that keeps timing out or crashing should stop being asked:
+every doomed consultation burns a sampling period the stream does not
+have. The breaker implements the classic three-state machine:
+
+* ``closed`` — consultations flow to the model. ``failure_threshold``
+  *consecutive* failures trip the breaker.
+* ``open`` — consultations are skipped entirely (the session serves the
+  fallback) until ``recovery_seconds`` of cool-down have elapsed on the
+  injected clock.
+* ``half-open`` — after the cool-down, probe consultations are let
+  through; ``probe_successes`` consecutive successes close the breaker,
+  any failure re-opens it (and restarts the cool-down).
+
+The clock is injectable (default ``time.monotonic``) so tests — and the
+chaos harness — drive the full state machine deterministically with zero
+real delays. Every transition is recorded in :attr:`transitions` and
+forwarded to an optional ``on_transition`` callback (the serving session
+uses it to emit span events and bump the ``serve.breaker_trips``
+counter).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_OPEN",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_STATES",
+    "CircuitBreaker",
+]
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
+
+BREAKER_STATES = (BREAKER_CLOSED, BREAKER_OPEN, BREAKER_HALF_OPEN)
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with a deterministic clock.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive consultation failures (timeouts or exceptions) that
+        trip the breaker open.
+    recovery_seconds:
+        Cool-down before an open breaker lets a probe through.
+    probe_successes:
+        Consecutive successful probes required to close again.
+    clock:
+        Monotonic time source; injectable for deterministic tests.
+    on_transition:
+        Optional ``callback(old_state, new_state, reason)`` invoked on
+        every state change.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        recovery_seconds: float = 30.0,
+        probe_successes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Callable[[str, str, str], Any] | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ConfigurationError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if recovery_seconds < 0:
+            raise ConfigurationError(
+                f"recovery_seconds must be >= 0, got {recovery_seconds}"
+            )
+        if probe_successes < 1:
+            raise ConfigurationError(
+                f"probe_successes must be >= 1, got {probe_successes}"
+            )
+        self.failure_threshold = failure_threshold
+        self.recovery_seconds = recovery_seconds
+        self.probe_successes = probe_successes
+        self.clock = clock
+        self.on_transition = on_transition
+        self._state = BREAKER_CLOSED
+        self._consecutive_failures = 0
+        self._probe_streak = 0
+        self._opened_at = 0.0
+        self.n_trips = 0
+        self.transitions: list[tuple[str, str, str, float]] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current state (``closed`` / ``open`` / ``half-open``).
+
+        Reading the state never advances the machine; only
+        :meth:`allow_request` promotes an expired ``open`` to
+        ``half-open``.
+        """
+        return self._state
+
+    def _transition(self, new_state: str, reason: str) -> None:
+        old_state = self._state
+        if old_state == new_state:
+            return
+        self._state = new_state
+        self.transitions.append((old_state, new_state, reason, self.clock()))
+        if new_state == BREAKER_OPEN:
+            self.n_trips += 1
+            self._opened_at = self.clock()
+        if self.on_transition is not None:
+            self.on_transition(old_state, new_state, reason)
+
+    # ------------------------------------------------------------------
+    def allow_request(self) -> bool:
+        """Whether the next consultation may reach the model.
+
+        ``False`` means route straight to the fallback. An ``open``
+        breaker whose cool-down has elapsed moves to ``half-open`` and
+        admits the probe.
+        """
+        if self._state == BREAKER_CLOSED:
+            return True
+        if self._state == BREAKER_OPEN:
+            if self.clock() - self._opened_at >= self.recovery_seconds:
+                self._probe_streak = 0
+                self._transition(BREAKER_HALF_OPEN, "cool-down elapsed")
+                return True
+            return False
+        return True  # half-open: probes flow
+
+    def record_success(self) -> None:
+        """Note a successful (in-deadline, non-raising) consultation."""
+        self._consecutive_failures = 0
+        if self._state == BREAKER_HALF_OPEN:
+            self._probe_streak += 1
+            if self._probe_streak >= self.probe_successes:
+                self._transition(
+                    BREAKER_CLOSED,
+                    f"{self._probe_streak} successful probe(s)",
+                )
+
+    def record_failure(self, reason: str = "consultation failed") -> None:
+        """Note a failed consultation (exception or deadline miss)."""
+        if self._state == BREAKER_HALF_OPEN:
+            self._consecutive_failures = 0
+            self._transition(BREAKER_OPEN, f"probe failed: {reason}")
+            return
+        self._consecutive_failures += 1
+        if (
+            self._state == BREAKER_CLOSED
+            and self._consecutive_failures >= self.failure_threshold
+        ):
+            self._consecutive_failures = 0
+            self._transition(
+                BREAKER_OPEN,
+                f"{self.failure_threshold} consecutive failure(s): {reason}",
+            )

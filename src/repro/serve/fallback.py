@@ -1,0 +1,184 @@
+"""Cheap fallback predictors for degraded serving.
+
+When the primary early classifier cannot answer inside its deadline — or
+the circuit breaker has taken it out of rotation — the stream must not
+stall: something still has to answer. The predictors here are orders of
+magnitude cheaper than any ETSC algorithm and are fitted once from the
+same training data, so a degraded answer is cheap, immediate, and at
+least as good as guessing:
+
+* :class:`MajorityClassFallback` — the training majority class, with its
+  empirical frequency as confidence. O(1) per consultation.
+* :class:`PrefixNearestNeighborFallback` — 1-NN under Euclidean distance
+  between the observed prefix and the same-length prefixes of (a
+  subsample of) the training series. O(reference x t) per consultation.
+
+Fallback answers always carry ``source="fallback"``/``degraded=True``
+and a ``prefix_length`` equal to the observed length — they have no
+earliness trigger of their own, so a streaming session only ever commits
+them as the forced final decision.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..core.prediction import SOURCE_FALLBACK, EarlyPrediction
+from ..data.dataset import TimeSeriesDataset
+from ..exceptions import ConfigurationError, DataError, NotFittedError
+
+__all__ = [
+    "FallbackPredictor",
+    "MajorityClassFallback",
+    "PrefixNearestNeighborFallback",
+    "make_fallback",
+    "FALLBACK_NAMES",
+]
+
+
+class FallbackPredictor(ABC):
+    """A cheap stand-in answering when the primary model cannot."""
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    @abstractmethod
+    def _fit(self, dataset: TimeSeriesDataset) -> None:
+        """Predictor-specific fitting logic."""
+
+    @abstractmethod
+    def _predict_label(self, prefix: np.ndarray) -> tuple[int, float | None]:
+        """``(label, confidence)`` for one observed ``(V, t)`` prefix."""
+
+    def fit(self, dataset: TimeSeriesDataset) -> "FallbackPredictor":
+        """Fit the fallback on the primary model's training dataset."""
+        self._fit(dataset)
+        self._fitted = True
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    def predict_prefix(
+        self, prefix: np.ndarray, series_length: int
+    ) -> EarlyPrediction:
+        """A degraded prediction for the ``(V, t)`` observed prefix."""
+        if not self._fitted:
+            raise NotFittedError(
+                f"{type(self).__name__} used before fit"
+            )
+        prefix = np.atleast_2d(np.asarray(prefix, dtype=float))
+        if prefix.ndim != 2 or prefix.shape[1] < 1:
+            raise DataError(
+                f"fallback prefix must be (n_variables, t>=1), "
+                f"got shape {prefix.shape}"
+            )
+        label, confidence = self._predict_label(prefix)
+        return EarlyPrediction(
+            label=int(label),
+            prefix_length=min(prefix.shape[1], series_length),
+            series_length=series_length,
+            confidence=confidence,
+            degraded=True,
+            source=SOURCE_FALLBACK,
+        )
+
+
+class MajorityClassFallback(FallbackPredictor):
+    """Answer with the training majority class (ties to the first label).
+
+    The cheapest possible degradation: no per-consultation work at all,
+    confidence is the class's empirical training frequency.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._label: int | None = None
+        self._confidence: float | None = None
+
+    def _fit(self, dataset: TimeSeriesDataset) -> None:
+        labels, counts = np.unique(dataset.labels, return_counts=True)
+        best = int(np.argmax(counts))
+        self._label = int(labels[best])
+        self._confidence = float(counts[best] / counts.sum())
+
+    def _predict_label(self, prefix: np.ndarray) -> tuple[int, float | None]:
+        return self._label, self._confidence
+
+
+class PrefixNearestNeighborFallback(FallbackPredictor):
+    """1-NN on same-length training prefixes under Euclidean distance.
+
+    Keeps (a deterministic stratified-ish subsample of) the training
+    series and, per consultation, returns the label of the instance whose
+    first ``t`` points are closest to the observed prefix. Confidence is
+    the fraction of the ``n_votes`` nearest references agreeing with the
+    winner.
+
+    Parameters
+    ----------
+    max_reference:
+        Cap on retained training instances (evenly strided subsample, so
+        repeated fits are deterministic). ``None`` keeps everything.
+    n_votes:
+        Neighbourhood size used only for the confidence estimate; the
+        label itself is always the single nearest neighbour's.
+    """
+
+    def __init__(
+        self, max_reference: int | None = 200, n_votes: int = 5
+    ) -> None:
+        super().__init__()
+        if max_reference is not None and max_reference < 1:
+            raise ConfigurationError(
+                f"max_reference must be >= 1 or None, got {max_reference}"
+            )
+        if n_votes < 1:
+            raise ConfigurationError(f"n_votes must be >= 1, got {n_votes}")
+        self.max_reference = max_reference
+        self.n_votes = n_votes
+        self._values: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+
+    def _fit(self, dataset: TimeSeriesDataset) -> None:
+        values, labels = dataset.values, dataset.labels
+        if (
+            self.max_reference is not None
+            and dataset.n_instances > self.max_reference
+        ):
+            # Even stride keeps the class mixture roughly intact and is
+            # reproducible without an RNG.
+            indices = np.linspace(
+                0, dataset.n_instances - 1, self.max_reference
+            ).astype(int)
+            values, labels = values[indices], labels[indices]
+        self._values = np.ascontiguousarray(values, dtype=float)
+        self._labels = np.asarray(labels)
+
+    def _predict_label(self, prefix: np.ndarray) -> tuple[int, float | None]:
+        t = min(prefix.shape[1], self._values.shape[2])
+        deltas = self._values[:, :, :t] - prefix[np.newaxis, :, :t]
+        distances = np.einsum("ivt,ivt->i", deltas, deltas)
+        order = np.argsort(distances, kind="stable")
+        label = int(self._labels[order[0]])
+        votes = self._labels[order[: min(self.n_votes, order.size)]]
+        confidence = float((votes == label).mean())
+        return label, confidence
+
+
+#: Named fallback constructors for the CLI / serve-sim layer.
+FALLBACK_NAMES = ("majority", "prefix-1nn")
+
+
+def make_fallback(name: str) -> FallbackPredictor:
+    """Construct a fallback predictor by CLI name."""
+    if name == "majority":
+        return MajorityClassFallback()
+    if name == "prefix-1nn":
+        return PrefixNearestNeighborFallback()
+    raise ConfigurationError(
+        f"unknown fallback {name!r}; known: {', '.join(FALLBACK_NAMES)}"
+    )

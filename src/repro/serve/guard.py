@@ -1,0 +1,237 @@
+"""Input guard: validate and sanitize every pushed time-point.
+
+No production stream delivers clean, well-shaped observations. The guard
+sits in front of a :class:`~repro.serve.session.GuardedStreamingSession`
+and decides, per point, whether it is usable and in what form:
+
+* structural problems (non-numeric values, non-1-D points, wrong channel
+  count) can never be repaired — no policy invents values. The session
+  surfaces them as explicit :class:`~repro.exceptions.DataError`\\ s
+  under ``strict`` and drops-and-counts the point otherwise;
+* value problems (NaN, Inf, out-of-distribution magnitudes relative to
+  train-time statistics) are handled according to the configured
+  :data:`GuardPolicy` — ``strict`` raises, ``lenient`` repairs the value
+  and carries on, ``reject`` drops the point entirely.
+
+Repairs and rejections are counted in the session's metrics registry
+(``serve.sanitized_points`` / ``serve.rejected_points``) and reported
+through one counted ``repro.serve`` warning per session, mirroring the
+lenient-mode convention of :mod:`repro.data.io`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.dataset import TimeSeriesDataset
+from ..exceptions import ConfigurationError, DataError
+
+__all__ = [
+    "GUARD_STRICT",
+    "GUARD_LENIENT",
+    "GUARD_REJECT",
+    "GUARD_POLICIES",
+    "ChannelStats",
+    "GuardStats",
+    "GuardOutcome",
+    "InputGuard",
+]
+
+#: Guard policies. ``strict`` raises on any anomalous value, ``lenient``
+#: sanitizes (impute non-finite values, clamp out-of-distribution
+#: magnitudes) and continues, ``reject`` drops anomalous points.
+GUARD_STRICT = "strict"
+GUARD_LENIENT = "lenient"
+GUARD_REJECT = "reject"
+
+GUARD_POLICIES = (GUARD_STRICT, GUARD_LENIENT, GUARD_REJECT)
+
+
+@dataclass(frozen=True)
+class ChannelStats:
+    """Train-time statistics of one variable (channel) of the stream."""
+
+    mean: float
+    std: float
+    lo: float  # clamp floor: anything below is out-of-distribution
+    hi: float  # clamp ceiling: anything above is out-of-distribution
+
+
+@dataclass(frozen=True)
+class GuardStats:
+    """Per-channel train-time statistics backing the magnitude clamp.
+
+    Computed once from the training dataset via :meth:`from_dataset`.
+    The clamp band of each channel is
+    ``[mean - clamp_sigma * std, mean + clamp_sigma * std]``, widened to
+    include the observed training min/max — a value the model saw during
+    training is never out-of-distribution.
+    """
+
+    channels: tuple[ChannelStats, ...]
+
+    @classmethod
+    def from_dataset(
+        cls, dataset: TimeSeriesDataset, clamp_sigma: float = 6.0
+    ) -> "GuardStats":
+        """Compute guard statistics from the training dataset."""
+        if clamp_sigma <= 0:
+            raise ConfigurationError(
+                f"clamp_sigma must be positive, got {clamp_sigma}"
+            )
+        channels = []
+        for v in range(dataset.n_variables):
+            values = dataset.values[:, v, :]
+            values = values[np.isfinite(values)]
+            if values.size == 0:
+                raise DataError(
+                    f"channel {v} of {dataset.name!r} has no finite "
+                    "training values; guard statistics are undefined"
+                )
+            mean = float(values.mean())
+            std = float(values.std())
+            # A constant training channel (std == 0) still gets a non-empty
+            # band so benign float noise is not flagged as OOD.
+            slack = clamp_sigma * std if std > 0 else max(abs(mean), 1.0)
+            channels.append(
+                ChannelStats(
+                    mean=mean,
+                    std=std,
+                    lo=min(mean - slack, float(values.min())),
+                    hi=max(mean + slack, float(values.max())),
+                )
+            )
+        return cls(channels=tuple(channels))
+
+    @property
+    def n_variables(self) -> int:
+        return len(self.channels)
+
+
+@dataclass(frozen=True)
+class GuardOutcome:
+    """What the guard decided about one pushed point.
+
+    ``accepted`` is ``False`` only under the ``reject`` policy (the point
+    must be dropped). ``point`` is the value to push when accepted —
+    possibly repaired under ``lenient``. ``anomalies`` lists what was
+    wrong (empty for a clean point); ``repaired`` flags that at least one
+    value was imputed or clamped.
+    """
+
+    accepted: bool
+    point: np.ndarray | None
+    anomalies: tuple[str, ...] = ()
+    repaired: bool = False
+
+    @property
+    def clean(self) -> bool:
+        return not self.anomalies
+
+
+class InputGuard:
+    """Per-point validator/sanitizer configured by a guard policy.
+
+    Parameters
+    ----------
+    stats:
+        Train-time channel statistics (see :meth:`GuardStats.from_dataset`);
+        ``None`` disables the out-of-distribution magnitude clamp, leaving
+        only the NaN/Inf and shape checks.
+    policy:
+        One of :data:`GUARD_POLICIES`.
+
+    The guard is stateful per stream: it remembers the last accepted
+    value per channel so a non-finite reading can be imputed with the
+    most recent good observation (falling back to the channel's training
+    mean at stream start).
+    """
+
+    def __init__(
+        self,
+        stats: GuardStats | None = None,
+        policy: str = GUARD_LENIENT,
+    ) -> None:
+        if policy not in GUARD_POLICIES:
+            raise ConfigurationError(
+                f"policy must be one of {GUARD_POLICIES}, got {policy!r}"
+            )
+        self.stats = stats
+        self.policy = policy
+        self._last_good: np.ndarray | None = None
+        self.n_rejected = 0
+        self.n_sanitized = 0
+        self.anomaly_log: list[str] = []
+
+    # ------------------------------------------------------------------
+    def _impute_value(self, channel: int) -> float:
+        """Replacement for a non-finite reading on ``channel``."""
+        if self._last_good is not None:
+            return float(self._last_good[channel])
+        if self.stats is not None:
+            return self.stats.channels[channel].mean
+        return 0.0
+
+    def inspect(self, point: np.ndarray) -> GuardOutcome:
+        """Apply the guard policy to one already-shaped point.
+
+        ``point`` must be a 1-D float vector whose length matches the
+        stream's channel count (the session enforces the structural
+        checks before consulting the guard). Returns a
+        :class:`GuardOutcome`; under the ``strict`` policy an anomalous
+        point raises :class:`~repro.exceptions.DataError` instead.
+        """
+        point = np.asarray(point, dtype=float)
+        if self.stats is not None and point.shape[0] != self.stats.n_variables:
+            raise DataError(
+                f"point has {point.shape[0]} variables, guard statistics "
+                f"cover {self.stats.n_variables}"
+            )
+        anomalies: list[str] = []
+        repaired = point.copy()
+        for v in range(point.shape[0]):
+            value = point[v]
+            if not np.isfinite(value):
+                replacement = self._impute_value(v)
+                anomalies.append(
+                    f"channel {v}: non-finite value {value!r} "
+                    f"(imputed {replacement:.6g})"
+                )
+                repaired[v] = replacement
+                continue
+            if self.stats is not None:
+                band = self.stats.channels[v]
+                if value < band.lo or value > band.hi:
+                    clamped = float(np.clip(value, band.lo, band.hi))
+                    anomalies.append(
+                        f"channel {v}: magnitude {value:.6g} outside the "
+                        f"train-time band [{band.lo:.6g}, {band.hi:.6g}] "
+                        f"(clamped {clamped:.6g})"
+                    )
+                    repaired[v] = clamped
+        if not anomalies:
+            self._last_good = point
+            return GuardOutcome(accepted=True, point=point)
+        self.anomaly_log.extend(anomalies)
+        if self.policy == GUARD_STRICT:
+            raise DataError(
+                "input guard (strict): " + "; ".join(anomalies)
+            )
+        if self.policy == GUARD_REJECT:
+            self.n_rejected += 1
+            return GuardOutcome(
+                accepted=False, point=None, anomalies=tuple(anomalies)
+            )
+        # Lenient: push the repaired point. The repaired value also
+        # becomes the new imputation source — it is the best available
+        # estimate of the channel's current level.
+        self.n_sanitized += 1
+        self._last_good = repaired
+        return GuardOutcome(
+            accepted=True,
+            point=repaired,
+            anomalies=tuple(anomalies),
+            repaired=True,
+        )

@@ -1,0 +1,389 @@
+"""Resilient streaming session: guard -> deadline -> breaker -> fallback.
+
+:class:`GuardedStreamingSession` wraps any trained
+:class:`~repro.core.base.EarlyClassifier` into a production-grade
+streaming endpoint. Relative to the plain
+:class:`~repro.core.streaming.StreamingSession` it adds four defences,
+applied in order on every push:
+
+1. **Input guard** — every point is validated and (per policy)
+   sanitized or dropped before it can reach the classifier
+   (:mod:`repro.serve.guard`).
+2. **Consultation deadline** — a classifier consultation that exceeds
+   ``deadline_seconds`` is preempted via
+   :func:`repro.core.timeouts.time_limit`; where SIGALRM is unavailable
+   the same budget applies as a cooperative after-the-fact check on the
+   injected clock, so a deadline miss is detected either way.
+3. **Circuit breaker** — consecutive consultation failures trip the
+   breaker and take the model out of rotation until probe consultations
+   succeed (:mod:`repro.serve.breaker`).
+4. **Fallback degradation** — whenever the model cannot answer (miss,
+   crash, open breaker), a cheap fallback predictor answers instead and
+   the eventual decision is flagged ``degraded=True`` /
+   ``source="fallback"`` (:mod:`repro.serve.fallback`).
+
+With no faults, no deadline, and clean input, the session's decisions
+are identical to the plain ``StreamingSession``'s — resilience is free
+until something actually goes wrong.
+
+Everything is observable: rejections, sanitizations, degraded decisions,
+breaker trips, and consult failures land in the session's
+:class:`~repro.obs.metrics.MetricsRegistry` under ``serve.*`` counters,
+breaker transitions and consult failures are span events on the ``push``
+spans, and stream-level anomaly totals are reported through one counted
+``repro.serve`` warning per stream.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+
+from ..core.base import EarlyClassifier
+from ..core.prediction import EarlyPrediction
+from ..core.resilience import TIMEOUT, classify_failure, failure_reason
+from ..core.streaming import StreamingDecision, StreamingSession
+from ..core.timeouts import time_limit
+from ..data.dataset import TimeSeriesDataset
+from ..exceptions import ConfigurationError, DataError
+from ..obs.logging import get_logger
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import current_span
+from .breaker import BREAKER_CLOSED, BREAKER_OPEN, CircuitBreaker
+from .chaos import STAGE_CONSULT, STAGE_PUSH
+from .fallback import FallbackPredictor, make_fallback
+from .guard import GUARD_LENIENT, GUARD_STRICT, GuardStats, InputGuard
+
+__all__ = ["GuardedStreamingSession"]
+
+_logger = get_logger("serve")
+
+
+class GuardedStreamingSession(StreamingSession):
+    """A :class:`StreamingSession` hardened for messy production streams.
+
+    Parameters
+    ----------
+    classifier, series_length, check_every:
+        As for :class:`StreamingSession`.
+    guard:
+        The per-point :class:`~repro.serve.guard.InputGuard`. Defaults to
+        a lenient guard without train-time statistics (NaN/Inf imputation
+        only; no magnitude clamp).
+    fallback:
+        A *fitted* :class:`~repro.serve.fallback.FallbackPredictor`
+        answering when the model cannot. ``None`` disables degradation:
+        consultation failures propagate to the caller (deadline misses in
+        cooperative mode then keep the late model answer).
+    deadline_seconds:
+        Per-consultation wall-clock budget — normally the stream's
+        sampling period, so a consultation that would collide with the
+        next observation degrades instead of stalling. ``None`` disables
+        the deadline.
+    breaker:
+        The per-session :class:`~repro.serve.breaker.CircuitBreaker`;
+        ``None`` disables circuit breaking (every consultation reaches
+        the model).
+    fault_injector:
+        Chaos hook ``(stage, algorithm, stream, push_index)`` consulted
+        at every push (``stage="push"``) and model consultation
+        (``stage="consult"``); raising injects the failure. See
+        :class:`~repro.serve.chaos.ServeFaultPlan`.
+    stream_name, algorithm_name:
+        Labels used in warnings, fault matching, and span attributes.
+    metrics:
+        Registry receiving the ``serve.*`` counters; a fresh one is
+        created when omitted (always available as ``session.metrics``).
+    clock:
+        Monotonic time source for the cooperative deadline check
+        (injectable for deterministic tests; default
+        ``time.perf_counter``).
+    """
+
+    def __init__(
+        self,
+        classifier: EarlyClassifier,
+        series_length: int,
+        check_every: int = 1,
+        *,
+        guard: InputGuard | None = None,
+        fallback: FallbackPredictor | None = None,
+        deadline_seconds: float | None = None,
+        breaker: CircuitBreaker | None = None,
+        fault_injector: Callable[[str, str, str, int], None] | None = None,
+        stream_name: str = "stream",
+        algorithm_name: str | None = None,
+        metrics: MetricsRegistry | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        super().__init__(classifier, series_length, check_every=check_every)
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise ConfigurationError(
+                f"deadline_seconds must be positive or None, "
+                f"got {deadline_seconds}"
+            )
+        if fallback is not None and not fallback.is_fitted:
+            raise ConfigurationError(
+                "the fallback predictor must be fitted before serving "
+                "(call fallback.fit(train_dataset))"
+            )
+        self.guard = guard if guard is not None else InputGuard()
+        self.fallback = fallback
+        self.deadline_seconds = deadline_seconds
+        self.breaker = breaker
+        self.fault_injector = fault_injector
+        self.stream_name = stream_name
+        self.algorithm_name = algorithm_name or type(classifier).__name__
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._clock = clock
+        self._pushes = 0
+        self._reported = False
+        self.rejection_reasons: list[str] = []
+        if breaker is not None:
+            # Chain (not replace) any caller-installed transition hook so
+            # trips/recoveries always reach the span events and counters.
+            previous = breaker.on_transition
+            breaker.on_transition = (
+                self._on_breaker_transition
+                if previous is None
+                else lambda old, new, reason: (
+                    previous(old, new, reason),
+                    self._on_breaker_transition(old, new, reason),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_dataset(
+        cls,
+        classifier: EarlyClassifier,
+        train_dataset: TimeSeriesDataset,
+        *,
+        policy: str = GUARD_LENIENT,
+        clamp_sigma: float = 6.0,
+        fallback: FallbackPredictor | str | None = "majority",
+        series_length: int | None = None,
+        **kwargs,
+    ) -> "GuardedStreamingSession":
+        """Build a guarded session wired to a training dataset.
+
+        Computes the guard's train-time statistics and fits the fallback
+        (named ``"majority"`` / ``"prefix-1nn"``, or a predictor
+        instance) on ``train_dataset``; remaining keyword arguments pass
+        through to the constructor.
+        """
+        guard = InputGuard(
+            GuardStats.from_dataset(train_dataset, clamp_sigma=clamp_sigma),
+            policy=policy,
+        )
+        if isinstance(fallback, str):
+            fallback = make_fallback(fallback).fit(train_dataset)
+        elif fallback is not None and not fallback.is_fitted:
+            fallback.fit(train_dataset)
+        return cls(
+            classifier,
+            series_length or train_dataset.length,
+            guard=guard,
+            fallback=fallback,
+            **kwargs,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_pushed(self) -> int:
+        """Points the stream delivered (accepted + rejected)."""
+        return self._pushes
+
+    @property
+    def n_rejected(self) -> int:
+        """Points dropped by the guard or by injected push corruption."""
+        return self._pushes - self.n_observed
+
+    def _on_breaker_transition(
+        self, old_state: str, new_state: str, reason: str
+    ) -> None:
+        current_span().add_event(
+            "breaker_transition",
+            from_state=old_state,
+            to_state=new_state,
+            reason=reason,
+        )
+        if new_state == BREAKER_OPEN:
+            self.metrics.counter("serve.breaker_trips").inc()
+            _logger.warning(
+                "%s on %s: circuit breaker tripped open (%s)",
+                self.algorithm_name, self.stream_name, reason,
+            )
+        elif new_state == BREAKER_CLOSED:
+            _logger.info(
+                "%s on %s: circuit breaker closed again (%s)",
+                self.algorithm_name, self.stream_name, reason,
+            )
+
+    def _note_rejected(self, reason: str) -> None:
+        self.metrics.counter("serve.rejected_points").inc()
+        self.rejection_reasons.append(reason)
+
+    # ------------------------------------------------------------------
+    def push(self, point: np.ndarray | float) -> StreamingDecision | None:
+        """Guarded push: validate/sanitize the point, then consult.
+
+        Unusable points (non-numeric, wrong shape, injected corruption,
+        or value anomalies under the ``reject`` policy) are dropped and
+        counted — under the ``strict`` policy they raise instead. The
+        stream still advances: the session accounts for every delivered
+        point, and a stream that ends short of ``series_length`` because
+        of drops is finalized with a forced decision on what arrived.
+        """
+        if self._pushes >= self.series_length:
+            raise DataError("stream already received its full series")
+        self._pushes += 1
+        index = self._pushes
+        try:
+            if self.fault_injector is not None:
+                self.fault_injector(
+                    STAGE_PUSH, self.algorithm_name, self.stream_name, index
+                )
+            outcome = self.guard.inspect(self._coerce_point(point))
+        except DataError as error:
+            if self.guard.policy == GUARD_STRICT:
+                raise
+            self._note_rejected(f"push {index}: {failure_reason(error)}")
+            if self._pushes == self.series_length:
+                self._end_of_stream()
+            return self._decision
+        if not outcome.accepted:
+            self._note_rejected(
+                f"push {index}: {'; '.join(outcome.anomalies)}"
+            )
+            if self._pushes == self.series_length:
+                self._end_of_stream()
+            return self._decision
+        if outcome.repaired:
+            self.metrics.counter("serve.sanitized_points").inc()
+        self._buffer.append(outcome.point)
+        if self._decision is not None:
+            return self._decision
+        due = (
+            self.n_observed % self.check_every == 0
+            or self._pushes == self.series_length
+        )
+        if due:
+            if self._pushes == self.series_length:
+                # The stream is over even if drops left the buffer short
+                # of series_length — force the final commit now.
+                self._ended = True
+            self._timed_consult()
+        if self._pushes == self.series_length:
+            self._report_stream()
+        return self._decision
+
+    def _end_of_stream(self) -> None:
+        """The last delivered point was dropped: force a final decision."""
+        if self._decision is None and self._buffer:
+            self._ended = True
+            self._timed_consult()
+        self._report_stream()
+
+    def finalize(self) -> StreamingDecision:
+        decision = super().finalize()
+        self._report_stream()
+        return decision
+
+    def _report_stream(self) -> None:
+        """One counted ``repro.serve`` warning per anomalous stream."""
+        if self._reported:
+            return
+        self._reported = True
+        dropped = self.n_rejected
+        sanitized = self.guard.n_sanitized
+        if dropped or sanitized:
+            first = (
+                self.rejection_reasons[0]
+                if self.rejection_reasons
+                else self.guard.anomaly_log[0]
+            )
+            _logger.warning(
+                "%s on %s: rejected %d and sanitized %d of %d point(s) "
+                "(first: %s)",
+                self.algorithm_name, self.stream_name,
+                dropped, sanitized, self._pushes, first,
+            )
+
+    # ------------------------------------------------------------------
+    def _fallback_prediction(self, values: np.ndarray) -> EarlyPrediction:
+        self.metrics.counter("serve.fallback_consults").inc()
+        return self.fallback.predict_prefix(values, self.series_length)
+
+    def _predict_prefix(self, values: np.ndarray) -> EarlyPrediction:
+        """One consultation under chaos, deadline, breaker, and fallback."""
+        span = current_span()
+        if self.breaker is not None and not self.breaker.allow_request():
+            span.set_attribute("breaker", self.breaker.state)
+            span.set_attribute("source", "fallback")
+            return self._fallback_prediction(values)
+        start = self._clock()
+        try:
+            if self.fault_injector is not None:
+                self.fault_injector(
+                    STAGE_CONSULT,
+                    self.algorithm_name,
+                    self.stream_name,
+                    self._pushes,
+                )
+            # Preemptive deadline (SIGALRM where available; elsewhere
+            # time_limit degrades and the cooperative check below rules).
+            with time_limit(self.deadline_seconds):
+                prediction = self.classifier.predict_one(values)
+        except Exception as error:
+            kind = classify_failure(error)
+            reason = failure_reason(error)
+            span.add_event("consult_failed", kind=kind, error=reason)
+            self.metrics.counter(
+                "serve.consult_timeouts"
+                if kind == TIMEOUT
+                else "serve.consult_failures"
+            ).inc()
+            if self.breaker is not None:
+                self.breaker.record_failure(reason)
+            if self.fallback is None:
+                raise
+            return self._fallback_prediction(values)
+        elapsed = self._clock() - start
+        if (
+            self.deadline_seconds is not None
+            and elapsed > self.deadline_seconds
+        ):
+            # Cooperative after-the-fact deadline check — the only rule
+            # in force when SIGALRM is unavailable (non-Unix platform or
+            # a worker thread). The model's answer arrived after the
+            # stream moved on, so it is discarded for the fallback's.
+            span.add_event(
+                "consult_failed",
+                kind=TIMEOUT,
+                error=(
+                    f"consultation took {elapsed:.4f}s, deadline "
+                    f"{self.deadline_seconds:.4f}s (cooperative check)"
+                ),
+            )
+            self.metrics.counter("serve.consult_timeouts").inc()
+            if self.breaker is not None:
+                self.breaker.record_failure("deadline exceeded")
+            if self.fallback is not None:
+                return self._fallback_prediction(values)
+            return prediction  # nothing to degrade to: keep the late answer
+        if self.breaker is not None:
+            self.breaker.record_success()
+        return prediction
+
+    def _consult(self) -> None:
+        was_decided = self._decision is not None
+        super()._consult()
+        if (
+            not was_decided
+            and self._decision is not None
+            and self._decision.degraded
+        ):
+            self.metrics.counter("serve.degraded_decisions").inc()

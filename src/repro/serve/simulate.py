@@ -1,0 +1,387 @@
+"""serve-sim: replay a dataset through the guarded serving layer.
+
+``repro-cli serve-sim`` trains one algorithm on a registered dataset,
+wraps it in a :class:`~repro.serve.session.GuardedStreamingSession`, and
+replays held-out instances point by point — optionally under an injected
+:class:`~repro.serve.chaos.ServeFaultPlan` — then prints a feasibility /
+degradation report: how many streams decided, how many decisions were
+fallback-sourced, what the guard rejected or repaired, how often the
+breaker tripped, and whether the consultation latency distribution
+(p50/p95/p99, over-budget count) keeps up with the sampling period.
+
+The replay is also available programmatically as :func:`run_serve_sim`
+(used by the Figure 13 bench and the chaos tests).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..core.registry import default_algorithms
+from ..core.streaming import LatencySummary, StreamingDecision
+from ..core.voting import wrap_for_dataset
+from ..data.dataset import TimeSeriesDataset
+from ..data.splits import train_test_split
+from ..exceptions import ConfigurationError, ReproError
+from ..obs.metrics import MetricsRegistry
+from .breaker import CircuitBreaker
+from .chaos import parse_fault_specs
+from .fallback import FALLBACK_NAMES, make_fallback
+from .guard import GUARD_LENIENT, GUARD_POLICIES, GuardStats, InputGuard
+from .session import GuardedStreamingSession
+
+__all__ = ["ServeSimReport", "run_serve_sim", "main", "build_parser"]
+
+
+@dataclass
+class ServeSimReport:
+    """Everything one serve-sim replay produced."""
+
+    algorithm: str
+    dataset: str
+    policy: str
+    deadline_seconds: float | None
+    frequency_seconds: float | None
+    n_streams: int
+    n_points: int
+    decisions: list[StreamingDecision] = field(default_factory=list)
+    true_labels: list[int] = field(default_factory=list)
+    latency: LatencySummary | None = None
+    counters: dict[str, int] = field(default_factory=dict)
+    breaker_transitions: list[tuple[str, str, str, float]] = field(
+        default_factory=list
+    )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_decided(self) -> int:
+        return len(self.decisions)
+
+    @property
+    def n_degraded(self) -> int:
+        return sum(1 for d in self.decisions if d.degraded)
+
+    @property
+    def degraded_rate(self) -> float:
+        """Fraction of decisions the fallback (not the model) produced."""
+        return self.n_degraded / self.n_decided if self.decisions else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        if not self.decisions:
+            return 0.0
+        hits = sum(
+            1
+            for decision, label in zip(self.decisions, self.true_labels)
+            if decision.label == label
+        )
+        return hits / len(self.decisions)
+
+    @property
+    def mean_decided_at(self) -> float:
+        """Mean number of points observed when decisions fired."""
+        if not self.decisions:
+            return 0.0
+        return float(np.mean([d.decided_at for d in self.decisions]))
+
+    @property
+    def n_breaker_trips(self) -> int:
+        return self.counters.get("serve.breaker_trips", 0)
+
+    @property
+    def n_breaker_recoveries(self) -> int:
+        return sum(
+            1 for _, to_state, _, _ in self.breaker_transitions
+            if to_state == "closed"
+        )
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """The human-readable feasibility / degradation report."""
+        get = self.counters.get
+        lines = [
+            f"serve-sim: {self.algorithm} on {self.dataset} "
+            f"({self.n_streams} stream(s), guard={self.policy}, "
+            + (
+                f"deadline={self.deadline_seconds:g}s)"
+                if self.deadline_seconds is not None
+                else "no deadline)"
+            ),
+            "",
+            f"decisions      {self.n_decided}/{self.n_streams} streams "
+            "decided",
+            f"  accuracy     {self.accuracy:.3f}",
+            f"  earliness    mean decision at point "
+            f"{self.mean_decided_at:.1f}",
+            f"  degraded     {self.n_degraded} "
+            f"({100.0 * self.degraded_rate:.1f}%) fallback-sourced",
+            f"input guard    rejected {get('serve.rejected_points', 0)}, "
+            f"sanitized {get('serve.sanitized_points', 0)} "
+            f"of {self.n_points} point(s)",
+            f"consultations  {self.latency.count if self.latency else 0} "
+            f"total, {get('serve.fallback_consults', 0)} fallback, "
+            f"{get('serve.consult_timeouts', 0)} timeout(s), "
+            f"{get('serve.consult_failures', 0)} failure(s)",
+            f"breaker        {self.n_breaker_trips} trip(s), "
+            f"{self.n_breaker_recoveries} recovery(ies)",
+        ]
+        if self.latency is not None:
+            lat = self.latency
+            lines += [
+                "",
+                "consultation latency:",
+                "  count | mean | p50 | p95 | p99 | max | over-budget",
+                f"  {lat.count} | {lat.mean * 1000:.2f}ms "
+                f"| {lat.p50 * 1000:.2f}ms | {lat.p95 * 1000:.2f}ms "
+                f"| {lat.p99 * 1000:.2f}ms | {lat.max * 1000:.2f}ms "
+                f"| {lat.over_budget_count}",
+            ]
+            if self.frequency_seconds:
+                ratio = lat.mean / self.frequency_seconds
+                verdict = "FEASIBLE" if ratio < 1.0 else "TOO-SLOW"
+                lines.append(
+                    f"  mean latency / sampling period = {ratio:.3g} "
+                    f"({verdict})"
+                )
+        return "\n".join(lines)
+
+
+def run_serve_sim(
+    classifier_factory: Callable,
+    dataset: TimeSeriesDataset,
+    algorithm_name: str = "classifier",
+    *,
+    n_streams: int = 10,
+    policy: str = GUARD_LENIENT,
+    fallback: str | None = "majority",
+    deadline_seconds: float | None = None,
+    breaker_threshold: int | None = 3,
+    breaker_recovery_seconds: float = 0.0,
+    check_every: int = 1,
+    fault_injector: Callable[[str, str, str, int], None] | None = None,
+    test_fraction: float = 0.3,
+    seed: int = 0,
+) -> ServeSimReport:
+    """Train, then replay held-out instances through the guarded session.
+
+    ``classifier_factory`` builds an untrained early classifier (a
+    registry ``info.factory``); ``fallback`` is a name from
+    :data:`~repro.serve.fallback.FALLBACK_NAMES` or ``None`` to serve
+    without degradation; ``breaker_threshold=None`` disables the
+    breaker. ``breaker_recovery_seconds`` defaults to 0 so deterministic
+    replays recover via probes rather than wall-clock waits.
+    """
+    train, test = train_test_split(
+        dataset, test_fraction=test_fraction, seed=seed
+    )
+    classifier = wrap_for_dataset(classifier_factory, train)
+    classifier.train(train)
+    stats = GuardStats.from_dataset(train)
+    fitted_fallback = (
+        make_fallback(fallback).fit(train) if fallback else None
+    )
+    metrics = MetricsRegistry()
+    n_streams = min(n_streams, test.n_instances)
+    report = ServeSimReport(
+        algorithm=algorithm_name,
+        dataset=dataset.name,
+        policy=policy,
+        deadline_seconds=deadline_seconds,
+        frequency_seconds=dataset.frequency_seconds,
+        n_streams=n_streams,
+        n_points=n_streams * dataset.length,
+    )
+    latencies: list[float] = []
+    for i in range(n_streams):
+        breaker = (
+            CircuitBreaker(
+                failure_threshold=breaker_threshold,
+                recovery_seconds=breaker_recovery_seconds,
+            )
+            if breaker_threshold is not None
+            else None
+        )
+        session = GuardedStreamingSession(
+            classifier,
+            dataset.length,
+            check_every=check_every,
+            guard=InputGuard(stats, policy=policy),
+            fallback=fitted_fallback,
+            deadline_seconds=deadline_seconds,
+            breaker=breaker,
+            fault_injector=fault_injector,
+            stream_name=f"{dataset.name}[{i}]",
+            algorithm_name=algorithm_name,
+            metrics=metrics,
+        )
+        decision = session.run(test.values[i])
+        report.decisions.append(decision)
+        report.true_labels.append(int(test.labels[i]))
+        latencies.extend(session.push_latencies)
+        if breaker is not None:
+            report.breaker_transitions.extend(breaker.transitions)
+    if latencies:
+        report.latency = LatencySummary.from_latencies(
+            latencies, budget_seconds=deadline_seconds
+        )
+    report.counters = {
+        name: value
+        for name, value in metrics.snapshot().items()
+        if isinstance(value, int)
+    }
+    return report
+
+
+# ----------------------------------------------------------------------
+# CLI
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``serve-sim`` argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="etsc-bench serve-sim",
+        description=(
+            "Replay a dataset through the resilient serving layer and "
+            "print a feasibility/degradation report (see docs/serving.md)"
+        ),
+    )
+    parser.add_argument(
+        "--algorithm", default="ECTS", metavar="NAME",
+        help="registered algorithm to serve (default: ECTS)",
+    )
+    parser.add_argument(
+        "--dataset", default="PowerCons", metavar="NAME",
+        help="registered dataset to replay (default: PowerCons)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.1,
+        help="dataset size scale factor (1.0 = published sizes)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--streams", type=int, default=10, metavar="N",
+        help="held-out instances to replay (default: 10)",
+    )
+    parser.add_argument(
+        "--policy", choices=GUARD_POLICIES, default=GUARD_LENIENT,
+        help="input-guard policy (default: lenient)",
+    )
+    parser.add_argument(
+        "--fallback", choices=FALLBACK_NAMES + ("none",),
+        default="majority",
+        help="fallback predictor for degraded answers (default: majority)",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help=(
+            "per-consultation deadline; 0 means use the dataset's "
+            "sampling period (default: no deadline)"
+        ),
+    )
+    parser.add_argument(
+        "--breaker-threshold", type=int, default=3, metavar="N",
+        help=(
+            "consecutive consult failures that trip the circuit "
+            "breaker; 0 disables the breaker (default: 3)"
+        ),
+    )
+    parser.add_argument(
+        "--check-every", type=int, default=1, metavar="K",
+        help="consult the classifier every K pushes (default: 1)",
+    )
+    parser.add_argument(
+        "--fault", action="append", default=[], metavar="SPEC",
+        help=(
+            "inject a deterministic fault: stage:kind[:indices], e.g. "
+            "consult:timeout:3,7 / consult:error:5 / push:corrupt:2 "
+            "(repeatable)"
+        ),
+    )
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a JSONL trace of the replay (stream/push spans)",
+    )
+    parser.add_argument(
+        "--log-level", metavar="LEVEL", default=None,
+        help="enable repro logging at LEVEL (debug/info/warning/error)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """``serve-sim`` entry point; returns a process exit code."""
+    out = out or sys.stdout
+    arguments = build_parser().parse_args(argv)
+    if arguments.log_level:
+        from ..obs.logging import configure_logging
+
+        configure_logging(arguments.log_level)
+    from ..core.registry import default_datasets
+
+    algorithms = default_algorithms(fast=True)
+    datasets = default_datasets(scale=arguments.scale, seed=arguments.seed)
+    try:
+        info = algorithms.get(arguments.algorithm)
+        dataset = datasets.load(arguments.dataset)
+        fault_plan = (
+            parse_fault_specs(arguments.fault) if arguments.fault else None
+        )
+        deadline = arguments.deadline
+        if deadline is not None and deadline == 0:
+            deadline = dataset.frequency_seconds
+        kwargs = dict(
+            n_streams=arguments.streams,
+            policy=arguments.policy,
+            fallback=(
+                None if arguments.fallback == "none" else arguments.fallback
+            ),
+            deadline_seconds=deadline,
+            breaker_threshold=(
+                None
+                if arguments.breaker_threshold == 0
+                else arguments.breaker_threshold
+            ),
+            check_every=arguments.check_every,
+            fault_injector=fault_plan,
+            seed=arguments.seed,
+        )
+        if arguments.trace:
+            from ..obs.events import TraceWriter
+            from ..obs.trace import Tracer, use_tracer
+
+            with TraceWriter(arguments.trace) as writer:
+                with use_tracer(Tracer(on_finish=writer.write_span)):
+                    report = run_serve_sim(
+                        info.factory, dataset, info.name, **kwargs
+                    )
+            print(
+                f"trace written to {arguments.trace} "
+                f"({writer.n_spans} spans)",
+                file=out,
+            )
+        else:
+            report = run_serve_sim(info.factory, dataset, info.name, **kwargs)
+    except ConfigurationError as error:
+        print(f"error: {error}", file=out)
+        return 2
+    except ReproError as error:
+        print(f"serve-sim failed: {error}", file=out)
+        return 1
+    print(report.render(), file=out)
+    if report.n_decided < report.n_streams:
+        print(
+            f"error: {report.n_streams - report.n_decided} stream(s) "
+            "ended without a decision",
+            file=out,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    raise SystemExit(main())

@@ -107,6 +107,43 @@ class TestStreamingSession:
         with pytest.raises(DataError):
             session.push(np.asarray([0.5, 0.5]))
 
+    def test_wrong_channel_count_message_names_expectation(self, trained):
+        # Regression: a wrong-width point must fail with an explicit
+        # DataError naming both counts, not a numpy broadcast error from
+        # deep inside the classifier.
+        classifier, dataset = trained
+        session = StreamingSession(classifier, dataset.length)
+        with pytest.raises(DataError, match="3 variables, expected 1"):
+            session.push(np.asarray([0.5, 0.5, 0.5]))
+
+    def test_non_1d_point_rejected(self, trained):
+        classifier, dataset = trained
+        session = StreamingSession(classifier, dataset.length)
+        with pytest.raises(DataError, match="1-D"):
+            session.push(np.ones((2, 2)))
+        with pytest.raises(DataError, match="not numeric"):
+            session.push("not-a-number")
+        # The failed pushes consumed nothing.
+        assert session.n_observed == 0
+
+    def test_finalize_short_stream(self, trained):
+        # A stream that ends early (sensor dropout) still gets a forced
+        # decision on what arrived; finalize is idempotent after that.
+        classifier, dataset = trained
+        session = StreamingSession(classifier, dataset.length)
+        for t in range(5):
+            session.push(dataset.values[0][:, t])
+        decision = session.finalize()
+        assert decision is not None
+        assert decision.decided_at <= 5
+        assert session.finalize() == decision
+
+    def test_finalize_empty_stream_rejected(self, trained):
+        classifier, dataset = trained
+        session = StreamingSession(classifier, dataset.length)
+        with pytest.raises(DataError, match="no observations"):
+            session.finalize()
+
     def test_latency_ratio(self, trained):
         classifier, dataset = trained
         session = StreamingSession(classifier, dataset.length)
@@ -121,13 +158,36 @@ class TestStreamingSession:
         summary = session.latency_summary()
         assert summary.count == len(session.push_latencies)
         assert summary.count > 0
-        assert 0.0 < summary.p50 <= summary.p95 <= summary.max
+        assert 0.0 < summary.p50 <= summary.p95 <= summary.p99 <= summary.max
         assert summary.mean == pytest.approx(
             float(np.mean(session.push_latencies))
         )
         assert summary.max == pytest.approx(max(session.push_latencies))
         as_dict = summary.as_dict()
-        assert set(as_dict) == {"count", "mean", "p50", "p95", "max"}
+        assert set(as_dict) == {
+            "count",
+            "mean",
+            "p50",
+            "p95",
+            "p99",
+            "max",
+            "over_budget_count",
+        }
+        # No budget supplied -> nothing counted as over budget.
+        assert summary.over_budget_count == 0
+
+    def test_latency_summary_over_budget_count(self, trained):
+        from repro.core.streaming import LatencySummary
+
+        summary = LatencySummary.from_latencies(
+            [0.1, 0.2, 0.9, 1.5], budget_seconds=0.5
+        )
+        assert summary.over_budget_count == 2
+        assert summary.as_dict()["over_budget_count"] == 2
+        with pytest.raises(DataError, match="positive"):
+            LatencySummary.from_latencies([0.1], budget_seconds=0.0)
+        with pytest.raises(DataError, match="no consultations"):
+            LatencySummary.from_latencies([])
 
     def test_latency_summary_requires_consultations(self, trained):
         classifier, dataset = trained

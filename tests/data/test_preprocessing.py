@@ -37,6 +37,37 @@ class TestFillMissing:
         filled = fill_missing_array(np.asarray([np.nan, np.nan]))
         np.testing.assert_allclose(filled, [0.0, 0.0])
 
+    def test_all_nan_channel_in_dataset(self):
+        # One entirely-missing channel of a multivariate instance must
+        # not poison the other channels: it fills to zeros while its
+        # neighbours interpolate normally.
+        values = np.asarray(
+            [[[np.nan, np.nan, np.nan], [1.0, np.nan, 3.0]]]
+        )
+        filled = fill_missing(TimeSeriesDataset(values, np.asarray([0])))
+        np.testing.assert_allclose(filled.values[0, 0], [0.0, 0.0, 0.0])
+        np.testing.assert_allclose(filled.values[0, 1], [1.0, 2.0, 3.0])
+
+    def test_leading_and_trailing_gaps_around_interior_gap(self):
+        # All three documented regimes in one series: back-fill, interior
+        # bracket mean, forward-fill.
+        filled = fill_missing_array(
+            np.asarray([np.nan, 2.0, np.nan, 4.0, np.nan])
+        )
+        np.testing.assert_allclose(filled, [2.0, 2.0, 3.0, 4.0, 4.0])
+
+    def test_interpolation_never_overflows_to_inf(self):
+        # 0.5*(a + b) overflows to inf when the bracketing values sit
+        # near float64 max even though their mean is representable; the
+        # fill must halve before adding.
+        big = np.finfo(float).max * 0.9
+        filled = fill_missing_array(np.asarray([big, np.nan, big]))
+        assert np.isfinite(filled).all()
+        np.testing.assert_allclose(filled, [big, big, big])
+        mixed = fill_missing_array(np.asarray([-big, np.nan, big]))
+        assert np.isfinite(mixed).all()
+        assert mixed[1] == pytest.approx(0.0)
+
     def test_no_missing_passthrough(self):
         original = np.asarray([1.0, 2.0, 3.0])
         np.testing.assert_array_equal(fill_missing_array(original), original)

@@ -1,0 +1,137 @@
+"""Tests for the circuit breaker state machine (deterministic clock)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.serve import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def make_breaker(clock, **kwargs):
+    defaults = dict(failure_threshold=3, recovery_seconds=30.0)
+    defaults.update(kwargs)
+    return CircuitBreaker(clock=clock, **defaults)
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_admits(self, clock):
+        breaker = make_breaker(clock)
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.allow_request()
+
+    def test_trips_after_threshold_consecutive_failures(self, clock):
+        breaker = make_breaker(clock)
+        breaker.record_failure("boom")
+        breaker.record_failure("boom")
+        assert breaker.state == BREAKER_CLOSED
+        breaker.record_failure("boom")
+        assert breaker.state == BREAKER_OPEN
+        assert breaker.n_trips == 1
+        assert not breaker.allow_request()
+
+    def test_success_resets_the_failure_count(self, clock):
+        breaker = make_breaker(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_cool_down_promotes_to_half_open(self, clock):
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(29.9)
+        assert not breaker.allow_request()
+        clock.advance(0.2)
+        assert breaker.allow_request()  # the probe is admitted
+        assert breaker.state == BREAKER_HALF_OPEN
+
+    def test_successful_probe_closes(self, clock):
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(31.0)
+        assert breaker.allow_request()
+        breaker.record_success()
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_multiple_probe_successes_required(self, clock):
+        breaker = make_breaker(clock, probe_successes=2)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(31.0)
+        breaker.allow_request()
+        breaker.record_success()
+        assert breaker.state == BREAKER_HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_failed_probe_reopens_and_restarts_cooldown(self, clock):
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(31.0)
+        assert breaker.allow_request()
+        breaker.record_failure("probe boom")
+        assert breaker.state == BREAKER_OPEN
+        assert breaker.n_trips == 2
+        assert not breaker.allow_request()  # cool-down restarted
+        clock.advance(31.0)
+        assert breaker.allow_request()
+
+    def test_reading_state_never_advances_the_machine(self, clock):
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(100.0)
+        assert breaker.state == BREAKER_OPEN  # only allow_request promotes
+
+    def test_transitions_are_recorded_with_reason_and_time(self, clock):
+        breaker = make_breaker(clock)
+        clock.advance(5.0)
+        for _ in range(3):
+            breaker.record_failure("kaput")
+        (old, new, reason, at) = breaker.transitions[0]
+        assert (old, new) == (BREAKER_CLOSED, BREAKER_OPEN)
+        assert "kaput" in reason
+        assert at == pytest.approx(5.0)
+
+    def test_on_transition_callback(self, clock):
+        seen = []
+        breaker = CircuitBreaker(
+            failure_threshold=1,
+            clock=clock,
+            on_transition=lambda *a: seen.append(a),
+        )
+        breaker.record_failure("x")
+        assert seen and seen[0][:2] == (BREAKER_CLOSED, BREAKER_OPEN)
+
+    def test_bad_parameters_rejected(self, clock):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(recovery_seconds=-1.0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(probe_successes=0)

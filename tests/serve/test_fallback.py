@@ -1,0 +1,90 @@
+"""Tests for the degraded-mode fallback predictors."""
+
+import numpy as np
+import pytest
+
+from repro.core.prediction import SOURCE_FALLBACK
+from repro.exceptions import ConfigurationError, DataError, NotFittedError
+from repro.serve import (
+    MajorityClassFallback,
+    PrefixNearestNeighborFallback,
+    make_fallback,
+)
+from tests.conftest import make_shift_dataset, make_sinusoid_dataset
+
+
+class TestMajorityClassFallback:
+    def test_majority_label_and_frequency_confidence(self):
+        from repro.data import TimeSeriesDataset
+
+        ds = TimeSeriesDataset(
+            np.zeros((4, 5)), np.asarray([1, 1, 1, 0])
+        )
+        fallback = MajorityClassFallback().fit(ds)
+        prediction = fallback.predict_prefix(np.zeros((1, 3)), 5)
+        assert prediction.label == 1
+        assert prediction.confidence == pytest.approx(0.75)
+
+    def test_predictions_are_flagged_degraded(self):
+        ds = make_sinusoid_dataset(10, length=8)
+        prediction = MajorityClassFallback().fit(ds).predict_prefix(
+            np.zeros((1, 4)), 8
+        )
+        assert prediction.degraded
+        assert prediction.source == SOURCE_FALLBACK
+        # No earliness trigger of its own: prefix_length tracks what was
+        # observed, so a session can only commit it as the final decision.
+        assert prediction.prefix_length == 4
+
+    def test_use_before_fit_rejected(self):
+        with pytest.raises(NotFittedError):
+            MajorityClassFallback().predict_prefix(np.zeros((1, 3)), 5)
+
+
+class TestPrefixNearestNeighbor:
+    def test_recovers_easy_labels(self):
+        ds = make_shift_dataset(30, length=24)
+        fallback = PrefixNearestNeighborFallback().fit(ds)
+        hits = 0
+        for i in range(10):
+            prediction = fallback.predict_prefix(ds.values[i], 24)
+            hits += prediction.label == ds.labels[i]
+        assert hits >= 9  # full-length prefixes of training data: near-exact
+
+    def test_subsample_is_deterministic(self):
+        ds = make_sinusoid_dataset(50, length=12)
+        a = PrefixNearestNeighborFallback(max_reference=10).fit(ds)
+        b = PrefixNearestNeighborFallback(max_reference=10).fit(ds)
+        np.testing.assert_array_equal(a._values, b._values)
+        assert a._values.shape[0] == 10
+
+    def test_short_prefix_accepted(self):
+        ds = make_sinusoid_dataset(20, length=16)
+        fallback = PrefixNearestNeighborFallback().fit(ds)
+        prediction = fallback.predict_prefix(ds.values[0][:, :1], 16)
+        assert prediction.label in ds.classes
+        assert 0.0 <= prediction.confidence <= 1.0
+
+    def test_empty_prefix_rejected(self):
+        ds = make_sinusoid_dataset(10, length=8)
+        fallback = PrefixNearestNeighborFallback().fit(ds)
+        with pytest.raises(DataError):
+            fallback.predict_prefix(np.empty((1, 0)), 8)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PrefixNearestNeighborFallback(max_reference=0)
+        with pytest.raises(ConfigurationError):
+            PrefixNearestNeighborFallback(n_votes=0)
+
+
+class TestMakeFallback:
+    def test_known_names(self):
+        assert isinstance(make_fallback("majority"), MajorityClassFallback)
+        assert isinstance(
+            make_fallback("prefix-1nn"), PrefixNearestNeighborFallback
+        )
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fallback"):
+            make_fallback("oracle")

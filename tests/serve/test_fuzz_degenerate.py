@@ -1,0 +1,97 @@
+"""Fuzz: every registered algorithm survives degenerate guarded streams.
+
+The serving promise is that no input a sensor can physically deliver
+crashes the endpoint: constant prefixes, single points, NaN/Inf bursts,
+extreme magnitudes. Each registered algorithm is trained once on a small
+healthy dataset, then fed degenerate streams through a lenient
+:class:`GuardedStreamingSession` — every stream must end in a valid
+decision with no uncaught exception.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import wrap_for_dataset
+from repro.core.prediction import PREDICTION_SOURCES
+from repro.core.registry import default_algorithms
+from repro.serve import GuardedStreamingSession
+from tests.conftest import make_sinusoid_dataset
+
+TRAIN = make_sinusoid_dataset(30, length=16, noise=0.1, seed=3)
+
+ALGORITHMS = default_algorithms(fast=True)
+
+
+def degenerate_streams(length: int, rng: np.random.Generator):
+    """Named degenerate full-length streams for one univariate session."""
+    big = np.finfo(float).max * 0.5
+    yield "constant-zero", np.zeros((1, length))
+    yield "constant-offset", np.full((1, length), 7.3)
+    yield "all-nan", np.full((1, length), np.nan)
+    yield "nan-burst", np.concatenate(
+        [np.full((1, length // 2), np.nan), np.zeros((1, length - length // 2))],
+        axis=1,
+    )
+    yield "inf-spikes", np.where(
+        rng.random((1, length)) < 0.3, np.inf, rng.normal(size=(1, length))
+    )
+    yield "extreme-magnitude", np.full((1, length), big)
+    yield "alternating-sign-extreme", big * (-1.0) ** np.arange(
+        length
+    ).reshape(1, length)
+    yield "noise", rng.normal(0.0, 1.0, size=(1, length))
+
+
+@pytest.mark.parametrize("name", ALGORITHMS.names())
+def test_degenerate_streams_never_crash(name):
+    info = ALGORITHMS.get(name)
+    classifier = wrap_for_dataset(info.factory, TRAIN)
+    classifier.train(TRAIN)
+    rng = np.random.default_rng(11)
+    for stream_name, series in degenerate_streams(TRAIN.length, rng):
+        session = GuardedStreamingSession.for_dataset(
+            classifier,
+            TRAIN,
+            fallback="majority",
+            stream_name=stream_name,
+            algorithm_name=name,
+        )
+        decision = session.run(series)
+        assert decision is not None, f"{name} on {stream_name}: no decision"
+        assert decision.label in TRAIN.classes
+        assert 1 <= decision.decided_at <= TRAIN.length
+        assert decision.source in PREDICTION_SOURCES
+        # The guard must have kept every value the classifier saw finite.
+        assert all(np.isfinite(point).all() for point in session._buffer)
+
+
+@pytest.mark.parametrize("name", ALGORITHMS.names())
+def test_single_point_stream_decides(name):
+    # series_length=1: the very first push is also the forced final
+    # decision — the shortest stream the session can serve.
+    info = ALGORITHMS.get(name)
+    classifier = wrap_for_dataset(info.factory, TRAIN)
+    classifier.train(TRAIN)
+    session = GuardedStreamingSession.for_dataset(
+        classifier, TRAIN, series_length=1, fallback="majority"
+    )
+    decision = session.push(np.asarray([0.0]))
+    assert decision is not None
+    assert decision.decided_at == 1
+
+
+def test_every_prediction_is_structurally_valid():
+    # EarlyPrediction's own validation (label/prefix bounds, degraded
+    # iff fallback-sourced) runs in __post_init__, so a session that
+    # produced a prediction at all produced a valid one; spot-check the
+    # invariant holds through the degenerate replay too.
+    info = ALGORITHMS.get("ECTS")
+    classifier = wrap_for_dataset(info.factory, TRAIN)
+    classifier.train(TRAIN)
+    rng = np.random.default_rng(7)
+    for _, series in degenerate_streams(TRAIN.length, rng):
+        session = GuardedStreamingSession.for_dataset(
+            classifier, TRAIN, fallback="prefix-1nn"
+        )
+        decision = session.run(series)
+        assert decision.degraded == (decision.source == "fallback")

@@ -1,0 +1,131 @@
+"""Tests for the input guard: policies, imputation, magnitude clamp."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.serve import (
+    GUARD_LENIENT,
+    GUARD_REJECT,
+    GUARD_STRICT,
+    GuardStats,
+    InputGuard,
+)
+from tests.conftest import make_sinusoid_dataset
+
+
+@pytest.fixture(scope="module")
+def stats():
+    return GuardStats.from_dataset(make_sinusoid_dataset(20, length=16))
+
+
+class TestGuardStats:
+    def test_band_includes_training_extremes(self, stats):
+        dataset = make_sinusoid_dataset(20, length=16)
+        channel = stats.channels[0]
+        assert channel.lo <= float(dataset.values[:, 0, :].min())
+        assert channel.hi >= float(dataset.values[:, 0, :].max())
+
+    def test_constant_channel_gets_nonempty_band(self):
+        from repro.data import TimeSeriesDataset
+
+        ds = TimeSeriesDataset(np.full((3, 5), 2.0), np.asarray([0, 1, 0]))
+        stats = GuardStats.from_dataset(ds)
+        channel = stats.channels[0]
+        assert channel.lo < 2.0 < channel.hi
+
+    def test_nan_training_values_ignored(self):
+        from repro.data import TimeSeriesDataset
+
+        values = np.asarray([[[1.0, np.nan, 3.0]], [[2.0, 2.0, np.nan]]])
+        stats = GuardStats.from_dataset(
+            TimeSeriesDataset(values, np.asarray([0, 1]))
+        )
+        assert np.isfinite(stats.channels[0].mean)
+
+    def test_all_nan_channel_rejected(self):
+        from repro.data import TimeSeriesDataset
+
+        values = np.full((2, 1, 3), np.nan)
+        with pytest.raises(DataError, match="no finite"):
+            GuardStats.from_dataset(
+                TimeSeriesDataset(values, np.asarray([0, 1]))
+            )
+
+    def test_bad_clamp_sigma_rejected(self, stats):
+        from repro.data import TimeSeriesDataset
+
+        ds = TimeSeriesDataset(np.ones((2, 3)), np.asarray([0, 1]))
+        with pytest.raises(ConfigurationError):
+            GuardStats.from_dataset(ds, clamp_sigma=0.0)
+
+
+class TestInputGuard:
+    def test_clean_point_passes_untouched(self, stats):
+        guard = InputGuard(stats)
+        outcome = guard.inspect(np.asarray([0.1]))
+        assert outcome.accepted and outcome.clean and not outcome.repaired
+        np.testing.assert_array_equal(outcome.point, [0.1])
+
+    def test_lenient_imputes_nan_with_last_good(self, stats):
+        guard = InputGuard(stats, policy=GUARD_LENIENT)
+        guard.inspect(np.asarray([0.4]))
+        outcome = guard.inspect(np.asarray([np.nan]))
+        assert outcome.accepted and outcome.repaired
+        assert outcome.point[0] == pytest.approx(0.4)
+        assert guard.n_sanitized == 1
+
+    def test_lenient_imputes_with_train_mean_at_stream_start(self, stats):
+        guard = InputGuard(stats, policy=GUARD_LENIENT)
+        outcome = guard.inspect(np.asarray([np.inf]))
+        assert outcome.point[0] == pytest.approx(stats.channels[0].mean)
+
+    def test_imputation_without_stats_falls_back_to_zero(self):
+        guard = InputGuard()
+        outcome = guard.inspect(np.asarray([np.nan]))
+        assert outcome.accepted
+        assert outcome.point[0] == 0.0
+
+    def test_lenient_clamps_out_of_distribution_magnitude(self, stats):
+        guard = InputGuard(stats, policy=GUARD_LENIENT)
+        outcome = guard.inspect(np.asarray([1e9]))
+        assert outcome.accepted and outcome.repaired
+        assert outcome.point[0] == pytest.approx(stats.channels[0].hi)
+        assert "outside the train-time band" in outcome.anomalies[0]
+
+    def test_no_stats_means_no_magnitude_clamp(self):
+        guard = InputGuard()
+        outcome = guard.inspect(np.asarray([1e9]))
+        assert outcome.clean
+
+    def test_strict_raises_on_anomaly(self, stats):
+        guard = InputGuard(stats, policy=GUARD_STRICT)
+        with pytest.raises(DataError, match="strict"):
+            guard.inspect(np.asarray([np.nan]))
+
+    def test_reject_drops_anomalous_point(self, stats):
+        guard = InputGuard(stats, policy=GUARD_REJECT)
+        outcome = guard.inspect(np.asarray([np.nan]))
+        assert not outcome.accepted and outcome.point is None
+        assert guard.n_rejected == 1
+
+    def test_unknown_policy_rejected(self, stats):
+        with pytest.raises(ConfigurationError):
+            InputGuard(stats, policy="casual")
+
+    def test_channel_count_mismatch_rejected(self, stats):
+        guard = InputGuard(stats)
+        with pytest.raises(DataError, match="guard statistics"):
+            guard.inspect(np.asarray([0.1, 0.2]))
+
+    def test_repaired_value_becomes_imputation_source(self, stats):
+        guard = InputGuard(stats, policy=GUARD_LENIENT)
+        clamped = guard.inspect(np.asarray([1e9])).point[0]
+        outcome = guard.inspect(np.asarray([np.nan]))
+        assert outcome.point[0] == pytest.approx(clamped)
+
+    def test_anomaly_log_accumulates(self, stats):
+        guard = InputGuard(stats, policy=GUARD_LENIENT)
+        guard.inspect(np.asarray([np.nan]))
+        guard.inspect(np.asarray([-np.inf]))
+        assert len(guard.anomaly_log) == 2

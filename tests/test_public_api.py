@@ -18,6 +18,7 @@ _PUBLIC_MODULES = [
     "repro.etsc",
     "repro.nn",
     "repro.obs",
+    "repro.serve",
     "repro.stats",
     "repro.transform",
     "repro.tsc",

@@ -14,6 +14,10 @@ JSONL checkpoint, ``--resume`` restarts a killed run from it (skipping
 completed cells), and ``--retries N`` re-attempts transiently-failed
 cells with exponential backoff (see ``docs/resilience.md``).
 
+Parallelism: ``--workers N`` evaluates up to N grid cells concurrently
+in forked worker processes; reports, checkpoints, and traces merge
+deterministically (see ``docs/performance.md``).
+
 Serving: ``etsc-bench serve-sim ...`` replays a dataset through the
 resilient streaming endpoint — input guards, deadlines, fallback
 degradation, circuit breakers — and prints a feasibility/degradation
@@ -167,6 +171,17 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="base backoff delay for --retries (doubles per attempt)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "evaluate up to N grid cells in parallel worker processes "
+            "(default 1 = serial); results and checkpoints are merged in "
+            "canonical order, identical to a serial run"
+        ),
+    )
     return parser
 
 
@@ -251,6 +266,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
         retry_policy=retry_policy,
         checkpoint_path=arguments.checkpoint,
         resume_from=arguments.checkpoint if arguments.resume else None,
+        workers=arguments.workers,
         # The runner cannot see the scale factor or registry profile, but
         # both change the grid's contents — fold them into the fingerprint
         # so --resume refuses a mismatched invocation.

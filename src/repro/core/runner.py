@@ -17,22 +17,39 @@ backoff. With a checkpoint attached, each cell's outcome is appended to
 an append-only JSONL file as it completes, and ``resume_from=`` restores
 a killed run, skipping finished cells (see
 :mod:`repro.core.checkpoint`).
+
+Parallelism: ``workers > 1`` schedules cells onto a fork-based
+``ProcessPoolExecutor``. Datasets are loaded once in the parent; each
+worker runs the identical crash-isolation/retry/budget attempt loop as
+serial mode, records its spans on a private tracer, and ships the
+outcome plus serialised spans back. The parent merges outcomes in
+canonical grid order (dataset-major, registry algorithm order), writing
+report entries and checkpoint lines in exactly the order serial mode
+would — a parallel run's report and checkpoint are byte-identical to a
+serial run's (modulo wall-clock timings). Worker span trees are stitched
+under the parent's grid span via :meth:`repro.obs.trace.Tracer
+.adopt_spans`. If the pool breaks (a worker died hard), the remaining
+cells fall back to in-parent serial execution.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Any, Callable
 
 import numpy as np
 
 from ..data.dataset import TimeSeriesDataset
-from ..exceptions import ReproError
+from ..exceptions import ConfigurationError, ReproError
+from ..obs.events import span_to_record
 from ..obs.logging import GridProgress, get_logger
 from ..obs.metrics import MetricsRegistry
-from ..obs.trace import get_tracer
+from ..obs.trace import Tracer, get_tracer, use_tracer
 from .categorization import (
     DatasetCategories,
     canonical_categories,
@@ -157,6 +174,63 @@ def aggregate_by_category(
     }
 
 
+@dataclass
+class _CellOutcome:
+    """What one cell attempt loop produced (success or terminal failure).
+
+    Separating the *attempt* (runs in a worker or the parent) from the
+    *bookkeeping* (metrics, report, checkpoint, telemetry — always the
+    parent, always in canonical order) is what lets parallel runs merge
+    deterministically.
+    """
+
+    algorithm: str
+    dataset: str
+    result: EvaluationResult | None
+    reason: str | None
+    kind: str | None
+    attempts: int
+    elapsed: float
+    retries: int
+
+
+#: Fork-inherited state for pool workers. Registries hold closures (not
+#: picklable), so the parent parks itself and the preloaded datasets here
+#: right before forking; workers read them back by key instead of
+#: receiving them over the pipe.
+_WORKER_STATE: dict[str, Any] | None = None
+
+
+def _evaluate_cell_worker(
+    key: tuple[str, str],
+) -> tuple[_CellOutcome, list[dict[str, Any]]]:
+    """Pool entry point: run one cell, return its outcome and spans.
+
+    Spans are recorded on a worker-private tracer (the fork-inherited
+    parent tracer must not be used — its ``on_finish`` may hold the
+    parent's trace-file handle) and shipped back as plain dicts for
+    ``Tracer.adopt_spans`` to stitch under the grid span.
+    """
+    state = _WORKER_STATE
+    assert state is not None, "worker used without fork-inherited state"
+    runner: BenchmarkRunner = state["runner"]
+    algorithm_name, dataset_name = key
+    dataset = state["datasets"][dataset_name]
+    parent_tracer = get_tracer()
+    if parent_tracer.enabled:
+        tracer: Any = Tracer(
+            trace_memory=getattr(parent_tracer, "_trace_memory", False)
+        )
+    else:
+        tracer = parent_tracer  # the null tracer: record nothing
+    with use_tracer(tracer):
+        outcome = runner._execute_cell(
+            algorithm_name, dataset_name, dataset, tracer
+        )
+    records = [span_to_record(span) for span in tracer.finished_spans()]
+    return outcome, records
+
+
 class BenchmarkRunner:
     """Run the full algorithms x datasets grid with budgets and fallbacks.
 
@@ -205,6 +279,12 @@ class BenchmarkRunner:
     fingerprint_extra:
         Extra key/value context folded into the checkpoint fingerprint
         (the CLI records the scale factor and registry profile here).
+    workers:
+        Number of worker processes evaluating cells concurrently
+        (default 1 = in-process serial). Requires the ``fork`` start
+        method (silently degrades to serial where unavailable); results,
+        checkpoint lines, and report contents are merged in canonical
+        grid order, identical to a serial run.
 
     Tracing is picked up from the process-wide tracer
     (:func:`repro.obs.trace.get_tracer`) at :meth:`run` time; per-cell
@@ -228,7 +308,11 @@ class BenchmarkRunner:
         resume_from: str | os.PathLike | None = None,
         fault_injector: Callable[[str, str, str, int], None] | None = None,
         fingerprint_extra: dict | None = None,
+        workers: int = 1,
     ) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
         self.algorithms = algorithms
         self.datasets = datasets
         self.n_folds = n_folds
@@ -344,6 +428,7 @@ class BenchmarkRunner:
         )
         telemetry = GridProgress(n_to_run, logger=_logger)
         completion = self.metrics.gauge("grid_completion")
+        workers = self._effective_workers()
         try:
             with tracer.span(
                 "grid",
@@ -353,45 +438,188 @@ class BenchmarkRunner:
                 time_budget_seconds=self.time_budget_seconds,
                 seed=self.seed,
                 resumed_cells=len(completed),
-            ):
-                for dataset_name in dataset_names:
-                    remaining = [
-                        name
-                        for name in algorithm_names
-                        if (name, dataset_name) not in completed
-                    ]
-                    if not remaining:
-                        continue
-                    dataset = self._load_dataset(
-                        dataset_name, remaining, report,
-                        tracer, telemetry, checkpoint,
+                workers=workers,
+            ) as grid_span:
+                if workers > 1:
+                    self._run_parallel(
+                        report, algorithm_names, dataset_names, completed,
+                        tracer, grid_span, telemetry, checkpoint,
+                        completion, workers,
                     )
-                    if dataset is None:
-                        completion.set(telemetry.fraction_done)
-                        continue
-                    report.categories[dataset_name] = (
-                        self._categorize(dataset)
+                else:
+                    self._run_serial(
+                        report, algorithm_names, dataset_names, completed,
+                        tracer, telemetry, checkpoint, completion,
                     )
-                    if dataset.frequency_seconds is not None:
-                        report._frequencies[dataset_name] = (
-                            dataset.frequency_seconds
-                        )
-                    if checkpoint is not None:
-                        checkpoint.write_dataset(
-                            dataset_name,
-                            report.categories[dataset_name],
-                            dataset.frequency_seconds,
-                        )
-                    for algorithm_name in remaining:
-                        self._run_cell(
-                            report, algorithm_name, dataset_name, dataset,
-                            tracer, telemetry, checkpoint,
-                        )
-                        completion.set(telemetry.fraction_done)
         finally:
             if checkpoint is not None:
                 checkpoint.close()
         return report
+
+    def _effective_workers(self) -> int:
+        """Worker count after platform gating (fork-only parallelism)."""
+        if self.workers <= 1:
+            return 1
+        if "fork" not in multiprocessing.get_all_start_methods():
+            _logger.warning(
+                "workers=%d requested but the 'fork' start method is "
+                "unavailable on this platform; running serially",
+                self.workers,
+            )
+            return 1
+        return self.workers
+
+    def _run_serial(
+        self,
+        report: RunReport,
+        algorithm_names: list[str],
+        dataset_names: list[str],
+        completed: set[tuple[str, str]],
+        tracer,
+        telemetry: GridProgress,
+        checkpoint: CheckpointWriter | None,
+        completion,
+    ) -> None:
+        """The historical in-process grid loop."""
+        for dataset_name in dataset_names:
+            remaining = [
+                name
+                for name in algorithm_names
+                if (name, dataset_name) not in completed
+            ]
+            if not remaining:
+                continue
+            dataset = self._load_dataset(
+                dataset_name, remaining, report,
+                tracer, telemetry, checkpoint,
+            )
+            if dataset is None:
+                completion.set(telemetry.fraction_done)
+                continue
+            self._commit_dataset(report, dataset_name, dataset, checkpoint)
+            for algorithm_name in remaining:
+                self._run_cell(
+                    report, algorithm_name, dataset_name, dataset,
+                    tracer, telemetry, checkpoint,
+                )
+                completion.set(telemetry.fraction_done)
+
+    def _run_parallel(
+        self,
+        report: RunReport,
+        algorithm_names: list[str],
+        dataset_names: list[str],
+        completed: set[tuple[str, str]],
+        tracer,
+        grid_span,
+        telemetry: GridProgress,
+        checkpoint: CheckpointWriter | None,
+        completion,
+        workers: int,
+    ) -> None:
+        """Fan cells out to a fork pool, merge in canonical grid order.
+
+        Datasets load in the parent (workers inherit them by fork, so
+        each is loaded exactly once); every pending cell is submitted up
+        front; outcomes are committed dataset-major in registry algorithm
+        order with all checkpoint/report writes deferred to this merge
+        loop — producing byte-identical artifacts to a serial run. A
+        broken pool (hard worker death) degrades the affected cells to
+        in-parent serial execution.
+        """
+        global _WORKER_STATE
+        datasets: dict[str, TimeSeriesDataset] = {}
+        load_failures: dict[str, tuple[str, str, int]] = {}
+        grid: list[tuple[str, list[str]]] = []
+        for dataset_name in dataset_names:
+            remaining = [
+                name
+                for name in algorithm_names
+                if (name, dataset_name) not in completed
+            ]
+            if not remaining:
+                continue
+            grid.append((dataset_name, remaining))
+            dataset, reason, kind, attempt = self._load_with_retries(
+                dataset_name, tracer
+            )
+            if dataset is None:
+                assert reason is not None and kind is not None
+                load_failures[dataset_name] = (reason, kind, attempt)
+            else:
+                datasets[dataset_name] = dataset
+        pending = [
+            (algorithm_name, dataset_name)
+            for dataset_name, remaining in grid
+            if dataset_name in datasets
+            for algorithm_name in remaining
+        ]
+        _WORKER_STATE = {"runner": self, "datasets": datasets}
+        executor = ProcessPoolExecutor(
+            max_workers=min(workers, max(len(pending), 1)),
+            mp_context=multiprocessing.get_context("fork"),
+        )
+        try:
+            futures = {
+                key: executor.submit(_evaluate_cell_worker, key)
+                for key in pending
+            }
+            for dataset_name, remaining in grid:
+                if dataset_name in load_failures:
+                    reason, kind, attempt = load_failures[dataset_name]
+                    self._commit_load_failure(
+                        report, remaining, dataset_name, reason, kind,
+                        attempt, telemetry, checkpoint,
+                    )
+                    completion.set(telemetry.fraction_done)
+                    continue
+                dataset = datasets[dataset_name]
+                self._commit_dataset(
+                    report, dataset_name, dataset, checkpoint
+                )
+                for algorithm_name in remaining:
+                    key = (algorithm_name, dataset_name)
+                    try:
+                        outcome, span_records = futures[key].result()
+                    except (BrokenProcessPool, OSError) as error:
+                        _logger.warning(
+                            "%s on %s: worker pool broke (%s); "
+                            "re-running the cell in the parent",
+                            algorithm_name, dataset_name, error,
+                        )
+                        span_records = []
+                        outcome = self._execute_cell(
+                            algorithm_name, dataset_name, dataset, tracer
+                        )
+                    if span_records and isinstance(tracer, Tracer):
+                        tracer.adopt_spans(
+                            span_records, parent_id=grid_span.span_id
+                        )
+                    self._commit_outcome(
+                        report, outcome, telemetry, checkpoint
+                    )
+                    completion.set(telemetry.fraction_done)
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+            _WORKER_STATE = None
+
+    def _commit_dataset(
+        self,
+        report: RunReport,
+        dataset_name: str,
+        dataset: TimeSeriesDataset,
+        checkpoint: CheckpointWriter | None,
+    ) -> None:
+        """Record a loaded dataset's categories/frequency (+ checkpoint)."""
+        report.categories[dataset_name] = self._categorize(dataset)
+        if dataset.frequency_seconds is not None:
+            report._frequencies[dataset_name] = dataset.frequency_seconds
+        if checkpoint is not None:
+            checkpoint.write_dataset(
+                dataset_name,
+                report.categories[dataset_name],
+                dataset.frequency_seconds,
+            )
 
     def _load_dataset(
         self,
@@ -408,6 +636,26 @@ class BenchmarkRunner:
         exhaustion) records one failure per remaining cell of the dataset
         — the grid keeps going — and returns ``None``.
         """
+        dataset, reason, kind, attempt = self._load_with_retries(
+            dataset_name, tracer
+        )
+        if dataset is None:
+            assert reason is not None and kind is not None
+            self._commit_load_failure(
+                report, algorithm_names, dataset_name, reason, kind,
+                attempt, telemetry, checkpoint,
+            )
+        return dataset
+
+    def _load_with_retries(
+        self, dataset_name: str, tracer
+    ) -> tuple[TimeSeriesDataset | None, str | None, str | None, int]:
+        """The load attempt loop: ``(dataset, reason, kind, attempts)``.
+
+        Span-side recording only — terminal-failure bookkeeping (report,
+        checkpoint, telemetry) is the caller's job, so parallel runs can
+        defer it to the canonical-order merge.
+        """
         policy = self.retry_policy
         attempt = 0
         with tracer.span("load", dataset=dataset_name) as span:
@@ -416,7 +664,7 @@ class BenchmarkRunner:
                 try:
                     if self.fault_injector is not None:
                         self.fault_injector("load", "", dataset_name, attempt)
-                    return self.datasets.load(dataset_name)
+                    return self.datasets.load(dataset_name), None, None, attempt
                 except Exception as error:
                     kind = policy.classify(error)
                     reason = failure_reason(error)
@@ -449,63 +697,37 @@ class BenchmarkRunner:
                         "traceback", format_traceback(error)
                     )
                     self.metrics.counter("datasets_failed").inc()
-                    cell_reason = f"dataset load failed: {reason}"
-                    for algorithm_name in algorithm_names:
-                        self.metrics.counter("cells_total").inc()
-                        self.metrics.counter("cells_failed").inc()
-                        report.failures[(algorithm_name, dataset_name)] = (
-                            cell_reason
-                        )
-                        if checkpoint is not None:
-                            checkpoint.write_failure(
-                                algorithm_name, dataset_name,
-                                cell_reason, kind, attempt,
-                            )
-                        telemetry.failed(
-                            algorithm_name, dataset_name, 0.0, cell_reason
-                        )
-                        self.progress(
-                            f"{algorithm_name} on {dataset_name}: "
-                            f"FAILED ({cell_reason})"
-                        )
-                    return None
+                    return None, reason, kind, attempt
 
-    def _record_failure(
+    def _commit_load_failure(
         self,
         report: RunReport,
-        algorithm_name: str,
+        algorithm_names: list[str],
         dataset_name: str,
         reason: str,
         kind: str,
         attempt: int,
-        elapsed: float,
-        cell_span,
         telemetry: GridProgress,
         checkpoint: CheckpointWriter | None,
-        traceback_text: str | None = None,
     ) -> None:
-        """Record one terminal cell failure everywhere it must appear."""
-        timeout = kind == TIMEOUT
-        cell_span.set_status("timeout" if timeout else "error")
-        cell_span.set_attribute("reason", reason)
-        cell_span.set_attribute("failure_kind", kind)
-        cell_span.set_attribute("attempts", attempt)
-        if traceback_text is not None:
-            cell_span.set_attribute("traceback", traceback_text)
-        self.metrics.counter(
-            "cells_timeout" if timeout else "cells_failed"
-        ).inc()
-        report.failures[(algorithm_name, dataset_name)] = reason
-        if checkpoint is not None:
-            checkpoint.write_failure(
-                algorithm_name, dataset_name, reason, kind, attempt
+        """Record one failure per cell of a dataset that failed to load."""
+        cell_reason = f"dataset load failed: {reason}"
+        for algorithm_name in algorithm_names:
+            self.metrics.counter("cells_total").inc()
+            self.metrics.counter("cells_failed").inc()
+            report.failures[(algorithm_name, dataset_name)] = cell_reason
+            if checkpoint is not None:
+                checkpoint.write_failure(
+                    algorithm_name, dataset_name,
+                    cell_reason, kind, attempt,
+                )
+            telemetry.failed(
+                algorithm_name, dataset_name, 0.0, cell_reason
             )
-        telemetry.failed(
-            algorithm_name, dataset_name, elapsed, reason, timeout=timeout
-        )
-        self.progress(
-            f"{algorithm_name} on {dataset_name}: FAILED ({reason})"
-        )
+            self.progress(
+                f"{algorithm_name} on {dataset_name}: "
+                f"FAILED ({cell_reason})"
+            )
 
     def _run_cell(
         self,
@@ -524,10 +746,34 @@ class BenchmarkRunner:
         are retried under the runner's :class:`RetryPolicy`; the grid
         never aborts because of one bad cell.
         """
-        info = self.algorithms.get(algorithm_name)
-        policy = self.retry_policy
         self.metrics.counter("cells_total").inc()
         telemetry.started(algorithm_name, dataset_name)
+        outcome = self._execute_cell(
+            algorithm_name, dataset_name, dataset, tracer
+        )
+        self._commit_outcome(
+            report, outcome, telemetry, checkpoint, announce=False
+        )
+
+    def _execute_cell(
+        self,
+        algorithm_name: str,
+        dataset_name: str,
+        dataset: TimeSeriesDataset,
+        tracer,
+    ) -> _CellOutcome:
+        """The cell attempt loop, shared by serial mode and pool workers.
+
+        Runs fault injection, the paper's kill rule, and the retry policy
+        inside a ``cell`` span, recording attempt events and terminal
+        status on the span. Everything observable outside the span — the
+        report entry, checkpoint line, metrics, telemetry — is described
+        by the returned :class:`_CellOutcome` and committed by the
+        caller, so parallel runs commit in canonical order.
+        """
+        info = self.algorithms.get(algorithm_name)
+        policy = self.retry_policy
+        retries = 0
         with tracer.span(
             "cell", algorithm=algorithm_name, dataset=dataset_name
         ) as cell_span:
@@ -562,7 +808,7 @@ class BenchmarkRunner:
                         error=reason,
                     )
                     if policy.should_retry(error, attempt):
-                        self.metrics.counter("cell_retries").inc()
+                        retries += 1
                         delay = policy.wait(
                             attempt, key=f"{algorithm_name}:{dataset_name}"
                         )
@@ -576,37 +822,106 @@ class BenchmarkRunner:
                             attempt + 1, policy.max_attempts, delay,
                         )
                         continue
-                    self._record_failure(
-                        report, algorithm_name, dataset_name, reason, kind,
-                        attempt, time.perf_counter() - start, cell_span,
-                        telemetry, checkpoint,
-                        traceback_text=format_traceback(error),
+                    elapsed = time.perf_counter() - start
+                    timeout = kind == TIMEOUT
+                    cell_span.set_status("timeout" if timeout else "error")
+                    cell_span.set_attribute("reason", reason)
+                    cell_span.set_attribute("failure_kind", kind)
+                    cell_span.set_attribute("attempts", attempt)
+                    cell_span.set_attribute(
+                        "traceback", format_traceback(error)
                     )
-                    return
+                    return _CellOutcome(
+                        algorithm=algorithm_name,
+                        dataset=dataset_name,
+                        result=None,
+                        reason=reason,
+                        kind=kind,
+                        attempts=attempt,
+                        elapsed=elapsed,
+                        retries=retries,
+                    )
             elapsed = time.perf_counter() - start
             cell_span.set_attribute("seconds", elapsed)
             cell_span.set_attribute("attempts", attempt)
             if elapsed > self.time_budget_seconds:
                 # Cooperative after-the-fact budget check (degraded
                 # no-SIGALRM mode): classified timeout, never retried.
-                self._record_failure(
-                    report, algorithm_name, dataset_name,
-                    f"exceeded time budget ({elapsed:.1f}s)", TIMEOUT,
-                    attempt, elapsed, cell_span, telemetry, checkpoint,
+                reason = f"exceeded time budget ({elapsed:.1f}s)"
+                cell_span.set_status("timeout")
+                cell_span.set_attribute("reason", reason)
+                cell_span.set_attribute("failure_kind", TIMEOUT)
+                cell_span.set_attribute("attempts", attempt)
+                return _CellOutcome(
+                    algorithm=algorithm_name,
+                    dataset=dataset_name,
+                    result=None,
+                    reason=reason,
+                    kind=TIMEOUT,
+                    attempts=attempt,
+                    elapsed=elapsed,
+                    retries=retries,
                 )
-                return
-            report.results[(algorithm_name, dataset_name)] = result
-            if checkpoint is not None:
-                checkpoint.write_result(algorithm_name, dataset_name, result)
-            self.metrics.counter("cells_completed").inc()
-            self.metrics.timer("cell_seconds").observe(elapsed)
-            detail = (
-                f"acc={result.accuracy:.3f} hm={result.harmonic_mean:.3f}"
+            return _CellOutcome(
+                algorithm=algorithm_name,
+                dataset=dataset_name,
+                result=result,
+                reason=None,
+                kind=None,
+                attempts=attempt,
+                elapsed=elapsed,
+                retries=retries,
             )
-            telemetry.finished(algorithm_name, dataset_name, elapsed, detail)
+
+    def _commit_outcome(
+        self,
+        report: RunReport,
+        outcome: _CellOutcome,
+        telemetry: GridProgress,
+        checkpoint: CheckpointWriter | None,
+        announce: bool = True,
+    ) -> None:
+        """Record a cell outcome everywhere it must appear (parent only)."""
+        algorithm_name, dataset_name = outcome.algorithm, outcome.dataset
+        if announce:
+            self.metrics.counter("cells_total").inc()
+            telemetry.started(algorithm_name, dataset_name)
+        if outcome.retries:
+            self.metrics.counter("cell_retries").inc(outcome.retries)
+        result = outcome.result
+        if result is None:
+            assert outcome.reason is not None and outcome.kind is not None
+            timeout = outcome.kind == TIMEOUT
+            self.metrics.counter(
+                "cells_timeout" if timeout else "cells_failed"
+            ).inc()
+            report.failures[(algorithm_name, dataset_name)] = outcome.reason
+            if checkpoint is not None:
+                checkpoint.write_failure(
+                    algorithm_name, dataset_name,
+                    outcome.reason, outcome.kind, outcome.attempts,
+                )
+            telemetry.failed(
+                algorithm_name, dataset_name, outcome.elapsed,
+                outcome.reason, timeout=timeout,
+            )
             self.progress(
                 f"{algorithm_name} on {dataset_name}: "
-                f"acc={result.accuracy:.3f} f1={result.f1:.3f} "
-                f"earl={result.earliness:.3f} hm={result.harmonic_mean:.3f} "
-                f"({elapsed:.1f}s)"
+                f"FAILED ({outcome.reason})"
             )
+            return
+        report.results[(algorithm_name, dataset_name)] = result
+        if checkpoint is not None:
+            checkpoint.write_result(algorithm_name, dataset_name, result)
+        self.metrics.counter("cells_completed").inc()
+        self.metrics.timer("cell_seconds").observe(outcome.elapsed)
+        detail = f"acc={result.accuracy:.3f} hm={result.harmonic_mean:.3f}"
+        telemetry.finished(
+            algorithm_name, dataset_name, outcome.elapsed, detail
+        )
+        self.progress(
+            f"{algorithm_name} on {dataset_name}: "
+            f"acc={result.accuracy:.3f} f1={result.f1:.3f} "
+            f"earl={result.earliness:.3f} hm={result.harmonic_mean:.3f} "
+            f"({outcome.elapsed:.1f}s)"
+        )

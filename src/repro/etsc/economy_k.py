@@ -34,6 +34,7 @@ from ..data.dataset import TimeSeriesDataset
 from ..data.splits import train_test_split
 from ..exceptions import ConfigurationError, DataError
 from ..stats.boosting import GradientBoostingClassifier
+from ..stats.distance import PrefixDistanceCache
 from ..stats.kmeans import KMeans
 from ..transform.windows import prefix_lengths
 from .common import validate_univariate
@@ -177,21 +178,31 @@ class EconomyK(EarlyClassifier):
     # Prediction
     # ------------------------------------------------------------------
     def _expected_costs(
-        self, prefix: np.ndarray, checkpoint_index: int
+        self,
+        prefix: np.ndarray,
+        checkpoint_index: int,
+        squared_distances: np.ndarray | None = None,
     ) -> np.ndarray:
         """Expected cost of committing at each future checkpoint.
 
         Memberships are computed against the centroid prefixes of the same
         observed length; error estimates are looked up per future
         checkpoint. Index 0 of the result is "commit now".
+        ``squared_distances`` short-circuits the centroid-prefix distance
+        computation with values maintained incrementally by a
+        :class:`PrefixDistanceCache` (the streaming walk in ``_predict``),
+        avoiding the from-scratch ``O(k * t)`` recomputation per
+        checkpoint.
         """
         assert self._kmeans is not None and self._kmeans.centroids_ is not None
         assert self._error_rates is not None and self._checkpoints is not None
-        t = len(prefix)
-        centroid_prefixes = self._kmeans.centroids_[:, :t]
-        distances = np.sqrt(
-            ((centroid_prefixes - prefix[None, :]) ** 2).sum(axis=1)
-        )
+        if squared_distances is None:
+            t = len(prefix)
+            centroid_prefixes = self._kmeans.centroids_[:, :t]
+            squared_distances = (
+                (centroid_prefixes - prefix[None, :]) ** 2
+            ).sum(axis=1)
+        distances = np.sqrt(squared_distances)
         weights = 1.0 / (distances + 1e-9)
         memberships = weights / weights.sum()
         future = np.arange(checkpoint_index, len(self._checkpoints))
@@ -209,11 +220,20 @@ class EconomyK(EarlyClassifier):
         reachable = [c for c in self._checkpoints if c <= dataset.length]
         if not reachable:
             reachable = [dataset.length]
+        assert self._kmeans is not None and self._kmeans.centroids_ is not None
+        centroids = self._kmeans.centroids_
         for row in test_matrix:
             decided: EarlyPrediction | None = None
+            # One prefix-distance cache per row, advanced chunk-wise from
+            # checkpoint to checkpoint instead of recomputing each
+            # centroid-prefix distance from scratch.
+            cache = PrefixDistanceCache(centroids)
             for index, checkpoint in enumerate(reachable):
                 is_last = index == len(reachable) - 1
-                costs = self._expected_costs(row[:checkpoint], index)
+                squared = cache.advance_chunk(row[cache.length : checkpoint])
+                costs = self._expected_costs(
+                    row[:checkpoint], index, squared_distances=squared
+                )
                 if is_last or costs.argmin() == 0:
                     classifier = self._classifiers.get(checkpoint)
                     if classifier is None:

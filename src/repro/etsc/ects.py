@@ -34,6 +34,7 @@ from ..core.base import EarlyClassifier
 from ..core.prediction import EarlyPrediction
 from ..data.dataset import TimeSeriesDataset
 from ..exceptions import ConfigurationError
+from ..stats.distance import PrefixDistanceCache
 from ..stats.hierarchical import linkage_merge_order
 from .common import validate_univariate
 
@@ -73,6 +74,10 @@ class ECTS(EarlyClassifier):
         self._train_values: np.ndarray | None = None  # (N, L)
         self._train_labels: np.ndarray | None = None
         self._mpl: np.ndarray | None = None  # per training series
+        # Streaming-consult state: when predict_one is called with growing
+        # prefixes of one stream, prefix distances are advanced
+        # incrementally instead of recomputed from scratch per consult.
+        self._stream_state: dict | None = None
 
     # ------------------------------------------------------------------
     # Training
@@ -81,15 +86,16 @@ class ECTS(EarlyClassifier):
     def _prefix_nearest_neighbors(matrix: np.ndarray) -> np.ndarray:
         """Nearest-neighbour index per series per prefix, shape ``(L, N)``.
 
-        Incrementally accumulates squared prefix distances so the full
-        table costs one pass over the time axis.
+        A :class:`PrefixDistanceCache` with every training series as both
+        query and reference advances the all-pairs squared prefix
+        distances one time-point per step, so the full table costs one
+        pass over the time axis.
         """
         n_series, length = matrix.shape
-        distances = np.zeros((n_series, n_series))
+        cache = PrefixDistanceCache(matrix, n_queries=n_series)
         nearest = np.empty((length, n_series), dtype=int)
         for t in range(length):
-            column = matrix[:, t]
-            distances += (column[:, None] - column[None, :]) ** 2
+            distances = cache.advance(matrix[:, t])
             masked = distances.copy()
             np.fill_diagonal(masked, np.inf)
             nearest[t] = masked.argmin(axis=1)
@@ -190,6 +196,28 @@ class ECTS(EarlyClassifier):
     # ------------------------------------------------------------------
     # Prediction
     # ------------------------------------------------------------------
+    def _scan_new_points(
+        self, cache: PrefixDistanceCache, new_points: np.ndarray
+    ) -> tuple[int, int] | None:
+        """Advance the prefix cache, firing the MPL rule on each new point.
+
+        Returns ``(label, prefix_length)`` at the first qualifying prefix,
+        or ``None`` if the rule never fires over ``new_points``.
+        """
+        assert self._train_labels is not None and self._mpl is not None
+        for value in new_points:
+            distances = cache.advance(value)
+            neighbor = int(distances.argmin())
+            if cache.length >= self._mpl[neighbor]:
+                return int(self._train_labels[neighbor]), cache.length
+        return None
+
+    def _forced_label(self, cache: PrefixDistanceCache) -> int:
+        """Nearest neighbour's label at the current prefix length."""
+        assert self._train_labels is not None
+        neighbor = int(cache.squared_distances[0].argmin())
+        return int(self._train_labels[neighbor])
+
     def _predict(self, dataset: TimeSeriesDataset) -> list[EarlyPrediction]:
         assert self._train_values is not None
         assert self._train_labels is not None and self._mpl is not None
@@ -198,24 +226,74 @@ class ECTS(EarlyClassifier):
         train = self._train_values
         for row in test_matrix:
             length = len(row)
-            distances = np.zeros(train.shape[0])
-            decided: EarlyPrediction | None = None
-            for t in range(length):
-                distances += (train[:, t] - row[t]) ** 2
-                neighbor = int(distances.argmin())
-                if t + 1 >= self._mpl[neighbor]:
-                    decided = EarlyPrediction(
-                        label=int(self._train_labels[neighbor]),
-                        prefix_length=t + 1,
-                        series_length=length,
-                    )
-                    break
-            if decided is None:
-                neighbor = int(distances.argmin())
-                decided = EarlyPrediction(
-                    label=int(self._train_labels[neighbor]),
-                    prefix_length=length,
+            cache = PrefixDistanceCache(train)
+            fired = self._scan_new_points(cache, row)
+            if fired is not None:
+                label, prefix_length = fired
+            else:
+                label, prefix_length = self._forced_label(cache), length
+            predictions.append(
+                EarlyPrediction(
+                    label=label,
+                    prefix_length=prefix_length,
                     series_length=length,
                 )
-            predictions.append(decided)
+            )
         return predictions
+
+    def predict_one(self, series: np.ndarray) -> EarlyPrediction:
+        """Streaming consult with incremental prefix-distance caching.
+
+        Consecutive calls with growing prefixes of the *same* stream only
+        pay for the newly observed points (``O(N)`` each) instead of
+        re-accumulating the whole prefix. Any input that is not a
+        continuation — a new stream, a shorter prefix, edited history —
+        resets the cache and replays from scratch, so results are
+        identical to the uncached path in every case.
+        """
+        series = np.atleast_2d(np.asarray(series, dtype=float))
+        if (
+            series.ndim != 2
+            or series.shape[0] != 1
+            or series.shape[1] < 1
+            or not self.is_trained
+            or series.shape[1] > self.trained_length
+        ):
+            # Not streamable input: the validating base path raises the
+            # same errors it always did.
+            self._stream_state = None
+            return super().predict_one(series)
+        assert self._train_values is not None
+        row = series[0]
+        t = row.size
+        state = self._stream_state
+        consumed = 0 if state is None else state["length"]
+        if (
+            state is None
+            or consumed > t
+            or not np.array_equal(row[:consumed], state["seen"])
+        ):
+            state = {
+                "cache": PrefixDistanceCache(self._train_values),
+                "length": 0,
+                "seen": np.empty(0),
+                "fired": None,
+            }
+            self._stream_state = state
+            consumed = 0
+        if state["fired"] is None:
+            state["fired"] = self._scan_new_points(
+                state["cache"], row[consumed:t]
+            )
+        state["length"] = t
+        state["seen"] = row.copy()
+        if state["fired"] is not None:
+            label, prefix_length = state["fired"]
+        else:
+            cache = state["cache"]
+            if cache.length < t:  # rule fired earlier? no — keep current
+                cache.advance_chunk(row[cache.length : t])
+            label, prefix_length = self._forced_label(cache), t
+        return EarlyPrediction(
+            label=label, prefix_length=prefix_length, series_length=t
+        )

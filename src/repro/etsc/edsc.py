@@ -35,7 +35,7 @@ from ..core.base import EarlyClassifier
 from ..core.prediction import EarlyPrediction
 from ..data.dataset import TimeSeriesDataset
 from ..exceptions import ConfigurationError
-from ..stats.distance import sliding_window_view
+from ..stats.distance import sliding_window_distances
 from .common import validate_univariate
 
 __all__ = ["EDSC", "Shapelet"]
@@ -57,15 +57,24 @@ class Shapelet:
 
 
 def _best_match_distances(pattern: np.ndarray, matrix: np.ndarray) -> np.ndarray:
-    """Best-matching (minimum alignment) distance of a pattern to each row."""
-    width = len(pattern)
-    n_series, length = matrix.shape
-    distances = np.empty(n_series)
-    for i in range(n_series):
-        windows = sliding_window_view(matrix[i], width)
-        diff = windows - pattern[None, :]
-        distances[i] = np.sqrt(np.min(np.einsum("ij,ij->i", diff, diff)))
-    return distances
+    """Best-matching (minimum alignment) distance of a pattern to each row.
+
+    One stride-tricks window tensor covers all rows at once; ``sqrt`` and
+    ``min`` commute on non-negative values, so the result is identical to
+    the historical per-row ``sqrt(min(...))`` form.
+    """
+    return sliding_window_distances(pattern, matrix).min(axis=1)
+
+
+def _earliest_positions_from(
+    window_distances: np.ndarray, width: int, threshold: float
+) -> np.ndarray:
+    """Earliest match positions given a precomputed window-distance table."""
+    hits = window_distances <= threshold
+    matched = hits.any(axis=1)
+    # argmax finds the first True per row; unmatched rows stay at 0.
+    first = hits.argmax(axis=1)
+    return np.where(matched, first + width, 0)
 
 
 def _earliest_match_positions(
@@ -75,17 +84,9 @@ def _earliest_match_positions(
 
     Rows that never match get 0 (no match).
     """
-    width = len(pattern)
-    n_series, _ = matrix.shape
-    positions = np.zeros(n_series, dtype=int)
-    for i in range(n_series):
-        windows = sliding_window_view(matrix[i], width)
-        diff = windows - pattern[None, :]
-        window_distances = np.sqrt(np.einsum("ij,ij->i", diff, diff))
-        hits = np.flatnonzero(window_distances <= threshold)
-        if hits.size:
-            positions[i] = hits[0] + width  # prefix length at first match
-    return positions
+    return _earliest_positions_from(
+        sliding_window_distances(pattern, matrix), len(pattern), threshold
+    )
 
 
 class EDSC(EarlyClassifier):
@@ -156,7 +157,8 @@ class EDSC(EarlyClassifier):
         labels: np.ndarray,
     ) -> Shapelet | None:
         """Chebyshev threshold + utility for one candidate subsequence."""
-        distances = _best_match_distances(pattern, matrix)
+        window_distances = sliding_window_distances(pattern, matrix)
+        distances = window_distances.min(axis=1)
         other = distances[labels != label]
         if other.size == 0:
             return None
@@ -164,7 +166,9 @@ class EDSC(EarlyClassifier):
         threshold = max(float(other.mean() - self.k * spread), 0.0)
         if threshold <= 0.0:
             return None
-        matches = _earliest_match_positions(pattern, matrix, threshold)
+        matches = _earliest_positions_from(
+            window_distances, len(pattern), threshold
+        )
         covered = matches > 0
         if not covered.any():
             return None
@@ -226,30 +230,42 @@ class EDSC(EarlyClassifier):
     def _predict(self, dataset: TimeSeriesDataset) -> list[EarlyPrediction]:
         assert self.shapelets_ is not None and self._fallback_label is not None
         test_matrix = dataset.values[:, 0, :]
-        predictions: list[EarlyPrediction] = []
-        for row in test_matrix:
-            length = len(row)
-            decided: EarlyPrediction | None = None
-            for t in range(1, length + 1):
-                for shapelet in self.shapelets_:
-                    if shapelet.length > t:
-                        continue
-                    window = row[t - shapelet.length : t]
-                    distance = float(
-                        np.sqrt(np.sum((window - shapelet.pattern) ** 2))
+        n_series, length = test_matrix.shape
+        # For every (shapelet, row) pair, the earliest prefix length at
+        # which the shapelet matches — the streamed per-prefix scan is
+        # equivalent to "first matching window", so the whole test matrix
+        # is handled by the batched matching kernel per shapelet.
+        usable = [s for s in self.shapelets_ if s.length <= length]
+        if usable:
+            earliest = np.stack(
+                [
+                    _earliest_match_positions(
+                        s.pattern, test_matrix, s.threshold
                     )
-                    if distance <= shapelet.threshold:
-                        decided = EarlyPrediction(
-                            label=shapelet.label,
-                            prefix_length=t,
-                            series_length=length,
-                        )
-                        break
-                if decided is not None:
-                    break
-            if decided is None:
+                    for s in usable
+                ]
+            )  # (n_shapelets, n_series); 0 = never matches
+        else:
+            earliest = np.zeros((0, n_series), dtype=int)
+        predictions: list[EarlyPrediction] = []
+        for i in range(n_series):
+            fire_at = earliest[:, i]
+            matching = np.flatnonzero(fire_at > 0)
+            if matching.size:
+                best_t = int(fire_at[matching].min())
+                # Ties resolve to the first shapelet in selection order —
+                # the order the per-prefix loop consulted them in.
+                winner = usable[
+                    int(matching[np.argmax(fire_at[matching] == best_t)])
+                ]
                 decided = EarlyPrediction(
-                    label=self._nearest_shapelet_label(row),
+                    label=winner.label,
+                    prefix_length=best_t,
+                    series_length=length,
+                )
+            else:
+                decided = EarlyPrediction(
+                    label=self._nearest_shapelet_label(test_matrix[i]),
                     prefix_length=length,
                     series_length=length,
                 )

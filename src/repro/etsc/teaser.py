@@ -88,6 +88,10 @@ class TEASER(EarlyClassifier):
         self._classifiers: list[WEASEL] | None = None
         self._filters: list[OneClassSVM | None] | None = None
         self.v_: int | None = None
+        # Streaming-consult state: per-rung tier outputs are cached as
+        # rungs become reachable, so growing prefixes of one stream only
+        # pay for newly reachable rungs.
+        self._stream_state: dict | None = None
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -249,3 +253,107 @@ class TEASER(EarlyClassifier):
             assert decided is not None
             predictions.append(decided)
         return predictions
+
+    def _rung_outputs(
+        self, instance: TimeSeriesDataset, row: int
+    ) -> tuple[int, float, bool]:
+        """(label, confidence, tier-two acceptance) of one ladder rung."""
+        assert self._ladder is not None and self._classifiers is not None
+        assert self._filters is not None
+        truncated = instance.truncate(self._ladder[row])
+        probabilities = self._classifiers[row].predict_proba(truncated)
+        label = int(
+            self._classifiers[row].classes_[probabilities.argmax(axis=1)[0]]
+        )
+        confidence = float(probabilities.max())
+        oc_filter = self._filters[row]
+        accepted = (
+            oc_filter is None
+            or oc_filter.predict(self._decision_features(probabilities))[0]
+            == 1
+        )
+        return label, confidence, accepted
+
+    def predict_one(self, series: np.ndarray) -> EarlyPrediction:
+        """Streaming consult with per-rung output caching.
+
+        A rung's tier outputs depend only on ``truncate(ladder[row])`` of
+        the stream, which never changes once the rung is reachable — so
+        consecutive consults over growing prefixes of the same stream
+        evaluate each WEASEL/OC-SVM pair exactly once. The v-consistency
+        streak replays incrementally over the cached rungs; the forced
+        decision at the currently-last reachable rung is recomputed per
+        consult from the cache. Non-continuation inputs reset the cache,
+        so results always match the uncached path.
+        """
+        series = np.atleast_2d(np.asarray(series, dtype=float))
+        if (
+            series.ndim != 2
+            or series.shape[0] != 1
+            or series.shape[1] < 1
+            or not self.is_trained
+            or series.shape[1] > self.trained_length
+        ):
+            self._stream_state = None
+            return super().predict_one(series)
+        assert self._ladder is not None and self.v_ is not None
+        row_values = series[0]
+        t = row_values.size
+        n_reachable = sum(1 for prefix in self._ladder if prefix <= t)
+        if n_reachable == 0:
+            # Shorter than the first rung: the forced rung sees the whole
+            # (still growing) prefix, so there is nothing stable to cache.
+            self._stream_state = None
+            return super().predict_one(series)
+        state = self._stream_state
+        consumed = 0 if state is None else state["length"]
+        if (
+            state is None
+            or consumed > t
+            or not np.array_equal(row_values[:consumed], state["seen"])
+        ):
+            state = {
+                "length": 0,
+                "seen": np.empty(0),
+                "rungs": [],  # (label, confidence, accepted) per rung
+                "streak_label": None,
+                "streak": 0,
+                "folded": 0,  # rungs already folded into the streak
+                "fired": None,  # (label, confidence, row) once v is met
+            }
+            self._stream_state = state
+        instance = TimeSeriesDataset(
+            series[np.newaxis, :, :], np.zeros(1, dtype=int)
+        )
+        rungs: list[tuple[int, float, bool]] = state["rungs"]
+        for row in range(len(rungs), n_reachable):
+            rungs.append(self._rung_outputs(instance, row))
+        state["length"] = t
+        state["seen"] = row_values.copy()
+        # Fold newly non-last rungs into the streak (the last reachable
+        # rung is the forced decision, never part of the streak).
+        while state["fired"] is None and state["folded"] < n_reachable - 1:
+            label, confidence, accepted = rungs[state["folded"]]
+            if accepted:
+                if label == state["streak_label"]:
+                    state["streak"] += 1
+                else:
+                    state["streak_label"] = label
+                    state["streak"] = 1
+                if state["streak"] >= self.v_:
+                    state["fired"] = (label, confidence, state["folded"])
+            else:
+                state["streak_label"] = None
+                state["streak"] = 0
+            state["folded"] += 1
+        if state["fired"] is not None:
+            label, confidence, row = state["fired"]
+        else:
+            label, confidence, _ = rungs[n_reachable - 1]
+            row = n_reachable - 1
+        return EarlyPrediction(
+            label=label,
+            prefix_length=min(self._ladder[row], t),
+            series_length=t,
+            confidence=confidence,
+        )

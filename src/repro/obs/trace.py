@@ -263,6 +263,51 @@ class Tracer:
                 self._on_finish(span)
 
     # ------------------------------------------------------------------
+    def adopt_spans(
+        self,
+        records: list[dict[str, Any]],
+        parent_id: int | None = None,
+    ) -> list[Span]:
+        """Stitch spans recorded in another process into this tracer.
+
+        ``records`` are ``span_to_record`` dicts shipped back from a
+        worker (in the worker's completion order). Span ids are remapped
+        into this tracer's id space; worker-root spans (``parent_id``
+        ``None`` — or pointing outside the record set) are re-parented
+        under ``parent_id``, so a worker's ``cell -> fold -> fit`` tree
+        hangs off the parent's grid span. Adopted spans flow through
+        ``on_finish`` like locally finished ones, preserving the
+        children-finish-first stream order a trace file expects.
+        """
+        with self._lock:
+            id_map: dict[int, int] = {}
+            for record in records:
+                id_map[record["span_id"]] = self._next_id
+                self._next_id += 1
+        adopted: list[Span] = []
+        for record in records:
+            original_parent = record.get("parent_id")
+            span = Span(
+                record["name"],
+                id_map[record["span_id"]],
+                id_map.get(original_parent, parent_id),
+                dict(record.get("attributes") or {}),
+            )
+            span.events = list(record.get("events") or [])
+            span.status = record.get("status", STATUS_OK)
+            span.start_unix = record.get("start_unix", 0.0)
+            span.thread_name = record.get("thread", "MainThread")
+            span.memory_peak_bytes = record.get("memory_peak_bytes")
+            span._start = 0.0
+            span._end = record.get("duration", 0.0)
+            adopted.append(span)
+        with self._lock:
+            self._finished.extend(adopted)
+        if self._on_finish is not None:
+            for span in adopted:
+                self._on_finish(span)
+        return adopted
+
     def finished_spans(self) -> list[Span]:
         """Snapshot of closed spans, in completion order."""
         with self._lock:

@@ -28,6 +28,7 @@ import numpy as np
 from ..core.prediction import SOURCE_FALLBACK, EarlyPrediction
 from ..data.dataset import TimeSeriesDataset
 from ..exceptions import ConfigurationError, DataError, NotFittedError
+from ..stats.distance import PrefixDistanceCache
 
 __all__ = [
     "FallbackPredictor",
@@ -142,6 +143,12 @@ class PrefixNearestNeighborFallback(FallbackPredictor):
         self.n_votes = n_votes
         self._values: np.ndarray | None = None
         self._labels: np.ndarray | None = None
+        # Streaming-consult state: squared prefix distances to the
+        # references are advanced incrementally while consecutive consults
+        # extend the same stream, O(reference) per new point instead of
+        # O(reference x t) per consultation.
+        self._cache: PrefixDistanceCache | None = None
+        self._seen: np.ndarray | None = None
 
     def _fit(self, dataset: TimeSeriesDataset) -> None:
         values, labels = dataset.values, dataset.labels
@@ -157,11 +164,25 @@ class PrefixNearestNeighborFallback(FallbackPredictor):
             values, labels = values[indices], labels[indices]
         self._values = np.ascontiguousarray(values, dtype=float)
         self._labels = np.asarray(labels)
+        self._cache = None
+        self._seen = None
 
     def _predict_label(self, prefix: np.ndarray) -> tuple[int, float | None]:
         t = min(prefix.shape[1], self._values.shape[2])
-        deltas = self._values[:, :, :t] - prefix[np.newaxis, :, :t]
-        distances = np.einsum("ivt,ivt->i", deltas, deltas)
+        clipped = prefix[:, :t]
+        cache = self._cache
+        if (
+            cache is None
+            or cache.length > t
+            or self._seen is None
+            or clipped.shape[0] != self._seen.shape[0]
+            or not np.array_equal(clipped[:, : cache.length], self._seen)
+        ):
+            # New stream (or edited history): start the cache over.
+            cache = PrefixDistanceCache(self._values)
+            self._cache = cache
+        distances = cache.advance_chunk(clipped[:, cache.length :])
+        self._seen = clipped.copy()
         order = np.argsort(distances, kind="stable")
         label = int(self._labels[order[0]])
         votes = self._labels[order[: min(self.n_votes, order.size)]]

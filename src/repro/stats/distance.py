@@ -18,6 +18,8 @@ __all__ = [
     "pairwise_squared_euclidean",
     "min_subseries_distance",
     "sliding_window_view",
+    "sliding_window_distances",
+    "PrefixDistanceCache",
 ]
 
 
@@ -74,6 +76,35 @@ def sliding_window_view(series: np.ndarray, window: int) -> np.ndarray:
     return np.lib.stride_tricks.sliding_window_view(series, window)
 
 
+def sliding_window_distances(
+    pattern: np.ndarray, matrix: np.ndarray
+) -> np.ndarray:
+    """Euclidean distance from ``pattern`` to every aligned window of
+    every row.
+
+    For ``matrix`` of shape ``(N, L)`` and a pattern of width ``w``,
+    returns the ``(N, L - w + 1)`` matrix of alignment distances — the
+    whole EDSC matching table in one stride-tricks window tensor instead
+    of a per-row Python loop.
+    """
+    pattern = np.asarray(pattern, dtype=float)
+    matrix = np.asarray(matrix, dtype=float)
+    if pattern.ndim != 1:
+        raise DataError(f"pattern must be 1-D, got shape {pattern.shape}")
+    if matrix.ndim != 2:
+        raise DataError(f"matrix must be 2-D, got shape {matrix.shape}")
+    if not 1 <= pattern.size <= matrix.shape[1]:
+        raise DataError(
+            f"pattern width must be in [1, {matrix.shape[1]}], "
+            f"got {pattern.size}"
+        )
+    windows = np.lib.stride_tricks.sliding_window_view(
+        matrix, pattern.size, axis=1
+    )  # (N, L - w + 1, w), a view — no copy
+    differences = windows - pattern[None, None, :]
+    return np.sqrt(np.einsum("nij,nij->ni", differences, differences))
+
+
 def min_subseries_distance(series: np.ndarray, pattern: np.ndarray) -> float:
     """Minimum Euclidean distance from ``pattern`` to any aligned subseries.
 
@@ -85,3 +116,135 @@ def min_subseries_distance(series: np.ndarray, pattern: np.ndarray) -> float:
     windows = sliding_window_view(series, pattern.size)
     differences = windows - pattern[None, :]
     return float(np.sqrt(np.min(np.einsum("ij,ij->i", differences, differences))))
+
+
+class PrefixDistanceCache:
+    """Incrementally maintained squared prefix distances to reference series.
+
+    The distance-based algorithms (ECTS, the prefix-1-NN serving fallback,
+    ECONOMY-K's per-checkpoint memberships) all need, at every truncation
+    length ``t``, the squared Euclidean distance between a growing query
+    prefix and the same-length prefixes of ``N`` reference series.
+    Recomputing from scratch costs ``O(N * t)`` per consultation —
+    ``O(N * L^2)`` over a stream. This cache advances the running sums one
+    time-point at a time for ``O(N)`` per step, and its arithmetic
+    (sequential accumulation of ``(q_t - r_t)^2``) matches the incremental
+    loops the algorithms historically used, so results are bit-identical.
+
+    Parameters
+    ----------
+    references:
+        ``(N, L)`` univariate or ``(N, V, L)`` multivariate reference
+        series.
+    n_queries:
+        Number of query streams advanced in lockstep (ECTS training
+        advances all ``N`` training series against each other at once).
+
+    ``advance`` consumes the queries' values at the next time-point and
+    returns the updated ``(n_queries, N)`` squared-distance matrix —
+    ``(N,)`` for the default single query. NaNs propagate: once a NaN
+    enters a running sum it stays NaN, matching ``squared_euclidean`` on a
+    NaN-padded prefix.
+    """
+
+    def __init__(self, references: np.ndarray, n_queries: int = 1) -> None:
+        references = np.asarray(references, dtype=float)
+        if references.ndim not in (2, 3):
+            raise DataError(
+                f"references must be (N, L) or (N, V, L), "
+                f"got shape {references.shape}"
+            )
+        if n_queries < 1:
+            raise DataError(f"n_queries must be >= 1, got {n_queries}")
+        self._references = references
+        self._multivariate = references.ndim == 3
+        self._n_queries = n_queries
+        self._sq_distances = np.zeros((n_queries, references.shape[0]))
+        self._t = 0
+
+    @property
+    def length(self) -> int:
+        """Number of time-points consumed so far."""
+        return self._t
+
+    @property
+    def n_references(self) -> int:
+        return self._references.shape[0]
+
+    @property
+    def max_length(self) -> int:
+        """Reference series length — the furthest the cache can advance."""
+        return self._references.shape[-1]
+
+    @property
+    def squared_distances(self) -> np.ndarray:
+        """Current ``(n_queries, N)`` squared prefix distances (a view)."""
+        return self._sq_distances
+
+    def reset(self) -> None:
+        """Rewind to length 0 (e.g. when a new stream starts)."""
+        self._sq_distances = np.zeros_like(self._sq_distances)
+        self._t = 0
+
+    def advance(self, values: np.ndarray | float) -> np.ndarray:
+        """Consume the queries' values at time ``self.length``.
+
+        ``values`` is a scalar (single univariate query), ``(n_queries,)``
+        (univariate queries), ``(V,)`` (single multivariate query), or
+        ``(n_queries, V)``. Returns the updated squared distances,
+        ``(N,)`` when ``n_queries == 1`` else ``(n_queries, N)``.
+        """
+        if self._t >= self.max_length:
+            raise DataError(
+                f"cache already consumed all {self.max_length} time-points"
+            )
+        values = np.asarray(values, dtype=float)
+        if self._multivariate:
+            column = self._references[:, :, self._t]  # (N, V)
+            values = values.reshape(self._n_queries, -1)
+            if values.shape[1] != self._references.shape[1]:
+                raise DataError(
+                    f"expected {self._references.shape[1]} variables, "
+                    f"got {values.shape[1]}"
+                )
+            deltas = values[:, None, :] - column[None, :, :]
+            self._sq_distances += np.einsum("qnv,qnv->qn", deltas, deltas)
+        else:
+            column = self._references[:, self._t]  # (N,)
+            values = values.reshape(self._n_queries)
+            self._sq_distances += (values[:, None] - column[None, :]) ** 2
+        self._t += 1
+        if self._n_queries == 1:
+            return self._sq_distances[0]
+        return self._sq_distances
+
+    def advance_chunk(self, chunk: np.ndarray) -> np.ndarray:
+        """Consume several time-points at once (single-query streams).
+
+        ``chunk`` is ``(k,)`` univariate or ``(V, k)`` multivariate —
+        the newly observed points of the stream, in time order. Points
+        are accumulated sequentially so the result is identical to ``k``
+        ``advance`` calls.
+        """
+        if self._n_queries != 1:
+            raise DataError(
+                "advance_chunk supports single-query caches only"
+            )
+        chunk = np.asarray(chunk, dtype=float)
+        if self._multivariate:
+            chunk = np.atleast_2d(chunk)
+            steps = chunk.shape[1]
+            for step in range(steps):
+                result = self.advance(chunk[:, step])
+        else:
+            chunk = np.atleast_1d(chunk)
+            steps = chunk.shape[0]
+            for step in range(steps):
+                result = self.advance(chunk[step])
+        if steps == 0:
+            result = (
+                self._sq_distances[0]
+                if self._n_queries == 1
+                else self._sq_distances
+            )
+        return result

@@ -42,8 +42,14 @@ def linkage_merge_order(
     """Compute the agglomerative merge sequence for row vectors.
 
     Implements the Lance-Williams update for the three classic linkages on a
-    dense distance matrix — O(n^3) worst case, fine for the dataset heights
-    ECTS is applied to (the paper notes ECTS itself is cubic in N).
+    dense distance matrix. A per-row nearest-neighbour cache
+    (``nearest_dist[i]`` / ``nearest_slot[i]``) replaces the historical
+    full-matrix argmin scan at every merge: only rows whose cached
+    neighbour was touched by a merge are rescanned, taking the typical
+    merge step from O(n^2) to O(n) (O(n^3) worst case remains, as the
+    paper notes for ECTS itself). Tie-breaking reproduces the flat
+    row-major argmin of the full-matrix scan exactly, so dendrograms are
+    unchanged.
     """
     if linkage not in _LINKAGES:
         raise DataError(f"linkage must be one of {_LINKAGES}, got {linkage!r}")
@@ -56,13 +62,19 @@ def linkage_merge_order(
     distances = np.sqrt(pairwise_squared_euclidean(rows))
     np.fill_diagonal(distances, np.inf)
 
+    # Row-minimum cache. argmin picks the first (lowest-column) minimum
+    # per row, and the global argmin over nearest_dist picks the first
+    # (lowest) row — together identical to np.argmin over the flat matrix.
+    nearest_dist = distances.min(axis=1)
+    nearest_slot = distances.argmin(axis=1)
+
     active = {i: i for i in range(n)}  # slot -> current cluster id
     sizes = {i: 1 for i in range(n)}  # slot -> cluster size
     merges: list[Merge] = []
     next_id = n
     for _ in range(n - 1):
-        flat_index = int(np.argmin(distances))
-        slot_a, slot_b = divmod(flat_index, distances.shape[0])
+        slot_a = int(nearest_dist.argmin())
+        slot_b = int(nearest_slot[slot_a])
         if slot_a > slot_b:
             slot_a, slot_b = slot_b, slot_a
         best = float(distances[slot_a, slot_b])
@@ -87,6 +99,28 @@ def linkage_merge_order(
         sizes[slot_a] = size_a + size_b
         del active[slot_b], sizes[slot_b]
         next_id += 1
+
+        # Maintain the row-minimum cache.
+        nearest_dist[slot_b] = np.inf  # deactivated row never wins again
+        nearest_dist[slot_a] = distances[slot_a].min()
+        nearest_slot[slot_a] = distances[slot_a].argmin()
+        for slot in active:
+            if slot == slot_a:
+                continue
+            cached = nearest_slot[slot]
+            if cached == slot_a or cached == slot_b:
+                # The cached neighbour's distance changed (or vanished):
+                # rescan the row. Inactive columns hold inf, so the scan
+                # matches what the full-matrix argmin would have seen.
+                nearest_dist[slot] = distances[slot].min()
+                nearest_slot[slot] = distances[slot].argmin()
+            elif updated[slot] < nearest_dist[slot] or (
+                updated[slot] == nearest_dist[slot] and slot_a < cached
+            ):
+                # Column slot_a improved on (or first-occurrence-ties)
+                # the cached minimum.
+                nearest_dist[slot] = updated[slot]
+                nearest_slot[slot] = slot_a
     return merges
 
 

@@ -76,18 +76,22 @@ class KMeans:
         self, rows: np.ndarray, rng: np.random.Generator
     ) -> tuple[np.ndarray, float]:
         centroids = self._init_centroids(rows, rng)
+        cluster_ids = np.arange(self.n_clusters)
         for _ in range(self.max_iter):
             distances = pairwise_squared_euclidean(rows, centroids)
             assignment = distances.argmin(axis=1)
-            new_centroids = centroids.copy()
-            for cluster in range(self.n_clusters):
-                members = rows[assignment == cluster]
-                if len(members) > 0:
-                    new_centroids[cluster] = members.mean(axis=0)
-                else:
-                    # Re-seed an empty cluster at the farthest point.
-                    farthest = distances.min(axis=1).argmax()
-                    new_centroids[cluster] = rows[farthest]
+            # Vectorised centroid update: a (k, n) membership indicator
+            # turns the per-cluster sums into one matrix product instead
+            # of a per-centroid Python loop.
+            indicator = (assignment[None, :] == cluster_ids[:, None])
+            counts = indicator.sum(axis=1)
+            sums = indicator.astype(float) @ rows
+            new_centroids = sums / np.maximum(counts, 1)[:, None]
+            empty = counts == 0
+            if empty.any():
+                # Re-seed empty clusters at the farthest point.
+                farthest = distances.min(axis=1).argmax()
+                new_centroids[empty] = rows[farthest]
             movement = np.sqrt(((new_centroids - centroids) ** 2).sum())
             centroids = new_centroids
             if movement <= self.tol * max(1.0, np.abs(centroids).max()):

@@ -1,0 +1,150 @@
+"""Streaming ``predict_one`` caches must be invisible to callers.
+
+ECTS and TEASER keep per-stream state so that consulting them with a
+growing prefix (as ``StreamingSession`` and the serving layer do) does
+not recompute work for time-points already seen. The contract: every
+cached consult returns exactly what the stateless base-class path
+returns for the same prefix, and any non-continuation (new stream,
+rewound or edited history) silently resets the state.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.base import EarlyClassifier
+from repro.data import TimeSeriesDataset
+from repro.etsc import ECTS, TEASER
+from repro.serve.fallback import PrefixNearestNeighborFallback
+from tests.conftest import make_sinusoid_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_sinusoid_dataset(n_instances=24, length=20, seed=3)
+
+
+def _uncached(classifier, prefix):
+    """The stateless reference path, bypassing the streaming override."""
+    return EarlyClassifier.predict_one(classifier, prefix)
+
+
+def _assert_stream_matches_uncached(classifier, row):
+    for t in range(1, row.shape[1] + 1):
+        streamed = classifier.predict_one(row[:, :t])
+        assert streamed == _uncached(classifier, row[:, :t]), f"t={t}"
+
+
+class TestECTSStreaming:
+    @pytest.fixture(scope="class")
+    def trained(self, dataset):
+        return ECTS(support=0.0).train(dataset)
+
+    def test_growing_prefix_matches_uncached(self, trained, dataset):
+        for row in dataset.values[:4]:
+            _assert_stream_matches_uncached(trained, row)
+
+    def test_interleaved_streams_reset_cleanly(self, trained, dataset):
+        # Alternate two different series: every consult is a
+        # non-continuation of the previous one, forcing a reset each
+        # time; results must still equal the stateless path.
+        first, second = dataset.values[0], dataset.values[1]
+        for t in range(1, dataset.length + 1):
+            assert trained.predict_one(first[:, :t]) == _uncached(
+                trained, first[:, :t]
+            )
+            assert trained.predict_one(second[:, :t]) == _uncached(
+                trained, second[:, :t]
+            )
+
+    def test_rewound_and_edited_history_reset(self, trained, dataset):
+        row = dataset.values[0]
+        trained.predict_one(row[:, :9])
+        # Rewind: shorter prefix of the same stream.
+        assert trained.predict_one(row[:, :4]) == _uncached(
+            trained, row[:, :4]
+        )
+        # Edit: same length, different history.
+        edited = row.copy()
+        edited[:, 2] += 5.0
+        assert trained.predict_one(edited[:, :9]) == _uncached(
+            trained, edited[:, :9]
+        )
+
+    def test_matches_batch_predict_at_full_length(self, trained, dataset):
+        batch = trained.predict(dataset)
+        for row, expected in zip(dataset.values, batch):
+            trained._stream_state = None
+            streamed = None
+            for t in range(1, dataset.length + 1):
+                streamed = trained.predict_one(row[:, :t])
+                if streamed.prefix_length <= t and t >= expected.prefix_length:
+                    break
+            assert streamed.label == expected.label
+            assert streamed.prefix_length == expected.prefix_length
+
+
+class TestTEASERStreaming:
+    @pytest.fixture(scope="class")
+    def trained(self, dataset):
+        return TEASER(n_prefixes=5, seed=0).train(dataset)
+
+    def test_growing_prefix_matches_uncached(self, trained, dataset):
+        for row in dataset.values[:4]:
+            _assert_stream_matches_uncached(trained, row)
+
+    def test_short_prefix_before_first_rung_delegates(self, trained, dataset):
+        # Prefixes shorter than the first rung are uncacheable (the
+        # forced rung keeps seeing the growing prefix) — the override
+        # must delegate and still agree with the stateless path.
+        row = dataset.values[2]
+        first_rung = int(trained._ladder[0])
+        for t in range(1, first_rung + 1):
+            assert trained.predict_one(row[:, :t]) == _uncached(
+                trained, row[:, :t]
+            )
+
+    def test_interleaved_streams_reset_cleanly(self, trained, dataset):
+        first, second = dataset.values[0], dataset.values[3]
+        for t in range(1, dataset.length + 1):
+            assert trained.predict_one(first[:, :t]) == _uncached(
+                trained, first[:, :t]
+            )
+            assert trained.predict_one(second[:, :t]) == _uncached(
+                trained, second[:, :t]
+            )
+
+    def test_rewound_history_resets(self, trained, dataset):
+        row = dataset.values[1]
+        trained.predict_one(row)
+        assert trained.predict_one(row[:, :6]) == _uncached(
+            trained, row[:, :6]
+        )
+
+
+class TestFallbackStreaming:
+    @pytest.fixture(scope="class")
+    def fitted(self, dataset):
+        return PrefixNearestNeighborFallback().fit(dataset)
+
+    def test_growing_prefix_matches_fresh_instance(self, fitted, dataset):
+        fresh = PrefixNearestNeighborFallback().fit(dataset)
+        query = dataset.values[0] + 0.1
+        for t in range(1, dataset.length + 1):
+            incremental = fitted.predict_prefix(query[:, :t], dataset.length)
+            fresh._cache = None
+            fresh._seen = None
+            scratch = fresh.predict_prefix(query[:, :t], dataset.length)
+            assert incremental == scratch, f"t={t}"
+
+    def test_switching_queries_resets(self, fitted, dataset):
+        fresh = PrefixNearestNeighborFallback().fit(dataset)
+        one, two = dataset.values[0] + 0.2, dataset.values[5] - 0.2
+        for t in (3, 7, 5, 12):
+            for query in (one, two):
+                incremental = fitted.predict_prefix(
+                    query[:, :t], dataset.length
+                )
+                fresh._cache = None
+                fresh._seen = None
+                scratch = fresh.predict_prefix(query[:, :t], dataset.length)
+                assert incremental == scratch

@@ -1,0 +1,153 @@
+"""Property tests for the incremental prefix-distance cache.
+
+The cache's contract is exact agreement with the from-scratch
+``squared_euclidean`` on the consumed prefix at *every* length — that is
+what lets ECTS, ECONOMY-K, and the serving fallback substitute it for
+their historical recompute loops without changing results.
+"""
+
+import numpy as np
+import pytest
+from numpy.testing import assert_allclose, assert_array_equal
+
+from repro.exceptions import DataError
+from repro.stats.distance import PrefixDistanceCache, squared_euclidean
+
+
+class TestUnivariate:
+    def test_matches_from_scratch_at_every_length(self):
+        rng = np.random.default_rng(0)
+        references = rng.normal(size=(7, 40))
+        query = rng.normal(size=40)
+        cache = PrefixDistanceCache(references)
+        for t in range(40):
+            distances = cache.advance(query[t])
+            expected = np.array(
+                [
+                    squared_euclidean(query[: t + 1], row[: t + 1])
+                    for row in references
+                ]
+            )
+            assert_allclose(distances, expected, rtol=0, atol=1e-9)
+            assert cache.length == t + 1
+
+    def test_bit_identical_to_incremental_loop(self):
+        # The historical ECTS loop accumulated (train[:, t] - q_t)^2 —
+        # the cache must reproduce it bit-for-bit, not just approximately.
+        rng = np.random.default_rng(1)
+        references = rng.normal(size=(5, 25))
+        query = rng.normal(size=25)
+        manual = np.zeros(5)
+        cache = PrefixDistanceCache(references)
+        for t in range(25):
+            manual += (references[:, t] - query[t]) ** 2
+            assert_array_equal(cache.advance(query[t]), manual)
+
+    def test_nan_padded_tails_propagate(self):
+        references = np.array([[1.0, 2.0, 3.0], [0.0, 0.0, 0.0]])
+        query = np.array([1.0, np.nan, 2.0])
+        cache = PrefixDistanceCache(references)
+        first = cache.advance(query[0]).copy()
+        assert np.isfinite(first).all()
+        second = cache.advance(query[1])
+        assert np.isnan(second).all()  # NaN enters every running sum
+        third = cache.advance(query[2])
+        expected = np.array(
+            [
+                squared_euclidean(query, row)
+                for row in references
+            ]
+        )
+        assert_allclose(third, expected, equal_nan=True)
+
+    def test_advance_chunk_equals_pointwise(self):
+        rng = np.random.default_rng(2)
+        references = rng.normal(size=(4, 30))
+        query = rng.normal(size=30)
+        pointwise = PrefixDistanceCache(references)
+        for value in query:
+            pointwise.advance(value)
+        chunked = PrefixDistanceCache(references)
+        chunked.advance_chunk(query[:11])
+        chunked.advance_chunk(query[11:11])  # empty chunk is a no-op
+        result = chunked.advance_chunk(query[11:])
+        assert_array_equal(result, pointwise.squared_distances[0])
+        assert chunked.length == 30
+
+    def test_reset_rewinds(self):
+        references = np.arange(6.0).reshape(2, 3)
+        cache = PrefixDistanceCache(references)
+        cache.advance(1.0)
+        cache.reset()
+        assert cache.length == 0
+        assert_array_equal(cache.squared_distances, np.zeros((1, 2)))
+
+
+class TestMultivariate:
+    def test_matches_from_scratch_at_every_length(self):
+        rng = np.random.default_rng(3)
+        references = rng.normal(size=(6, 2, 20))  # (N, V, L)
+        query = rng.normal(size=(2, 20))
+        cache = PrefixDistanceCache(references)
+        for t in range(20):
+            distances = cache.advance(query[:, t])
+            expected = np.array(
+                [
+                    squared_euclidean(
+                        query[:, : t + 1].ravel(), row[:, : t + 1].ravel()
+                    )
+                    for row in references
+                ]
+            )
+            assert_allclose(distances, expected, rtol=0, atol=1e-9)
+
+    def test_advance_chunk_multivariate(self):
+        rng = np.random.default_rng(4)
+        references = rng.normal(size=(3, 2, 15))
+        query = rng.normal(size=(2, 15))
+        pointwise = PrefixDistanceCache(references)
+        for t in range(15):
+            pointwise.advance(query[:, t])
+        chunked = PrefixDistanceCache(references)
+        chunked.advance_chunk(query[:, :7])
+        result = chunked.advance_chunk(query[:, 7:])
+        assert_array_equal(result, pointwise.squared_distances[0])
+
+
+class TestMultiQuery:
+    def test_all_pairs_mode_matches_per_query_caches(self):
+        # ECTS training advances all N series against each other at once.
+        rng = np.random.default_rng(5)
+        matrix = rng.normal(size=(6, 12))
+        joint = PrefixDistanceCache(matrix, n_queries=6)
+        singles = [PrefixDistanceCache(matrix) for _ in range(6)]
+        for t in range(12):
+            all_pairs = joint.advance(matrix[:, t])
+            assert all_pairs.shape == (6, 6)
+            for q in range(6):
+                assert_array_equal(
+                    all_pairs[q], singles[q].advance(matrix[q, t])
+                )
+
+    def test_advance_chunk_rejects_multi_query(self):
+        cache = PrefixDistanceCache(np.zeros((3, 4)), n_queries=2)
+        with pytest.raises(DataError):
+            cache.advance_chunk(np.zeros(2))
+
+
+class TestValidation:
+    def test_rejects_bad_shapes_and_overrun(self):
+        with pytest.raises(DataError):
+            PrefixDistanceCache(np.zeros(5))
+        with pytest.raises(DataError):
+            PrefixDistanceCache(np.zeros((2, 3)), n_queries=0)
+        cache = PrefixDistanceCache(np.zeros((2, 2)))
+        cache.advance(0.0)
+        cache.advance(0.0)
+        with pytest.raises(DataError):
+            cache.advance(0.0)  # past max_length
+
+    def test_multivariate_variable_mismatch(self):
+        cache = PrefixDistanceCache(np.zeros((2, 3, 4)))
+        with pytest.raises(DataError):
+            cache.advance(np.zeros(2))  # expects 3 variables

@@ -23,6 +23,11 @@ resilient streaming endpoint — input guards, deadlines, fallback
 degradation, circuit breakers — and prints a feasibility/degradation
 report (see ``docs/serving.md``).
 
+SLOs: ``etsc-bench serve-slo ...`` replays declarative scenario configs
+(arrival process, stream mix, service model, deadline, faults) and
+reports latency quantiles to p99.9, jitter, throughput, and
+deadline-miss/degraded-decision rates (see ``docs/slo.md``).
+
 Examples
 --------
 List what is available::
@@ -218,6 +223,10 @@ def main(argv: list[str] | None = None, out=None) -> int:
         from ..serve.simulate import main as serve_sim_main
 
         return serve_sim_main(argv[1:], out)
+    if argv and argv[0] == "serve-slo":
+        from ..slo.cli import main as serve_slo_main
+
+        return serve_slo_main(argv[1:], out)
     arguments = build_parser().parse_args(argv)
     if arguments.log_level or arguments.progress:
         from ..obs.logging import configure_logging

@@ -64,6 +64,12 @@ class LatencySummary:
     ``over_budget_count`` is the number of consultations that exceeded
     the sampling period (0 when no budget was supplied), so Figure 13
     feasibility can be read directly off the summary.
+
+    ``p999`` and ``jitter`` (the population standard deviation of the
+    sample) serve the SLO harness (:mod:`repro.slo`): real-time scenarios
+    are judged on the extreme tail and on latency *stability*, not just
+    central quantiles. Both default to 0 so historical construction
+    sites keep working.
     """
 
     count: int
@@ -73,6 +79,8 @@ class LatencySummary:
     p99: float
     max: float
     over_budget_count: int = 0
+    p999: float = 0.0
+    jitter: float = 0.0
 
     @classmethod
     def from_latencies(
@@ -99,6 +107,8 @@ class LatencySummary:
             p99=float(np.quantile(latencies, 0.99)),
             max=float(latencies.max()),
             over_budget_count=over_budget,
+            p999=float(np.quantile(latencies, 0.999)),
+            jitter=float(latencies.std()),
         )
 
     def as_dict(self) -> dict[str, float]:
@@ -109,7 +119,9 @@ class LatencySummary:
             "p50": self.p50,
             "p95": self.p95,
             "p99": self.p99,
+            "p999": self.p999,
             "max": self.max,
+            "jitter": self.jitter,
             "over_budget_count": self.over_budget_count,
         }
 

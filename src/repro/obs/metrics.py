@@ -260,9 +260,28 @@ def metrics_from_spans(spans: Iterable[Any]) -> MetricsRegistry:
             registry.timer("push_latency_seconds").observe(span.duration)
             # Serving-layer pushes annotate degraded consultations and
             # breaker transitions (see repro.serve); roll them up so a
-            # trace file alone answers the resilience questions.
-            if span.attributes.get("source") == "fallback":
+            # trace file alone answers the resilience questions. The SLO
+            # harness (repro.slo) additionally stamps each consultation's
+            # response time and deadline verdict on the push span, so a
+            # scenario report's SLO numbers are recomputable from the
+            # trace alone.
+            # Only decision-committing spans count: a breaker-open skip
+            # mid-stream also stamps source="fallback" on its push span,
+            # but the live serve.degraded_decisions counter increments
+            # per committed degraded *decision*, and the rollup must
+            # agree with it exactly.
+            if (
+                span.attributes.get("decided")
+                and span.attributes.get("source") == "fallback"
+            ):
                 registry.counter("serve.degraded_decisions").inc()
+            response = span.attributes.get("slo.response_seconds")
+            if response is not None:
+                registry.timer("slo.response_seconds").observe(
+                    float(response)
+                )
+            if span.attributes.get("slo.deadline_missed"):
+                registry.counter("slo.deadline_misses").inc()
             for event in getattr(span, "events", ()) or ():
                 name = (
                     event.get("name")
@@ -280,5 +299,12 @@ def metrics_from_spans(spans: Iterable[Any]) -> MetricsRegistry:
                 ):
                     registry.counter("serve.breaker_trips").inc()
                 elif name == "consult_failed":
-                    registry.counter("serve.consult_failures").inc()
+                    # Mirror the live session's split: timeouts land in
+                    # serve.consult_timeouts, everything else in
+                    # serve.consult_failures — a replayed trace must
+                    # reproduce the live counters exactly.
+                    if attrs.get("kind") == "timeout":
+                        registry.counter("serve.consult_timeouts").inc()
+                    else:
+                        registry.counter("serve.consult_failures").inc()
     return registry

@@ -43,7 +43,7 @@ from .guard import (
     GuardStats,
     InputGuard,
 )
-from .session import GuardedStreamingSession
+from .session import ConsultRecord, GuardedStreamingSession
 from .simulate import ServeSimReport, run_serve_sim
 
 __all__ = [
@@ -68,6 +68,7 @@ __all__ = [
     "GuardOutcome",
     "GuardStats",
     "InputGuard",
+    "ConsultRecord",
     "GuardedStreamingSession",
     "ServeSimReport",
     "run_serve_sim",

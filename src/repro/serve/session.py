@@ -37,6 +37,7 @@ spans, and stream-level anomaly totals are reported through one counted
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
@@ -56,9 +57,32 @@ from .chaos import STAGE_CONSULT, STAGE_PUSH
 from .fallback import FallbackPredictor, make_fallback
 from .guard import GUARD_LENIENT, GUARD_STRICT, GuardStats, InputGuard
 
-__all__ = ["GuardedStreamingSession"]
+__all__ = ["ConsultRecord", "GuardedStreamingSession"]
 
 _logger = get_logger("serve")
+
+
+@dataclass(frozen=True)
+class ConsultRecord:
+    """What one classifier consultation did, as the session saw it.
+
+    Emitted to the session's ``consult_observer`` hook (and collected in
+    ``session.consult_records``) so external harnesses — the SLO
+    scenario replay in :mod:`repro.slo` — can account for every
+    consultation without re-deriving the session's internal control
+    flow. ``elapsed_seconds`` is measured on the session's injectable
+    clock, so a virtual-clock replay sees deterministic durations.
+    """
+
+    index: int  #: 1-based consultation number within the session
+    push_index: int  #: 1-based push that triggered the consultation
+    n_observed: int  #: points in the buffer when the model was consulted
+    elapsed_seconds: float  #: duration on the session clock
+    source: str  #: ``model`` or ``fallback``
+    degraded: bool  #: the answer came from the fallback predictor
+    deadline_missed: bool  #: the consultation overran ``deadline_seconds``
+    failure_kind: str | None  #: ``timeout``/``transient``/... or ``None``
+    breaker_open: bool  #: the breaker skipped the model entirely
 
 
 class GuardedStreamingSession(StreamingSession):
@@ -100,6 +124,17 @@ class GuardedStreamingSession(StreamingSession):
         Monotonic time source for the cooperative deadline check
         (injectable for deterministic tests; default
         ``time.perf_counter``).
+    consult_observer:
+        Instrumentation hook receiving a :class:`ConsultRecord` after
+        every completed consultation (model, fallback, or breaker-open
+        skip). The SLO harness uses it to compute response times and
+        deadline misses on its own clock; all records are also kept in
+        ``session.consult_records``.
+    preemptive_deadline:
+        When ``False``, the SIGALRM preemption is skipped and only the
+        cooperative deadline check on the injected clock applies. Virtual-
+        clock replays set this so that simulated service times — not real
+        wall time — decide deadline misses.
     """
 
     def __init__(
@@ -117,6 +152,8 @@ class GuardedStreamingSession(StreamingSession):
         algorithm_name: str | None = None,
         metrics: MetricsRegistry | None = None,
         clock: Callable[[], float] = time.perf_counter,
+        consult_observer: Callable[["ConsultRecord"], None] | None = None,
+        preemptive_deadline: bool = True,
     ) -> None:
         super().__init__(classifier, series_length, check_every=check_every)
         if deadline_seconds is not None and deadline_seconds <= 0:
@@ -138,9 +175,13 @@ class GuardedStreamingSession(StreamingSession):
         self.algorithm_name = algorithm_name or type(classifier).__name__
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._clock = clock
+        self.consult_observer = consult_observer
+        self.preemptive_deadline = preemptive_deadline
         self._pushes = 0
         self._reported = False
         self.rejection_reasons: list[str] = []
+        self.consult_records: list[ConsultRecord] = []
+        self._consult_note: dict[str, object] = {}
         if breaker is not None:
             # Chain (not replace) any caller-installed transition hook so
             # trips/recoveries always reach the span events and counters.
@@ -318,9 +359,36 @@ class GuardedStreamingSession(StreamingSession):
         return self.fallback.predict_prefix(values, self.series_length)
 
     def _predict_prefix(self, values: np.ndarray) -> EarlyPrediction:
+        """One consultation, measured on the session clock and recorded."""
+        note = self._consult_note = {
+            "failure_kind": None,
+            "deadline_missed": False,
+            "breaker_open": False,
+        }
+        start = self._clock()
+        prediction = self._consult_guarded(values)
+        record = ConsultRecord(
+            index=len(self.consult_records) + 1,
+            push_index=self._pushes,
+            n_observed=self.n_observed,
+            elapsed_seconds=self._clock() - start,
+            source=prediction.source,
+            degraded=prediction.degraded,
+            deadline_missed=bool(note["deadline_missed"]),
+            failure_kind=note["failure_kind"],
+            breaker_open=bool(note["breaker_open"]),
+        )
+        self.consult_records.append(record)
+        if self.consult_observer is not None:
+            self.consult_observer(record)
+        return prediction
+
+    def _consult_guarded(self, values: np.ndarray) -> EarlyPrediction:
         """One consultation under chaos, deadline, breaker, and fallback."""
         span = current_span()
+        note = self._consult_note
         if self.breaker is not None and not self.breaker.allow_request():
+            note["breaker_open"] = True
             span.set_attribute("breaker", self.breaker.state)
             span.set_attribute("source", "fallback")
             return self._fallback_prediction(values)
@@ -335,11 +403,18 @@ class GuardedStreamingSession(StreamingSession):
                 )
             # Preemptive deadline (SIGALRM where available; elsewhere
             # time_limit degrades and the cooperative check below rules).
-            with time_limit(self.deadline_seconds):
+            # Virtual-clock replays disable the preemption so simulated
+            # service times rule instead of real wall time.
+            with time_limit(
+                self.deadline_seconds if self.preemptive_deadline else None
+            ):
                 prediction = self.classifier.predict_one(values)
         except Exception as error:
             kind = classify_failure(error)
             reason = failure_reason(error)
+            note["failure_kind"] = kind
+            if kind == TIMEOUT:
+                note["deadline_missed"] = True
             span.add_event("consult_failed", kind=kind, error=reason)
             self.metrics.counter(
                 "serve.consult_timeouts"
@@ -360,6 +435,8 @@ class GuardedStreamingSession(StreamingSession):
             # in force when SIGALRM is unavailable (non-Unix platform or
             # a worker thread). The model's answer arrived after the
             # stream moved on, so it is discarded for the fallback's.
+            note["failure_kind"] = TIMEOUT
+            note["deadline_missed"] = True
             span.add_event(
                 "consult_failed",
                 kind=TIMEOUT,

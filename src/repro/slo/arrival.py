@@ -1,0 +1,103 @@
+"""Deterministic arrival processes for scenario replays.
+
+An arrival process turns a stream spec into concrete per-point arrival
+timestamps on the virtual timeline. Three processes cover the load
+shapes real-time serving is judged against:
+
+* ``uniform`` — one point every ``period``: the ideal sensor.
+* ``poisson`` — exponential inter-arrival gaps with mean ``period``,
+  from a seeded generator: memoryless jittered load.
+* ``bursty`` — ``burst_size`` points arrive back-to-back at
+  ``burst_period`` spacing, then the source idles for ``idle`` seconds:
+  the on/off pattern that makes queueing (and therefore tail latency)
+  visible.
+
+All processes are pure functions of their parameters and seed, so the
+same scenario always produces the same timeline — reproducibility is
+what lets ``BENCH_SERVE.json`` gate regressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["ARRIVAL_PROCESSES", "ArrivalSpec"]
+
+ARRIVAL_UNIFORM = "uniform"
+ARRIVAL_POISSON = "poisson"
+ARRIVAL_BURSTY = "bursty"
+
+#: Supported arrival processes.
+ARRIVAL_PROCESSES = (ARRIVAL_UNIFORM, ARRIVAL_POISSON, ARRIVAL_BURSTY)
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """How a stream's points arrive on the virtual timeline.
+
+    ``period_seconds`` is the mean inter-arrival gap (exact for
+    ``uniform``, the exponential mean for ``poisson``, the in-burst
+    spacing for ``bursty``). ``burst_size``/``idle_seconds`` only apply
+    to the bursty process.
+    """
+
+    process: str = ARRIVAL_UNIFORM
+    period_seconds: float = 1.0
+    burst_size: int = 8
+    idle_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.process not in ARRIVAL_PROCESSES:
+            raise ConfigurationError(
+                f"unknown arrival process {self.process!r}; expected one "
+                f"of {', '.join(ARRIVAL_PROCESSES)}"
+            )
+        if self.period_seconds <= 0:
+            raise ConfigurationError(
+                f"arrival period must be positive, got {self.period_seconds}"
+            )
+        if self.burst_size < 1:
+            raise ConfigurationError(
+                f"burst_size must be >= 1, got {self.burst_size}"
+            )
+        if self.idle_seconds < 0:
+            raise ConfigurationError(
+                f"idle_seconds must be >= 0, got {self.idle_seconds}"
+            )
+        if self.process == ARRIVAL_BURSTY and self.idle_seconds == 0:
+            raise ConfigurationError(
+                "bursty arrivals need idle_seconds > 0 (the off period "
+                "between bursts); use the uniform process for steady load"
+            )
+
+    # ------------------------------------------------------------------
+    def generate(
+        self, n_points: int, seed: int, start: float = 0.0
+    ) -> np.ndarray:
+        """Arrival timestamps for ``n_points`` points of one stream.
+
+        Strictly increasing, starting at ``start``. ``seed`` feeds the
+        Poisson process; the uniform and bursty processes are
+        deterministic without it (it is still accepted so call sites
+        need not special-case).
+        """
+        if n_points < 1:
+            raise ConfigurationError(
+                f"n_points must be >= 1, got {n_points}"
+            )
+        if self.process == ARRIVAL_UNIFORM:
+            gaps = np.full(n_points - 1, self.period_seconds)
+        elif self.process == ARRIVAL_POISSON:
+            rng = np.random.default_rng(np.random.SeedSequence(seed))
+            gaps = rng.exponential(self.period_seconds, size=n_points - 1)
+        else:  # bursty
+            # Position k within its burst: in-burst spacing everywhere,
+            # plus the idle gap before each burst after the first.
+            positions = np.arange(1, n_points)
+            gaps = np.full(n_points - 1, self.period_seconds)
+            gaps[positions % self.burst_size == 0] += self.idle_seconds
+        return float(start) + np.concatenate(([0.0], np.cumsum(gaps)))

@@ -1,0 +1,133 @@
+"""serve-slo: run SLO scenarios through the serving layer.
+
+``etsc-bench serve-slo`` loads one or more scenario configs (bundled
+names or file paths), replays each through the guarded serving session
+on the scenario's clock, prints the per-scenario SLO report, and
+optionally writes the combined JSON (the same shape
+``benchmarks/bench_serve.py`` commits as ``BENCH_SERVE.json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from ..exceptions import ConfigurationError, ReproError
+from .harness import run_scenario
+from .scenario import bundled_scenarios, resolve_scenario
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``serve-slo`` argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="etsc-bench serve-slo",
+        description=(
+            "Replay scenario-driven serve workloads and report "
+            "latency/jitter/deadline-miss SLOs (see docs/slo.md)"
+        ),
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        default=[],
+        metavar="NAME-OR-PATH",
+        help=(
+            "scenario to run: a bundled name (see --list) or a YAML/JSON "
+            "file path; repeatable (default: all bundled scenarios)"
+        ),
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list bundled scenarios, then exit",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="write the combined scenario reports as JSON to PATH",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write a JSONL span trace of the replays; SLO counters are "
+            "recomputable from it via python -m repro.obs.summary"
+        ),
+    )
+    parser.add_argument(
+        "--log-level",
+        metavar="LEVEL",
+        default=None,
+        help="enable repro logging at LEVEL (debug/info/warning/error)",
+    )
+    return parser
+
+
+def _run_all(names: list[str], out) -> dict:
+    reports = {}
+    for name in names:
+        scenario = resolve_scenario(name)
+        report = run_scenario(scenario)
+        print(report.render(), file=out)
+        print("", file=out)
+        reports[scenario.name] = report.as_dict()
+    return reports
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """``serve-slo`` entry point; returns a process exit code."""
+    out = out or sys.stdout
+    arguments = build_parser().parse_args(argv)
+    if arguments.log_level:
+        from ..obs.logging import configure_logging
+
+        configure_logging(arguments.log_level)
+    bundled = bundled_scenarios()
+    if arguments.list:
+        print("bundled scenarios:", file=out)
+        for name, path in bundled.items():
+            print(f"  {name:12s} {path}", file=out)
+        return 0
+    names = arguments.scenario or sorted(bundled)
+    if not names:
+        print("error: no scenarios bundled and none given", file=out)
+        return 2
+    try:
+        if arguments.trace:
+            from ..obs.events import TraceWriter
+            from ..obs.trace import Tracer, use_tracer
+
+            with TraceWriter(arguments.trace) as writer:
+                with use_tracer(Tracer(on_finish=writer.write_span)):
+                    reports = _run_all(names, out)
+            print(
+                f"trace written to {arguments.trace} "
+                f"({writer.n_spans} spans)",
+                file=out,
+            )
+        else:
+            reports = _run_all(names, out)
+    except ConfigurationError as error:
+        print(f"error: {error}", file=out)
+        return 2
+    except ReproError as error:
+        print(f"serve-slo failed: {error}", file=out)
+        return 1
+    if arguments.output:
+        payload = {"scenarios": reports}
+        Path(arguments.output).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"reports written to {arguments.output}", file=out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    raise SystemExit(main())

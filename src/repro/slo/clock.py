@@ -1,0 +1,55 @@
+"""Virtual time for deterministic serve replays.
+
+A :class:`VirtualClock` is a monotonic counter that only moves when the
+harness says so: to an arrival timestamp (``advance_to``) or forward by
+a simulated service duration (``advance``). Injected as the
+``clock`` of a :class:`~repro.serve.session.GuardedStreamingSession`
+and its :class:`~repro.serve.breaker.CircuitBreaker`, it makes deadline
+misses, breaker cool-downs, and every latency in an SLO report a pure
+function of the scenario config and seed — identical on any machine,
+at any load.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["VirtualClock"]
+
+
+class VirtualClock:
+    """A manually advanced monotonic clock (seconds)."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    __call__ = now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by ``seconds`` (must be >= 0)."""
+        if seconds < 0:
+            raise ConfigurationError(
+                f"virtual time cannot run backwards (advance by {seconds})"
+            )
+        self._now += float(seconds)
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Jump forward to ``timestamp``; earlier timestamps are a no-op.
+
+        Monotonicity is preserved by construction: an event that was
+        queued behind a long service period starts late, it does not
+        rewind the clock.
+        """
+        if timestamp > self._now:
+            self._now = float(timestamp)
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(now={self._now:.6f})"

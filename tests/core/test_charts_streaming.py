@@ -170,11 +170,40 @@ class TestStreamingSession:
             "p50",
             "p95",
             "p99",
+            "p999",
             "max",
+            "jitter",
             "over_budget_count",
         }
         # No budget supplied -> nothing counted as over budget.
         assert summary.over_budget_count == 0
+
+    def test_latency_summary_p999_and_jitter(self, trained):
+        from repro.core.streaming import LatencySummary
+
+        latencies = np.linspace(0.001, 0.1, 1000)
+        summary = LatencySummary.from_latencies(latencies)
+        assert summary.p999 == pytest.approx(np.quantile(latencies, 0.999))
+        assert summary.jitter == pytest.approx(float(latencies.std()))
+        assert summary.p99 <= summary.p999 <= summary.max
+        as_dict = summary.as_dict()
+        assert as_dict["p999"] == summary.p999
+        assert as_dict["jitter"] == summary.jitter
+        # Constant latencies: the extreme tail equals the max, no jitter.
+        flat = LatencySummary.from_latencies([0.25] * 10)
+        assert flat.p999 == pytest.approx(0.25)
+        assert flat.jitter == 0.0
+
+    def test_latency_summary_backward_compatible_construction(self, trained):
+        from repro.core.streaming import LatencySummary
+
+        # Historical positional construction (pre-p999/jitter fields)
+        # still works: the new fields default to 0.
+        summary = LatencySummary(
+            count=3, mean=0.2, p50=0.2, p95=0.3, p99=0.3, max=0.3
+        )
+        assert summary.p999 == 0.0
+        assert summary.jitter == 0.0
 
     def test_latency_summary_over_budget_count(self, trained):
         from repro.core.streaming import LatencySummary

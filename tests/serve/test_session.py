@@ -283,3 +283,109 @@ class TestParseFaultSpecs:
     def test_malformed_specs_rejected(self, spec):
         with pytest.raises(ConfigurationError):
             parse_fault_specs([spec])
+
+
+class TestConsultObserver:
+    """The SLO harness's instrumentation hook: one ConsultRecord per
+    consultation, delivered synchronously, with an injectable clock."""
+
+    def test_every_consultation_produces_a_record(self, trained):
+        from repro.serve import ConsultRecord
+
+        classifier, dataset = trained
+        seen = []
+        session = make_session(trained, consult_observer=seen.append)
+        session.run(dataset.values[0])
+        assert seen == session.consult_records
+        assert len(seen) > 0
+        for index, record in enumerate(seen):
+            assert isinstance(record, ConsultRecord)
+            assert record.index == index + 1
+            assert record.n_observed > 0
+            assert record.elapsed_seconds >= 0
+            assert record.source == SOURCE_MODEL
+            assert not record.degraded
+            assert not record.deadline_missed
+            assert record.failure_kind is None
+            assert not record.breaker_open
+
+    def test_record_captures_injected_timeout(self, trained):
+        plan = parse_fault_specs(["consult:timeout:2"])
+        seen = []
+        session = make_session(
+            trained,
+            fault_injector=plan,
+            deadline_seconds=30.0,
+            consult_observer=seen.append,
+        )
+        classifier, dataset = trained
+        session.run(dataset.values[0])
+        timed_out = [r for r in seen if r.failure_kind == "timeout"]
+        assert len(timed_out) == 1
+        record = timed_out[0]
+        assert record.deadline_missed
+        assert record.degraded
+        assert record.source == SOURCE_FALLBACK
+
+    def test_record_elapsed_uses_injected_clock(self, trained):
+        import itertools
+
+        # The session reads its clock a fixed number of times per
+        # consultation; with a 0.25s tick the record's elapsed time is a
+        # pure function of the injected clock, not of wall time.
+        ticks = itertools.count(10.0, 0.25)
+        seen = []
+        session = make_session(
+            trained,
+            clock=lambda: next(ticks),
+            consult_observer=seen.append,
+        )
+        classifier, dataset = trained
+        session.push(dataset.values[0][:, 0])
+        assert seen[0].elapsed_seconds == pytest.approx(0.75)
+
+    def test_breaker_open_flagged_on_records(self, trained):
+        plan = parse_fault_specs(["consult:error:1,2,3"])
+        seen = []
+        session = make_session(
+            trained,
+            fault_injector=plan,
+            breaker=CircuitBreaker(
+                failure_threshold=3, recovery_seconds=1000.0
+            ),
+            consult_observer=seen.append,
+        )
+        classifier, dataset = trained
+        session.run(dataset.values[0])
+        assert any(r.failure_kind == "transient" for r in seen)
+        # After the third consecutive failure the breaker opens and
+        # later consultations are short-circuited.
+        assert any(r.breaker_open for r in seen)
+
+    def test_observer_absent_keeps_records_anyway(self, trained):
+        classifier, dataset = trained
+        session = make_session(trained)
+        session.run(dataset.values[0])
+        assert len(session.consult_records) > 0
+
+
+class TestPreemptiveDeadlineFlag:
+    def test_cooperative_check_still_rules_when_preemption_is_off(
+        self, trained
+    ):
+        # preemptive_deadline=False disables the SIGALRM guard (the SLO
+        # harness's virtual clock would deadlock it) but the cooperative
+        # post-consult check on the injected clock still degrades.
+        ticks = iter([float(i) * 100.0 for i in range(400)])
+        session = make_session(
+            trained,
+            deadline_seconds=1.0,
+            clock=lambda: next(ticks),
+            preemptive_deadline=False,
+        )
+        classifier, dataset = trained
+        decision = session.run(dataset.values[0])
+        assert decision.degraded
+        assert all(
+            record.deadline_missed for record in session.consult_records
+        )

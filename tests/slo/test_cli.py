@@ -1,0 +1,107 @@
+"""The ``etsc-bench serve-slo`` command: listing, running, exit codes."""
+
+import io
+import json
+
+from repro.core.cli import main as root_main
+from repro.slo.cli import main as slo_main
+
+
+def tiny_scenario_file(tmp_path, **overrides):
+    raw = {
+        "name": "cli-tiny",
+        "seed": 5,
+        "clock": "virtual",
+        "scale": 0.08,
+        "deadline_ms": 25.0,
+        "stagger_ms": 11.0,
+        "arrival": {"process": "uniform", "period_ms": 80.0},
+        "service": {"base_ms": 2.0, "per_point_ms": 0.04, "jitter_ms": 1.0},
+        "streams": [{"dataset": "PowerCons", "algorithm": "ECTS", "count": 2}],
+        "breaker": {"threshold": 3, "recovery_ms": 100.0},
+    }
+    raw.update(overrides)
+    path = tmp_path / "cli-tiny.json"
+    path.write_text(json.dumps(raw), encoding="utf-8")
+    return path
+
+
+class TestListing:
+    def test_list_names_bundled_scenarios(self):
+        out = io.StringIO()
+        assert slo_main(["--list"], out) == 0
+        text = out.getvalue()
+        for name in ("baseline", "bursty", "faulty", "overload"):
+            assert name in text
+
+    def test_root_cli_dispatches_serve_slo(self):
+        out = io.StringIO()
+        assert root_main(["serve-slo", "--list"], out) == 0
+        assert "baseline" in out.getvalue()
+
+
+class TestRunning:
+    def test_run_scenario_file_writes_report_and_json(self, tmp_path):
+        scenario = tiny_scenario_file(tmp_path)
+        output = tmp_path / "reports.json"
+        trace = tmp_path / "trace.jsonl"
+        out = io.StringIO()
+        code = slo_main(
+            [
+                "--scenario",
+                str(scenario),
+                "--output",
+                str(output),
+                "--trace",
+                str(trace),
+            ],
+            out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "scenario 'cli-tiny'" in text
+        assert "deadline miss(es)" in text
+        payload = json.loads(output.read_text(encoding="utf-8"))
+        report = payload["scenarios"]["cli-tiny"]
+        assert report["scenario"]["n_streams"] == 2
+        assert report["latency"]["count"] > 0
+        assert "environment" in report
+        # The trace is real JSONL with one record per line.
+        lines = trace.read_text(encoding="utf-8").splitlines()
+        assert lines and all(json.loads(line) for line in lines)
+
+
+class TestExitCodes:
+    def test_unknown_scenario_is_a_config_error(self):
+        out = io.StringIO()
+        assert slo_main(["--scenario", "no-such-scenario"], out) == 2
+        assert "scenario file not found" in out.getvalue()
+
+    def test_malformed_scenario_fails_fast(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps({"name": "bad", "streams": [], "clock": "virtual"}),
+            encoding="utf-8",
+        )
+        out = io.StringIO()
+        assert slo_main(["--scenario", str(path)], out) == 2
+        assert "non-empty" in out.getvalue()
+
+    def test_unknown_key_error_is_actionable(self, tmp_path):
+        path = tmp_path / "typo.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "typo",
+                    "deadline": 10,
+                    "streams": [
+                        {"dataset": "PowerCons", "algorithm": "ECTS"}
+                    ],
+                }
+            ),
+            encoding="utf-8",
+        )
+        out = io.StringIO()
+        assert slo_main(["--scenario", str(path)], out) == 2
+        text = out.getvalue()
+        assert "unknown key(s)" in text and "deadline_ms" in text

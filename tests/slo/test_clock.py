@@ -1,0 +1,36 @@
+"""Virtual clock semantics: monotone, explicit, and callable."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.slo import VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_advance_accumulates(self):
+        clock = VirtualClock()
+        clock.advance(1.5)
+        clock.advance(0.25)
+        assert clock.now() == pytest.approx(1.75)
+
+    def test_advance_to_is_monotone(self):
+        clock = VirtualClock()
+        clock.advance_to(2.0)
+        assert clock.now() == 2.0
+        # Earlier timestamps never run the clock backwards — the server
+        # may already be past a point's arrival time.
+        clock.advance_to(1.0)
+        assert clock.now() == 2.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VirtualClock().advance(-0.1)
+
+    def test_callable_like_perf_counter(self):
+        clock = VirtualClock()
+        clock.advance(3.0)
+        # Sessions take ``clock=...`` as a zero-argument callable.
+        assert clock() == clock.now() == 3.0

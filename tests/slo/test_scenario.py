@@ -1,0 +1,174 @@
+"""Strict scenario parsing: unknown keys, fault specs, file loading."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.slo import (
+    Scenario,
+    ServiceModel,
+    StreamSpec,
+    bundled_scenarios,
+    load_scenario,
+    parse_scenario,
+    resolve_scenario,
+)
+
+
+def minimal_raw(**overrides):
+    raw = {
+        "name": "unit",
+        "streams": [{"dataset": "PowerCons", "algorithm": "ECTS"}],
+    }
+    raw.update(overrides)
+    return raw
+
+
+class TestStrictKeys:
+    def test_unknown_top_level_key_rejected_with_valid_list(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            parse_scenario(minimal_raw(deadline="10ms"))
+        message = str(excinfo.value)
+        assert "unknown key(s)" in message
+        assert "deadline" in message
+        # Actionable: the error names the keys that *would* be accepted.
+        assert "deadline_ms" in message and "streams" in message
+
+    def test_unknown_arrival_key_rejected(self):
+        raw = minimal_raw(arrival={"process": "uniform", "rate_hz": 10})
+        with pytest.raises(ConfigurationError, match="rate_hz"):
+            parse_scenario(raw)
+
+    def test_unknown_service_key_rejected(self):
+        raw = minimal_raw(service={"base_ms": 1, "tail_ms": 3})
+        with pytest.raises(ConfigurationError, match="tail_ms"):
+            parse_scenario(raw)
+
+    def test_unknown_stream_key_rejected_with_position(self):
+        raw = minimal_raw(
+            streams=[
+                {"dataset": "PowerCons", "algorithm": "ECTS"},
+                {"dataset": "PowerCons", "algorithm": "ECTS", "weight": 2},
+            ]
+        )
+        with pytest.raises(ConfigurationError, match=r"streams\[1\].*weight"):
+            parse_scenario(raw)
+
+    def test_unknown_breaker_key_rejected(self):
+        raw = minimal_raw(breaker={"threshold": 2, "cooldown": 5})
+        with pytest.raises(ConfigurationError, match="cooldown"):
+            parse_scenario(raw)
+
+
+class TestRequiredAndEnum:
+    def test_missing_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="name"):
+            parse_scenario({"streams": [{"dataset": "a", "algorithm": "b"}]})
+
+    def test_missing_streams_rejected(self):
+        with pytest.raises(ConfigurationError, match="streams"):
+            parse_scenario({"name": "x"})
+
+    def test_empty_streams_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            parse_scenario({"name": "x", "streams": []})
+
+    def test_unknown_clock_rejected(self):
+        with pytest.raises(ConfigurationError, match="virtual, wall"):
+            parse_scenario(minimal_raw(clock="atomic"))
+
+    def test_unknown_guard_rejected(self):
+        with pytest.raises(ConfigurationError, match="guard"):
+            parse_scenario(minimal_raw(guard="paranoid"))
+
+    def test_unknown_fallback_rejected(self):
+        with pytest.raises(ConfigurationError, match="fallback"):
+            parse_scenario(minimal_raw(fallback="oracle"))
+
+    def test_fallback_none_accepted(self):
+        assert parse_scenario(minimal_raw(fallback=None)).fallback is None
+        assert parse_scenario(minimal_raw(fallback="none")).fallback is None
+
+    def test_non_positive_deadline_rejected(self):
+        with pytest.raises(ConfigurationError, match="deadline_ms"):
+            parse_scenario(minimal_raw(deadline_ms=0))
+
+    def test_zero_cost_service_model_rejected(self):
+        with pytest.raises(ConfigurationError, match="base_ms"):
+            ServiceModel(base_ms=0.0, per_point_ms=0.0)
+
+    def test_stream_count_validated(self):
+        with pytest.raises(ConfigurationError, match="count"):
+            StreamSpec(dataset="a", algorithm="b", count=0)
+
+
+class TestFaultSpecs:
+    def test_malformed_fault_spec_fails_at_parse_time(self):
+        # Validation happens in Scenario.__post_init__, long before any
+        # training starts.
+        with pytest.raises(Exception) as excinfo:
+            parse_scenario(minimal_raw(faults=["consult:meltdown"]))
+        assert "meltdown" in str(excinfo.value)
+
+    def test_non_list_faults_rejected(self):
+        with pytest.raises(ConfigurationError, match="faults"):
+            parse_scenario(minimal_raw(faults="consult:timeout"))
+
+    def test_valid_fault_specs_produce_fresh_plans(self):
+        scenario = parse_scenario(
+            minimal_raw(faults=["consult:timeout:1,2", "push:corrupt:3"])
+        )
+        # Two plans, not one shared stateful object.
+        assert scenario.fault_plan() is not scenario.fault_plan()
+
+
+class TestFileLoading:
+    def test_load_json(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps(minimal_raw(seed=5)), encoding="utf-8")
+        scenario = load_scenario(path)
+        assert isinstance(scenario, Scenario)
+        assert scenario.seed == 5
+
+    def test_missing_file_lists_bundled_names(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="baseline"):
+            load_scenario(tmp_path / "absent.json")
+
+    def test_invalid_json_actionable(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            load_scenario(path)
+
+    def test_yaml_gated_or_loaded(self, tmp_path):
+        path = tmp_path / "s.yaml"
+        path.write_text(
+            "name: yaml-unit\n"
+            "streams:\n"
+            "  - {dataset: PowerCons, algorithm: ECTS}\n",
+            encoding="utf-8",
+        )
+        try:
+            import yaml  # noqa: F401
+        except ImportError:
+            with pytest.raises(ConfigurationError, match="PyYAML"):
+                load_scenario(path)
+        else:
+            assert load_scenario(path).name == "yaml-unit"
+
+    def test_bundled_scenarios_present(self):
+        names = set(bundled_scenarios())
+        assert {"baseline", "bursty", "faulty", "overload"} <= names
+
+    def test_bundled_scenarios_all_parse(self):
+        for name, path in bundled_scenarios().items():
+            scenario = load_scenario(path)
+            assert scenario.name == name
+            assert scenario.clock == "virtual"
+
+    def test_resolve_by_name_and_by_path(self, tmp_path):
+        assert resolve_scenario("baseline").name == "baseline"
+        path = tmp_path / "mine.json"
+        path.write_text(json.dumps(minimal_raw(name="mine")), encoding="utf-8")
+        assert resolve_scenario(path).name == "mine"

@@ -28,6 +28,12 @@ SLOs: ``etsc-bench serve-slo ...`` replays declarative scenario configs
 reports latency quantiles to p99.9, jitter, throughput, and
 deadline-miss/degraded-decision rates (see ``docs/slo.md``).
 
+Fleet: ``etsc-bench serve-fleet ...`` serves the same scenarios through
+a multi-tenant sharded fleet — bounded admission with load-shedding
+policies, per-shard health tracking, automatic failover of SIGKILLed or
+hung shard workers — and reports per-shard and fleet-wide SLOs plus
+shed/degraded/failover rates (see ``docs/serving.md``).
+
 Examples
 --------
 List what is available::
@@ -227,6 +233,10 @@ def main(argv: list[str] | None = None, out=None) -> int:
         from ..slo.cli import main as serve_slo_main
 
         return serve_slo_main(argv[1:], out)
+    if argv and argv[0] == "serve-fleet":
+        from ..fleet.cli import main as serve_fleet_main
+
+        return serve_fleet_main(argv[1:], out)
     arguments = build_parser().parse_args(argv)
     if arguments.log_level or arguments.progress:
         from ..obs.logging import configure_logging

@@ -1,0 +1,213 @@
+"""Forked request/reply workers: the process plumbing under the fleet.
+
+The evaluation grid's pool (:mod:`repro.core.runner`) schedules
+independent one-shot cells onto a ``ProcessPoolExecutor``. The serving
+fleet needs something the executor cannot give it: *stateful* workers
+that hold live sessions between requests, answer over an explicit
+duplex channel, and whose death — SIGKILL, hard crash, or hang — is a
+detectable, recoverable event rather than a broken pool.
+
+:class:`WorkerHandle` wraps one forked process plus its pipe endpoint
+and normalises every failure mode into :class:`WorkerDied`:
+
+* the peer process exited or was SIGKILLed → ``recv`` raises
+  ``WorkerDied`` (EOF / reset on the pipe);
+* the peer hangs → ``recv(timeout=...)`` raises ``WorkerDied`` after
+  the timeout (the caller decides whether to ``kill()`` it);
+* the pipe's buffer is gone mid-``send`` → ``WorkerDied``.
+
+Workers are forked (never spawned), so they inherit the parent's
+trained models and datasets by copy-on-write — the request channel only
+ever carries small control messages and picklable outcomes, mirroring
+the runner's execution/commitment split. On platforms without the
+``fork`` start method :func:`fork_available` returns ``False`` and
+callers degrade to in-process execution.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+from typing import Any, Callable
+
+from ..obs.logging import get_logger
+
+__all__ = [
+    "WorkerDied",
+    "WorkerHandle",
+    "fork_available",
+    "spawn_worker",
+    "request_reply_loop",
+]
+
+_logger = get_logger("core.pool")
+
+
+class WorkerDied(RuntimeError):
+    """The peer worker is gone: killed, crashed, or unresponsive."""
+
+    def __init__(self, worker: int, reason: str) -> None:
+        super().__init__(f"worker {worker}: {reason}")
+        self.worker = worker
+        self.reason = reason
+
+
+def fork_available() -> bool:
+    """Whether fork-based stateful workers can run on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def request_reply_loop(
+    conn, handler: Callable[[dict], dict], *, worker: int = 0
+) -> None:
+    """Serve requests on ``conn`` until a ``{"cmd": "stop"}`` arrives.
+
+    The worker-side half of the protocol: each received mapping is
+    passed to ``handler`` and the returned mapping sent back. A handler
+    exception is shipped to the parent as ``{"error": repr, "cmd": ...}``
+    instead of killing the worker — the parent chooses whether that is
+    fatal. ``{"cmd": "hang"}`` parks the worker forever (chaos testing:
+    the parent's heartbeat timeout must catch it).
+    """
+    while True:
+        try:
+            request = conn.recv()
+        except (EOFError, OSError):
+            return  # parent is gone; nothing left to serve
+        command = request.get("cmd")
+        if command == "stop":
+            try:
+                conn.send({"cmd": "stop", "ok": True})
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                pass
+            return
+        if command == "hang":  # pragma: no cover - killed by the parent
+            signal.pause() if hasattr(signal, "pause") else None
+            while True:
+                pass
+        try:
+            reply = handler(request)
+        except Exception as error:  # noqa: BLE001 - shipped to the parent
+            reply = {"cmd": command, "error": repr(error)}
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            return
+
+
+class WorkerHandle:
+    """Parent-side endpoint of one forked request/reply worker."""
+
+    def __init__(self, index: int, process, conn) -> None:
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self._dead_reason: str | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def pid(self) -> int | None:
+        return self.process.pid
+
+    @property
+    def alive(self) -> bool:
+        """Not yet declared dead by this handle (process may still run)."""
+        return self._dead_reason is None
+
+    @property
+    def dead_reason(self) -> str | None:
+        return self._dead_reason
+
+    def _die(self, reason: str) -> WorkerDied:
+        if self._dead_reason is None:
+            self._dead_reason = reason
+        return WorkerDied(self.index, self._dead_reason)
+
+    # ------------------------------------------------------------------
+    def send(self, message: dict) -> None:
+        """Ship one request; raises :class:`WorkerDied` if the peer is gone."""
+        if self._dead_reason is not None:
+            raise WorkerDied(self.index, self._dead_reason)
+        try:
+            self.conn.send(message)
+        except (BrokenPipeError, ConnectionResetError, OSError) as error:
+            raise self._die(f"send failed: {error}") from error
+
+    def recv(self, timeout: float | None = None) -> dict:
+        """Receive one reply, waiting at most ``timeout`` seconds.
+
+        Raises :class:`WorkerDied` on EOF (the process died) or when no
+        reply arrives within the timeout (the process hangs — the caller
+        should :meth:`kill` it before reusing the pipe).
+        """
+        if self._dead_reason is not None:
+            raise WorkerDied(self.index, self._dead_reason)
+        try:
+            if timeout is not None and not self.conn.poll(timeout):
+                raise self._die(
+                    f"no reply within {timeout:g}s (heartbeat timeout)"
+                )
+            reply = self.conn.recv()
+        except WorkerDied:
+            raise
+        except (EOFError, ConnectionResetError, OSError) as error:
+            raise self._die(f"connection lost: {error}") from error
+        return reply
+
+    def request(self, message: dict, timeout: float | None = None) -> dict:
+        """``send`` + ``recv`` in one call."""
+        self.send(message)
+        return self.recv(timeout)
+
+    # ------------------------------------------------------------------
+    def kill(self, reason: str = "killed by parent") -> None:
+        """SIGKILL the worker process and mark the handle dead."""
+        self._die(reason)
+        if self.process.is_alive():
+            try:
+                os.kill(self.process.pid, signal.SIGKILL)
+            except (ProcessLookupError, OSError):  # pragma: no cover
+                pass
+        self.process.join(timeout=5.0)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Graceful shutdown: send ``stop``, wait, then escalate to kill."""
+        if self._dead_reason is None:
+            try:
+                self.send({"cmd": "stop"})
+                self.recv(timeout)
+            except WorkerDied:
+                pass
+        self.process.join(timeout=timeout)
+        if self.process.is_alive():  # pragma: no cover - stubborn worker
+            self.kill("did not stop in time")
+        self.conn.close()
+
+
+def spawn_worker(
+    index: int,
+    main: Callable[[Any, int], None],
+    *,
+    name: str = "worker",
+) -> WorkerHandle:
+    """Fork one request/reply worker running ``main(conn, index)``.
+
+    ``main`` receives the child end of a duplex pipe and the worker
+    index; any state it needs beyond that should be parked in a module
+    global before the fork (the runner's ``_WORKER_STATE`` idiom) so it
+    arrives by copy-on-write instead of through the pipe.
+    """
+    if not fork_available():
+        raise WorkerDied(index, "fork start method unavailable")
+    context = multiprocessing.get_context("fork")
+    parent_conn, child_conn = context.Pipe(duplex=True)
+    process = context.Process(
+        target=main,
+        args=(child_conn, index),
+        name=f"{name}-{index}",
+        daemon=True,
+    )
+    process.start()
+    child_conn.close()  # the child holds its own copy
+    return WorkerHandle(index, process, parent_conn)

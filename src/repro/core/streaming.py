@@ -70,6 +70,26 @@ class LatencySummary:
     are judged on the extreme tail and on latency *stability*, not just
     central quantiles. Both default to 0 so historical construction
     sites keep working.
+
+    Small-sample semantics
+    ----------------------
+    Quantiles are linear-interpolated order statistics
+    (``numpy.quantile`` with the default method): with ``n`` samples,
+    quantile ``q`` interpolates between the order statistics bracketing
+    position ``q * (n - 1)``. For tiny samples the tail quantiles
+    therefore collapse onto the maximum — with fewer than ``1/(1-q)``
+    samples there is simply no observation beyond position ``q``, so
+    ``p999 == max`` for every ``n <= 1000``-ish sample set and
+    ``p99 == max`` whenever ``n <= 100``-ish. That is the correct
+    reading (the observed tail *is* the max), but per-shard fleet
+    summaries over a handful of consultations should be compared on
+    ``p50``/``mean``, not ``p999``.
+
+    An *empty* sample produces the all-zero :meth:`empty` summary
+    (``count == 0``) rather than raising — a fleet shard that served no
+    consultations still renders a report row. Callers that consider "no
+    consultations yet" an error (``StreamingSession.latency_summary``)
+    check the count themselves.
     """
 
     count: int
@@ -83,17 +103,29 @@ class LatencySummary:
     jitter: float = 0.0
 
     @classmethod
+    def empty(cls) -> "LatencySummary":
+        """The all-zero summary of an empty sample (``count == 0``)."""
+        return cls(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0, max=0.0)
+
+    @classmethod
     def from_latencies(
         cls,
         latencies: "np.ndarray | list[float]",
         budget_seconds: float | None = None,
     ) -> "LatencySummary":
-        """Summarize a latency sample (shared by sessions and serve-sim)."""
-        latencies = np.asarray(latencies, dtype=float)
-        if latencies.size == 0:
-            raise DataError("no consultations recorded yet")
+        """Summarize a latency sample (shared by sessions, serve-sim,
+        the SLO harness, and the fleet's per-shard rollups).
+
+        An empty sample returns :meth:`empty` — ``numpy.quantile`` would
+        raise an ``IndexError`` on a zero-length array, and a shard that
+        served nothing is a report row, not a crash. See the class
+        docstring for how the tail quantiles behave on tiny samples.
+        """
         if budget_seconds is not None and budget_seconds <= 0:
             raise DataError("budget_seconds must be positive")
+        latencies = np.asarray(latencies, dtype=float)
+        if latencies.size == 0:
+            return cls.empty()
         over_budget = (
             int((latencies > budget_seconds).sum())
             if budget_seconds is not None
@@ -336,6 +368,11 @@ class StreamingSession:
         ``over_budget_count`` reports how many consultations overran it —
         each one a dropped observation in a real deployment.
         """
+        if not self.push_latencies:
+            # A session with zero consultations is caller error (nothing
+            # was ever pushed) — unlike an aggregate rollup, where an
+            # empty sample is a legitimate all-zero row.
+            raise DataError("no consultations recorded yet")
         return LatencySummary.from_latencies(
             self.push_latencies, budget_seconds
         )

@@ -1,0 +1,122 @@
+"""Fleet configuration: shards, admission bounds, shedding policy.
+
+A :class:`FleetConfig` describes the multi-tenant front-end that sits
+above the scenario: how many shard workers serve sessions, how many
+streams each shard may hold in flight, how large the admission backlog
+may grow, and what happens to a stream the backlog cannot hold. All of
+it is validated eagerly — a malformed fleet fails before any training
+or forking happens, mirroring the strict scenario parsing in
+:mod:`repro.slo.scenario`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "SHED_REJECT_NEW",
+    "SHED_OLDEST",
+    "SHED_DEGRADE",
+    "SHED_POLICIES",
+    "FleetConfig",
+]
+
+#: Reject the stream that would overflow the admission queue (it is shed).
+SHED_REJECT_NEW = "reject-new"
+#: Evict the oldest waiting stream to make room (the evictee is shed).
+SHED_OLDEST = "shed-oldest"
+#: Answer the overflowing stream from the batched fallback instead.
+SHED_DEGRADE = "degrade"
+
+#: Load-shedding policies applied when the admission queue is full.
+SHED_POLICIES = (SHED_REJECT_NEW, SHED_OLDEST, SHED_DEGRADE)
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """One multi-tenant serving fleet, declaratively.
+
+    Parameters
+    ----------
+    n_shards:
+        Shard workers serving sessions. Each shard is one simulated
+        server with its own virtual clock; streams assigned to the same
+        shard queue behind each other exactly as in the single-server
+        SLO harness.
+    max_active_per_shard:
+        In-flight session cap per shard — the lever that bounds fleet
+        memory regardless of how many streams the scenario requests.
+    admission_capacity:
+        Bound on the admission backlog (streams requested but not yet
+        placed on a shard). Overflow triggers ``shed_policy``.
+    shed_policy:
+        One of :data:`SHED_POLICIES` — what happens to the stream the
+        backlog cannot hold.
+    tick_events:
+        Events each shard advances per coordinator tick. Smaller ticks
+        give finer-grained failover points; the value is part of the
+        deterministic contract (a fault plan names tick indices).
+    heartbeat_timeout_seconds:
+        Real-time budget for a shard's tick reply. A shard that does
+        not answer within it is declared hung, SIGKILLed, and failed
+        over. Wall time only — detection *tick* stays deterministic.
+    failover_limit:
+        Times one stream may be re-admitted after losing its shard
+        before it is degraded instead (guards against a poison stream
+        taking down replacement after replacement).
+    """
+
+    n_shards: int = 2
+    max_active_per_shard: int = 64
+    admission_capacity: int = 256
+    shed_policy: str = SHED_REJECT_NEW
+    tick_events: int = 256
+    heartbeat_timeout_seconds: float = 30.0
+    failover_limit: int = 2
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ConfigurationError(
+                f"n_shards must be >= 1, got {self.n_shards}"
+            )
+        if self.max_active_per_shard < 1:
+            raise ConfigurationError(
+                f"max_active_per_shard must be >= 1, "
+                f"got {self.max_active_per_shard}"
+            )
+        if self.admission_capacity < 1:
+            raise ConfigurationError(
+                f"admission_capacity must be >= 1, "
+                f"got {self.admission_capacity}"
+            )
+        if self.shed_policy not in SHED_POLICIES:
+            raise ConfigurationError(
+                f"unknown shed policy {self.shed_policy!r}; expected one "
+                f"of {', '.join(SHED_POLICIES)}"
+            )
+        if self.tick_events < 1:
+            raise ConfigurationError(
+                f"tick_events must be >= 1, got {self.tick_events}"
+            )
+        if self.heartbeat_timeout_seconds <= 0:
+            raise ConfigurationError(
+                f"heartbeat_timeout_seconds must be positive, "
+                f"got {self.heartbeat_timeout_seconds}"
+            )
+        if self.failover_limit < 0:
+            raise ConfigurationError(
+                f"failover_limit must be >= 0, got {self.failover_limit}"
+            )
+
+    def as_dict(self) -> dict:
+        """Deterministic config summary embedded in the fleet report."""
+        return {
+            "n_shards": self.n_shards,
+            "max_active_per_shard": self.max_active_per_shard,
+            "admission_capacity": self.admission_capacity,
+            "shed_policy": self.shed_policy,
+            "tick_events": self.tick_events,
+            "failover_limit": self.failover_limit,
+        }

@@ -1,0 +1,95 @@
+"""Planned shard faults: real kills at deterministic tick boundaries.
+
+The serve layer's chaos plan (:mod:`repro.serve.chaos`) injects
+*in-process* failures — raised exceptions at push or consult time. A
+fleet fault is a different animal: the whole shard worker dies. To keep
+the final report deterministic while the failure stays real, a fleet
+fault plan names **tick boundaries**: ``kill:1@3`` SIGKILLs shard 1's
+worker process when the coordinator reaches tick 3, ``hang:0@2`` parks
+shard 0's worker in a busy-wait so only the heartbeat timeout can catch
+it. Both then route through the coordinator's ordinary failover path —
+the same path an *unplanned* external SIGKILL takes, just at a
+reproducible point in the replay.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "FAULT_KILL",
+    "FAULT_HANG",
+    "FLEET_FAULT_KINDS",
+    "FleetFaultPlan",
+    "parse_fleet_fault_specs",
+]
+
+FAULT_KILL = "kill"
+FAULT_HANG = "hang"
+
+#: Fault kinds a fleet plan can schedule.
+FLEET_FAULT_KINDS = (FAULT_KILL, FAULT_HANG)
+
+_SPEC = re.compile(r"^(?P<kind>[a-z-]+):(?P<shard>\d+)@(?P<tick>\d+)$")
+
+
+@dataclass(frozen=True)
+class FleetFaultPlan:
+    """Scheduled ``(kind, shard, tick)`` directives for one fleet run."""
+
+    directives: tuple[tuple[str, int, int], ...] = ()
+
+    #: Shards already struck (a directive fires at most once even if the
+    #: replacement worker reuses the shard slot).
+    _fired: set = field(default_factory=set, compare=False, hash=False)
+
+    @property
+    def n_directives(self) -> int:
+        return len(self.directives)
+
+    def at_tick(self, tick: int) -> list[tuple[str, int]]:
+        """``(kind, shard)`` directives due at ``tick``, in spec order."""
+        due = []
+        for index, (kind, shard, when) in enumerate(self.directives):
+            if when == tick and index not in self._fired:
+                self._fired.add(index)
+                due.append((kind, shard))
+        return due
+
+    def validate_for(self, n_shards: int) -> None:
+        """Reject directives naming shards the fleet does not have."""
+        for kind, shard, tick in self.directives:
+            if shard >= n_shards:
+                raise ConfigurationError(
+                    f"fault {kind}:{shard}@{tick} names shard {shard} but "
+                    f"the fleet has only {n_shards} shard(s)"
+                )
+
+
+def parse_fleet_fault_specs(specs: list[str]) -> FleetFaultPlan:
+    """Parse ``kind:SHARD@TICK`` specs into a :class:`FleetFaultPlan`.
+
+    Examples: ``kill:1@3`` (SIGKILL shard 1 at tick 3), ``hang:0@2``
+    (park shard 0 at tick 2 until the heartbeat timeout catches it).
+    """
+    directives: list[tuple[str, int, int]] = []
+    for spec in specs:
+        match = _SPEC.match(str(spec).strip())
+        if match is None:
+            raise ConfigurationError(
+                f"malformed fleet fault spec {spec!r}; expected "
+                f"kind:SHARD@TICK, e.g. kill:1@3"
+            )
+        kind = match.group("kind")
+        if kind not in FLEET_FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fleet fault kind {kind!r} in {spec!r}; expected "
+                f"one of {', '.join(FLEET_FAULT_KINDS)}"
+            )
+        directives.append(
+            (kind, int(match.group("shard")), int(match.group("tick")))
+        )
+    return FleetFaultPlan(directives=tuple(directives))

@@ -307,4 +307,29 @@ def metrics_from_spans(spans: Iterable[Any]) -> MetricsRegistry:
                         registry.counter("serve.consult_timeouts").inc()
                     else:
                         registry.counter("serve.consult_failures").inc()
+        elif span.name == "fleet_stream":
+            # The fleet coordinator emits one fleet_stream span per
+            # requested stream at commit time, attributed with the
+            # stream's final accounting outcome — so the fleet.* rollup
+            # from a trace matches the live FleetReport counters exactly
+            # (the contract the slo.* rollup established for scenarios).
+            registry.counter("fleet.requested").inc()
+            outcome = span.attributes.get("fleet.outcome")
+            if outcome in ("decided", "no_decision", "degraded", "shed"):
+                registry.counter(f"fleet.{outcome}").inc()
+            if span.attributes.get("fleet.admitted"):
+                registry.counter("fleet.admitted").inc()
+            failovers = int(span.attributes.get("fleet.failovers", 0) or 0)
+            if failovers:
+                registry.counter("fleet.stream_failovers").inc(failovers)
+        elif span.name == "fleet_batch":
+            # One span per batched fallback consultation (a whole group
+            # of degraded streams answered through the all-pairs prefix
+            # kernels in a single call).
+            registry.counter("fleet.batched_consults").inc()
+        elif span.name == "fleet_failover":
+            # One span per shard-death event (SIGKILL, crash, or hang
+            # caught by the heartbeat), regardless of how many in-flight
+            # streams it displaced — those are fleet.stream_failovers.
+            registry.counter("fleet.failovers").inc()
     return registry

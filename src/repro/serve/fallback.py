@@ -87,6 +87,34 @@ class FallbackPredictor(ABC):
             source=SOURCE_FALLBACK,
         )
 
+    def predict_prefix_batch(
+        self, prefixes: "np.ndarray | list[np.ndarray]", series_length: int
+    ) -> list[EarlyPrediction]:
+        """Degraded predictions for several same-length prefixes at once.
+
+        The serving fleet calls this when load shedding or shard failover
+        degrades a whole group of streams in one go: answering them as a
+        batch lets distance-based fallbacks go through the all-pairs
+        kernels instead of one consultation per stream. ``prefixes`` is
+        ``(k, V, t)`` (or a list of ``(V, t)`` arrays of equal shape).
+        Results are bit-identical to ``k`` separate
+        :meth:`predict_prefix` calls on a fresh predictor — batching is
+        a throughput optimisation, never a semantic change.
+        """
+        stacked = np.asarray(
+            [np.atleast_2d(np.asarray(p, dtype=float)) for p in prefixes],
+            dtype=float,
+        )
+        if stacked.ndim != 3 or stacked.shape[0] < 1 or stacked.shape[2] < 1:
+            raise DataError(
+                f"batched prefixes must be (k>=1, n_variables, t>=1), "
+                f"got shape {stacked.shape}"
+            )
+        return [
+            self.predict_prefix(stacked[i], series_length)
+            for i in range(stacked.shape[0])
+        ]
+
 
 class MajorityClassFallback(FallbackPredictor):
     """Answer with the training majority class (ties to the first label).
@@ -183,11 +211,62 @@ class PrefixNearestNeighborFallback(FallbackPredictor):
             self._cache = cache
         distances = cache.advance_chunk(clipped[:, cache.length :])
         self._seen = clipped.copy()
+        label, confidence = self._vote(distances)
+        return label, confidence
+
+    def _vote(self, distances: np.ndarray) -> tuple[int, float]:
+        """Nearest label + agreement confidence from one distance row."""
         order = np.argsort(distances, kind="stable")
         label = int(self._labels[order[0]])
         votes = self._labels[order[: min(self.n_votes, order.size)]]
         confidence = float((votes == label).mean())
         return label, confidence
+
+    def predict_prefix_batch(
+        self, prefixes: "np.ndarray | list[np.ndarray]", series_length: int
+    ) -> list[EarlyPrediction]:
+        """All-pairs batched consultation: one multi-query cache advance.
+
+        The ``k`` same-length prefixes are pushed through a single
+        :class:`PrefixDistanceCache` in ``n_queries=k`` mode, so the
+        whole group costs one vectorised pass over the references
+        instead of ``k`` scans. The per-pair accumulation order matches
+        the single-stream path exactly, so labels and confidences are
+        bit-identical to ``k`` separate consultations — and the
+        predictor's single-stream continuation state is left untouched.
+        """
+        if not self._fitted:
+            raise NotFittedError(
+                f"{type(self).__name__} used before fit"
+            )
+        stacked = np.asarray(
+            [np.atleast_2d(np.asarray(p, dtype=float)) for p in prefixes],
+            dtype=float,
+        )
+        if stacked.ndim != 3 or stacked.shape[0] < 1 or stacked.shape[2] < 1:
+            raise DataError(
+                f"batched prefixes must be (k>=1, n_variables, t>=1), "
+                f"got shape {stacked.shape}"
+            )
+        t = min(stacked.shape[2], self._values.shape[2])
+        clipped = stacked[:, :, :t]
+        cache = PrefixDistanceCache(self._values, n_queries=clipped.shape[0])
+        distances = cache.advance_chunk(clipped)
+        distances = np.atleast_2d(distances)
+        predictions: list[EarlyPrediction] = []
+        for i in range(clipped.shape[0]):
+            label, confidence = self._vote(distances[i])
+            predictions.append(
+                EarlyPrediction(
+                    label=label,
+                    prefix_length=min(stacked.shape[2], series_length),
+                    series_length=series_length,
+                    confidence=confidence,
+                    degraded=True,
+                    source=SOURCE_FALLBACK,
+                )
+            )
+        return predictions
 
 
 #: Named fallback constructors for the CLI / serve-sim layer.

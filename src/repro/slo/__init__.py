@@ -24,7 +24,13 @@ of the same scenario produce identical reports byte for byte.
 
 from .arrival import ARRIVAL_PROCESSES, ArrivalSpec
 from .clock import VirtualClock
-from .harness import run_scenario
+from .harness import (
+    ScenarioBundle,
+    SimulatedClassifier,
+    derive_seed,
+    run_scenario,
+    train_scenario_bundles,
+)
 from .report import ScenarioReport
 from .scenario import (
     CLOCK_MODES,
@@ -43,6 +49,10 @@ __all__ = [
     "ArrivalSpec",
     "VirtualClock",
     "run_scenario",
+    "derive_seed",
+    "SimulatedClassifier",
+    "ScenarioBundle",
+    "train_scenario_bundles",
     "ScenarioReport",
     "CLOCK_MODES",
     "BreakerSpec",

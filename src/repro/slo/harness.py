@@ -53,23 +53,37 @@ from .report import ScenarioReport
 from .scenario import CLOCK_VIRTUAL, Scenario
 
 
-__all__ = ["run_scenario"]
+__all__ = [
+    "run_scenario",
+    "derive_seed",
+    "SimulatedClassifier",
+    "ScenarioBundle",
+    "train_scenario_bundles",
+]
 
 
-def _derive_seed(*parts) -> int:
+def derive_seed(*parts) -> int:
     """Deterministic cross-process seed from structured parts (crc32 —
     the hash() pitfall PR 2 fixed must not come back here)."""
     key = ":".join(str(part) for part in parts).encode("utf-8")
     return zlib.crc32(key)
 
 
-class _SimulatedClassifier:
+# Historical private alias (kept for older call sites/tests).
+_derive_seed = derive_seed
+
+
+class SimulatedClassifier:
     """Wrap a trained classifier so consultations cost *virtual* time.
 
     ``predict_one`` advances the shared virtual clock by a seeded
     service-model sample before delegating, so the session's cooperative
     deadline check — reading the same clock — sees exactly that
     duration. Everything else proxies to the trained classifier.
+
+    Shared by the single-server SLO harness and the fleet's shard
+    workers (each shard wraps the bundle classifier around its *own*
+    clock, so a shard is one simulated server).
     """
 
     def __init__(self, inner, clock: VirtualClock, service, rng) -> None:
@@ -86,6 +100,71 @@ class _SimulatedClassifier:
 
     def __getattr__(self, name):
         return getattr(self._inner, name)
+
+
+_SimulatedClassifier = SimulatedClassifier
+
+
+@dataclass
+class ScenarioBundle:
+    """One trained (algorithm, dataset) pair and its serving artefacts.
+
+    What a scenario's streams share: the trained classifier, the guard
+    statistics and fitted fallback derived from the same training split,
+    and the held-out test split the streams replay. Training happens
+    once per distinct pair — in the parent, before any shard forks, so
+    fleet workers inherit bundles by copy-on-write.
+    """
+
+    algorithm: str
+    dataset: str
+    classifier: object
+    stats: GuardStats
+    fallback: object | None
+    test: object
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.algorithm, self.dataset)
+
+
+def train_scenario_bundles(
+    scenario: Scenario,
+    algorithms=None,
+    datasets=None,
+) -> dict[tuple[str, str], ScenarioBundle]:
+    """Train every distinct (algorithm, dataset) pair a scenario uses."""
+    if algorithms is None:
+        algorithms = default_algorithms(fast=True)
+    if datasets is None:
+        datasets = default_datasets(scale=scenario.scale, seed=scenario.seed)
+    bundles: dict[tuple[str, str], ScenarioBundle] = {}
+    for spec in scenario.streams:
+        key = (spec.algorithm, spec.dataset)
+        if key in bundles:
+            continue
+        info = algorithms.get(spec.algorithm)
+        dataset = datasets.load(spec.dataset)
+        train, test = train_test_split(
+            dataset,
+            test_fraction=scenario.test_fraction,
+            seed=scenario.seed,
+        )
+        classifier = wrap_for_dataset(info.factory, train)
+        classifier.train(train)
+        bundles[key] = ScenarioBundle(
+            algorithm=spec.algorithm,
+            dataset=spec.dataset,
+            classifier=classifier,
+            stats=GuardStats.from_dataset(train),
+            fallback=(
+                make_fallback(scenario.fallback).fit(train)
+                if scenario.fallback
+                else None
+            ),
+            test=test,
+        )
+    return bundles
 
 
 @dataclass
@@ -127,27 +206,7 @@ def run_scenario(
     fault_plan = scenario.fault_plan()
 
     # -- train each distinct (algorithm, dataset) pair once ------------
-    trained: dict[tuple[str, str], tuple] = {}
-    for spec in scenario.streams:
-        key = (spec.algorithm, spec.dataset)
-        if key in trained:
-            continue
-        info = algorithms.get(spec.algorithm)
-        dataset = datasets.load(spec.dataset)
-        train, test = train_test_split(
-            dataset,
-            test_fraction=scenario.test_fraction,
-            seed=scenario.seed,
-        )
-        classifier = wrap_for_dataset(info.factory, train)
-        classifier.train(train)
-        stats = GuardStats.from_dataset(train)
-        fallback = (
-            make_fallback(scenario.fallback).fit(train)
-            if scenario.fallback
-            else None
-        )
-        trained[key] = (classifier, stats, fallback, test)
+    bundles = train_scenario_bundles(scenario, algorithms, datasets)
 
     # -- build streams, sessions, and arrival timelines ----------------
     streams: list[_Stream] = []
@@ -190,7 +249,13 @@ def run_scenario(
 
     global_index = 0
     for spec in scenario.streams:
-        classifier, stats, fallback, test = trained[(spec.algorithm, spec.dataset)]
+        bundle = bundles[(spec.algorithm, spec.dataset)]
+        classifier, stats, fallback, test = (
+            bundle.classifier,
+            bundle.stats,
+            bundle.fallback,
+            bundle.test,
+        )
         for i in range(spec.count):
             instance = i % test.n_instances
             name = f"{spec.dataset}[{instance}]@{spec.algorithm}"

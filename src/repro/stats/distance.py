@@ -219,28 +219,64 @@ class PrefixDistanceCache:
         return self._sq_distances
 
     def advance_chunk(self, chunk: np.ndarray) -> np.ndarray:
-        """Consume several time-points at once (single-query streams).
+        """Consume several time-points at once.
 
-        ``chunk`` is ``(k,)`` univariate or ``(V, k)`` multivariate —
-        the newly observed points of the stream, in time order. Points
-        are accumulated sequentially so the result is identical to ``k``
-        ``advance`` calls.
+        For the default single-query cache ``chunk`` is ``(k,)``
+        univariate or ``(V, k)`` multivariate — the newly observed
+        points of the stream, in time order. Multi-query caches (the
+        all-pairs mode the serving fleet batches simultaneous consults
+        through) take ``(n_queries, k)`` univariate or
+        ``(n_queries, V, k)`` multivariate chunks: every query stream
+        advances through the same ``k`` time-steps in lockstep. A
+        single-query cache also accepts the explicit multi-query form
+        with a leading 1 axis, so batched callers can pass
+        ``(n_queries, ...)`` uniformly down to ``n_queries == 1``.
+
+        Points are accumulated sequentially, one time-step at a time, so
+        the result is bit-identical to ``k`` ``advance`` calls — and a
+        multi-query batch is bit-identical to advancing each query
+        through its own single-query cache (the accumulation order per
+        ``(query, reference)`` pair is the same either way).
         """
-        if self._n_queries != 1:
-            raise DataError(
-                "advance_chunk supports single-query caches only"
-            )
         chunk = np.asarray(chunk, dtype=float)
-        if self._multivariate:
-            chunk = np.atleast_2d(chunk)
-            steps = chunk.shape[1]
-            for step in range(steps):
-                result = self.advance(chunk[:, step])
+        if self._n_queries == 1:
+            if self._multivariate:
+                chunk = np.atleast_2d(chunk)
+                if chunk.ndim == 3:
+                    # Explicit multi-query form (1, V, k) for one query —
+                    # what batched callers pass uniformly for any k.
+                    if chunk.shape[0] != 1:
+                        raise DataError(
+                            f"single-query chunk must have shape (V, k) or "
+                            f"(1, V, k), got {chunk.shape}"
+                        )
+                    chunk = chunk[0]
+                steps = chunk.shape[1]
+                for step in range(steps):
+                    result = self.advance(chunk[:, step])
+            else:
+                chunk = np.atleast_1d(chunk)
+                if chunk.ndim == 2:
+                    if chunk.shape[0] != 1:
+                        raise DataError(
+                            f"single-query chunk must have shape (k,) or "
+                            f"(1, k), got {chunk.shape}"
+                        )
+                    chunk = chunk[0]
+                steps = chunk.shape[0]
+                for step in range(steps):
+                    result = self.advance(chunk[step])
         else:
-            chunk = np.atleast_1d(chunk)
-            steps = chunk.shape[0]
+            expected_ndim = 3 if self._multivariate else 2
+            if chunk.ndim != expected_ndim or chunk.shape[0] != self._n_queries:
+                raise DataError(
+                    f"multi-query chunk must have shape "
+                    f"({self._n_queries}, {'V, ' if self._multivariate else ''}"
+                    f"k), got {chunk.shape}"
+                )
+            steps = chunk.shape[-1]
             for step in range(steps):
-                result = self.advance(chunk[step])
+                result = self.advance(chunk[..., step])
         if steps == 0:
             result = (
                 self._sq_distances[0]

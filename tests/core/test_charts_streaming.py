@@ -215,8 +215,44 @@ class TestStreamingSession:
         assert summary.as_dict()["over_budget_count"] == 2
         with pytest.raises(DataError, match="positive"):
             LatencySummary.from_latencies([0.1], budget_seconds=0.0)
-        with pytest.raises(DataError, match="no consultations"):
-            LatencySummary.from_latencies([])
+
+    def test_latency_summary_empty_sample_is_all_zero(self, trained):
+        from repro.core.streaming import LatencySummary
+
+        # An empty sample is a legitimate aggregate (a fleet shard that
+        # served no consultations), not an error — and it must not hit
+        # numpy.quantile's IndexError on zero-length input.
+        for empty in (LatencySummary.from_latencies([]),
+                      LatencySummary.empty()):
+            assert empty.count == 0
+            assert empty.mean == empty.p50 == empty.p99 == empty.p999 == 0.0
+            assert empty.max == empty.jitter == 0.0
+            assert empty.over_budget_count == 0
+        # The budget validation still applies before the empty check.
+        with pytest.raises(DataError, match="positive"):
+            LatencySummary.from_latencies([], budget_seconds=-1.0)
+
+    def test_latency_summary_tiny_sample_percentiles(self, trained):
+        from repro.core.streaming import LatencySummary
+
+        # Documented small-sample semantics: with n < 10 samples the
+        # tail quantiles interpolate within the observed order
+        # statistics and collapse onto the max — never an index error.
+        single = LatencySummary.from_latencies([0.42])
+        assert single.p50 == single.p95 == single.p999 == single.max == 0.42
+        assert single.jitter == 0.0
+        tiny = LatencySummary.from_latencies(
+            [0.01, 0.02, 0.03, 0.04, 0.9], budget_seconds=0.5
+        )
+        assert tiny.count == 5
+        assert tiny.p999 <= tiny.max == 0.9
+        assert tiny.p99 == pytest.approx(np.quantile(
+            [0.01, 0.02, 0.03, 0.04, 0.9], 0.99))
+        assert tiny.over_budget_count == 1
+        for n in range(1, 10):
+            summary = LatencySummary.from_latencies([0.1] * n)
+            assert summary.count == n
+            assert summary.p999 == pytest.approx(0.1)
 
     def test_latency_summary_requires_consultations(self, trained):
         classifier, dataset = trained

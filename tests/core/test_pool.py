@@ -1,0 +1,93 @@
+"""Forked request/reply workers: protocol, death detection, heartbeats.
+
+These tests fork real processes and deliver real SIGKILLs — that is the
+point: the fleet's failover path must be exercised against the genuine
+failure modes, not mocks. Everything is kept tiny so the module stays
+fast.
+"""
+
+import os
+import signal
+
+import pytest
+
+from repro.core.pool import (
+    WorkerDied,
+    fork_available,
+    request_reply_loop,
+    spawn_worker,
+)
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="fork start method unavailable"
+)
+
+
+def echo_main(conn, index):
+    request_reply_loop(
+        conn,
+        lambda request: {"cmd": request["cmd"], "echo": request.get("x")},
+        worker=index,
+    )
+
+
+def faulty_main(conn, index):
+    def handler(request):
+        raise ValueError("boom")
+
+    request_reply_loop(conn, handler, worker=index)
+
+
+class TestRequestReply:
+    def test_round_trip_and_graceful_stop(self):
+        worker = spawn_worker(0, echo_main)
+        try:
+            reply = worker.request({"cmd": "work", "x": 41}, timeout=10.0)
+            assert reply == {"cmd": "work", "echo": 41}
+        finally:
+            worker.stop()
+        assert not worker.process.is_alive()
+
+    def test_handler_exceptions_ship_as_error_replies(self):
+        # A raising handler must not kill the worker: the parent gets
+        # the error and decides, and the worker keeps serving.
+        worker = spawn_worker(1, faulty_main)
+        try:
+            reply = worker.request({"cmd": "work"}, timeout=10.0)
+            assert "boom" in reply["error"]
+            again = worker.request({"cmd": "work"}, timeout=10.0)
+            assert "boom" in again["error"]
+        finally:
+            worker.stop()
+
+
+class TestDeathDetection:
+    def test_sigkill_surfaces_as_worker_died_on_recv(self):
+        worker = spawn_worker(2, echo_main)
+        worker.send({"cmd": "work", "x": 1})
+        os.kill(worker.pid, signal.SIGKILL)
+        worker.process.join(timeout=5.0)
+        with pytest.raises(WorkerDied):
+            # The in-flight reply may or may not have made it into the
+            # pipe buffer; drain until the EOF shows through.
+            worker.recv(timeout=5.0)
+            worker.recv(timeout=5.0)
+        assert not worker.alive
+        # A dead handle stays dead: later calls fail fast.
+        with pytest.raises(WorkerDied):
+            worker.send({"cmd": "work"})
+
+    def test_hang_is_caught_by_the_recv_timeout(self):
+        worker = spawn_worker(3, echo_main)
+        worker.send({"cmd": "hang"})
+        with pytest.raises(WorkerDied) as excinfo:
+            worker.recv(timeout=0.3)
+        assert "heartbeat" in str(excinfo.value)
+        worker.kill("hung")
+        assert not worker.process.is_alive()
+
+    def test_kill_is_idempotent(self):
+        worker = spawn_worker(4, echo_main)
+        worker.kill("first")
+        worker.kill("second")
+        assert worker.dead_reason == "first"

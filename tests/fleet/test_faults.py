@@ -1,0 +1,48 @@
+"""Fleet fault plans: spec parsing and one-shot directive firing."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.fleet import FleetFaultPlan, parse_fleet_fault_specs
+
+
+class TestParsing:
+    def test_parses_kill_and_hang_specs(self):
+        plan = parse_fleet_fault_specs(["kill:1@3", "hang:0@2"])
+        assert plan.directives == (("kill", 1, 3), ("hang", 0, 2))
+        assert plan.n_directives == 2
+
+    def test_malformed_spec_rejected(self):
+        for spec in ("kill:1", "kill@3", "1@3", "kill:a@3", "kill:1@"):
+            with pytest.raises(ConfigurationError):
+                parse_fleet_fault_specs([spec])
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            parse_fleet_fault_specs(["explode:0@1"])
+        assert "explode" in str(excinfo.value)
+
+
+class TestFiring:
+    def test_directives_fire_at_their_tick_in_spec_order(self):
+        plan = parse_fleet_fault_specs(["kill:1@3", "hang:0@3", "kill:0@5"])
+        assert plan.at_tick(0) == []
+        assert plan.at_tick(3) == [("kill", 1), ("hang", 0)]
+        assert plan.at_tick(5) == [("kill", 0)]
+
+    def test_each_directive_fires_at_most_once(self):
+        plan = parse_fleet_fault_specs(["kill:0@2"])
+        assert plan.at_tick(2) == [("kill", 0)]
+        # The replacement worker on the same slot is not re-killed.
+        assert plan.at_tick(2) == []
+
+
+class TestValidation:
+    def test_directive_must_name_an_existing_shard(self):
+        plan = parse_fleet_fault_specs(["kill:3@1"])
+        with pytest.raises(ConfigurationError):
+            plan.validate_for(2)
+        plan.validate_for(4)  # in range: fine
+
+    def test_empty_plan_is_valid_everywhere(self):
+        FleetFaultPlan().validate_for(1)

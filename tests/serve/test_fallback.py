@@ -78,6 +78,105 @@ class TestPrefixNearestNeighbor:
             PrefixNearestNeighborFallback(n_votes=0)
 
 
+class TestInterleavedStreams:
+    def test_alternating_streams_match_dedicated_predictors(self):
+        # A shard serves many sessions through shared machinery; the
+        # prefix-1nn continuation cache must detect every stream switch
+        # (the observed history no longer extends what it saw) and reset,
+        # reproducing dedicated per-stream predictors bit-for-bit.
+        ds = make_shift_dataset(20, length=16)
+        shared = PrefixNearestNeighborFallback().fit(ds)
+        dedicated = [
+            PrefixNearestNeighborFallback().fit(ds) for _ in range(2)
+        ]
+        streams = [ds.values[0], ds.values[11]]
+        for t in range(1, 17):
+            for s, series in enumerate(streams):
+                ours = shared.predict_prefix(series[:, :t], 16)
+                theirs = dedicated[s].predict_prefix(series[:, :t], 16)
+                assert (ours.label, ours.confidence) == (
+                    theirs.label,
+                    theirs.confidence,
+                ), (s, t)
+
+
+class TestBatchedConsultation:
+    def test_batch_is_bit_identical_to_fresh_single_consults(self):
+        ds = make_shift_dataset(24, length=12)
+        fallback = PrefixNearestNeighborFallback().fit(ds)
+        prefixes = np.stack([ds.values[i][:, :7] for i in (0, 5, 13, 20)])
+        batch = fallback.predict_prefix_batch(prefixes, 12)
+        assert len(batch) == 4
+        for prefix, prediction in zip(prefixes, batch):
+            single = PrefixNearestNeighborFallback().fit(ds).predict_prefix(
+                prefix, 12
+            )
+            assert prediction.label == single.label
+            assert prediction.confidence == single.confidence
+            assert prediction.degraded
+            assert prediction.source == SOURCE_FALLBACK
+
+    def test_batch_of_one_matches_single_consult(self):
+        # A degrade group can hold exactly one stream (the overload
+        # scenario at small admission capacity produces these); the
+        # all-pairs path must handle k == 1, not just k >= 2.
+        ds = make_shift_dataset(24, length=12)
+        fallback = PrefixNearestNeighborFallback().fit(ds)
+        prefix = ds.values[3][:, :7]
+        (prediction,) = fallback.predict_prefix_batch(prefix[None], 12)
+        single = PrefixNearestNeighborFallback().fit(ds).predict_prefix(
+            prefix, 12
+        )
+        assert prediction.label == single.label
+        assert prediction.confidence == single.confidence
+        assert prediction.degraded
+
+    def test_batch_leaves_streaming_continuation_state_untouched(self):
+        # The fleet batches degraded consults through the same predictor
+        # instance that serves live streams; the batch must not disturb
+        # an in-progress stream's incremental cache.
+        ds = make_shift_dataset(20, length=16)
+        fallback = PrefixNearestNeighborFallback().fit(ds)
+        control = PrefixNearestNeighborFallback().fit(ds)
+        stream = ds.values[0]
+        fallback.predict_prefix(stream[:, :5], 16)
+        control.predict_prefix(stream[:, :5], 16)
+        fallback.predict_prefix_batch(
+            np.stack([ds.values[7][:, :9], ds.values[12][:, :9]]), 16
+        )
+        after = fallback.predict_prefix(stream[:, :10], 16)
+        expected = control.predict_prefix(stream[:, :10], 16)
+        assert (after.label, after.confidence) == (
+            expected.label,
+            expected.confidence,
+        )
+        # The continuation cache really did keep advancing (no reset).
+        assert fallback._cache is not None
+        assert fallback._cache.length == 10
+
+    def test_base_class_batch_loops_single_consults(self):
+        ds = make_sinusoid_dataset(10, length=8)
+        fallback = MajorityClassFallback().fit(ds)
+        batch = fallback.predict_prefix_batch(
+            np.zeros((3, 1, 4)), 8
+        )
+        singles = [fallback.predict_prefix(np.zeros((1, 4)), 8)] * 3
+        assert [p.label for p in batch] == [p.label for p in singles]
+        assert [p.confidence for p in batch] == [
+            p.confidence for p in singles
+        ]
+
+    def test_batch_validates_fit_and_shapes(self):
+        with pytest.raises(NotFittedError):
+            PrefixNearestNeighborFallback().predict_prefix_batch(
+                np.zeros((2, 1, 3)), 8
+            )
+        ds = make_sinusoid_dataset(10, length=8)
+        fallback = PrefixNearestNeighborFallback().fit(ds)
+        with pytest.raises(DataError):
+            fallback.predict_prefix_batch(np.empty((2, 1, 0)), 8)
+
+
 class TestMakeFallback:
     def test_known_names(self):
         assert isinstance(make_fallback("majority"), MajorityClassFallback)

@@ -129,10 +129,82 @@ class TestMultiQuery:
                     all_pairs[q], singles[q].advance(matrix[q, t])
                 )
 
-    def test_advance_chunk_rejects_multi_query(self):
+    def test_advance_chunk_matches_per_query_single_caches(self):
+        # The fleet's batched-degradation path: k query streams advance
+        # through one cache in lockstep. Must be bit-identical to each
+        # query running its own single-query cache — including when the
+        # chunks arrive interleaved (split mid-stream).
+        rng = np.random.default_rng(6)
+        matrix = rng.normal(size=(5, 14))
+        queries = rng.normal(size=(3, 14))
+        joint = PrefixDistanceCache(matrix, n_queries=3)
+        joint.advance_chunk(queries[:, :6])
+        joint.advance_chunk(queries[:, 6:6])  # empty chunk is a no-op
+        result = joint.advance_chunk(queries[:, 6:])
+        assert result.shape == (3, 5)
+        for q in range(3):
+            single = PrefixDistanceCache(matrix)
+            single.advance_chunk(queries[q, :6])
+            assert_array_equal(
+                result[q], single.advance_chunk(queries[q, 6:])
+            )
+
+    def test_advance_chunk_multivariate_multi_query(self):
+        rng = np.random.default_rng(7)
+        references = rng.normal(size=(4, 2, 10))
+        queries = rng.normal(size=(3, 2, 10))
+        joint = PrefixDistanceCache(references, n_queries=3)
+        result = joint.advance_chunk(queries)
+        for q in range(3):
+            single = PrefixDistanceCache(references)
+            assert_array_equal(result[q], single.advance_chunk(queries[q]))
+
+    def test_advance_chunk_multi_query_nan_stays_per_query(self):
+        # A NaN in one query stream must poison only that query's row.
+        matrix = np.ones((2, 3))
+        queries = np.array([[1.0, np.nan, 1.0], [1.0, 1.0, 1.0]])
+        joint = PrefixDistanceCache(matrix, n_queries=2)
+        result = joint.advance_chunk(queries)
+        assert np.isnan(result[0]).all()
+        assert np.isfinite(result[1]).all()
+
+    def test_single_query_cache_accepts_leading_one_axis(self):
+        # Batched callers pass (n_queries, ...) uniformly; a degrade
+        # group of exactly one stream hands a single-query cache a
+        # (1, V, k) chunk and must get the same result as (V, k).
+        rng = np.random.default_rng(8)
+        references = rng.normal(size=(4, 2, 10))
+        query = rng.normal(size=(2, 10))
+        plain = PrefixDistanceCache(references)
+        wrapped = PrefixDistanceCache(references)
+        assert_array_equal(
+            wrapped.advance_chunk(query[None]), plain.advance_chunk(query)
+        )
+        univariate = rng.normal(size=(4, 10))
+        row = rng.normal(size=10)
+        plain_u = PrefixDistanceCache(univariate)
+        wrapped_u = PrefixDistanceCache(univariate)
+        assert_array_equal(
+            wrapped_u.advance_chunk(row[None]), plain_u.advance_chunk(row)
+        )
+        with pytest.raises(DataError):
+            PrefixDistanceCache(references).advance_chunk(
+                rng.normal(size=(2, 2, 5))  # two queries, single-query cache
+            )
+        with pytest.raises(DataError):
+            PrefixDistanceCache(univariate).advance_chunk(
+                rng.normal(size=(2, 5))
+            )
+
+    def test_advance_chunk_rejects_mismatched_query_shapes(self):
         cache = PrefixDistanceCache(np.zeros((3, 4)), n_queries=2)
         with pytest.raises(DataError):
-            cache.advance_chunk(np.zeros(2))
+            cache.advance_chunk(np.zeros(2))  # 1-D: missing query axis
+        with pytest.raises(DataError):
+            cache.advance_chunk(np.zeros((3, 2)))  # wrong n_queries
+        multivariate = PrefixDistanceCache(np.zeros((3, 2, 4)), n_queries=2)
+        with pytest.raises(DataError):
+            multivariate.advance_chunk(np.zeros((2, 4)))  # missing V axis
 
 
 class TestValidation:

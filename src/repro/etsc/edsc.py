@@ -35,7 +35,7 @@ from ..core.base import EarlyClassifier
 from ..core.prediction import EarlyPrediction
 from ..data.dataset import TimeSeriesDataset
 from ..exceptions import ConfigurationError
-from ..stats.distance import sliding_window_distances
+from ..stats.distance import best_match_distances, sliding_window_distances
 from .common import validate_univariate
 
 __all__ = ["EDSC", "Shapelet"]
@@ -59,11 +59,13 @@ class Shapelet:
 def _best_match_distances(pattern: np.ndarray, matrix: np.ndarray) -> np.ndarray:
     """Best-matching (minimum alignment) distance of a pattern to each row.
 
-    One stride-tricks window tensor covers all rows at once; ``sqrt`` and
-    ``min`` commute on non-negative values, so the result is identical to
-    the historical per-row ``sqrt(min(...))`` form.
+    Delegates to the kernel-backend-dispatched
+    :func:`~repro.stats.distance.best_match_distances` (the
+    ``shapelet_match`` op); ``sqrt`` and ``min`` commute on non-negative
+    values, so the result is identical to the historical per-row
+    ``sqrt(min(...))`` form.
     """
-    return sliding_window_distances(pattern, matrix).min(axis=1)
+    return best_match_distances(pattern, matrix)
 
 
 def _earliest_positions_from(

@@ -17,6 +17,14 @@ Fallback answers always carry ``source="fallback"``/``degraded=True``
 and a ``prefix_length`` equal to the observed length — they have no
 earliness trigger of their own, so a streaming session only ever commits
 them as the forced final decision.
+
+The prefix-1-NN consult path runs on
+:class:`~repro.stats.distance.PrefixDistanceCache`, which dispatches its
+accumulation step to the active kernel backend — backend selection
+(``REPRO_KERNEL_BACKEND`` / ``--kernel-backend``) therefore reaches
+degraded serving without any code here changing, and the conformance
+policy guarantees the ``naive``/``numpy`` backends produce bit-identical
+fallback decisions.
 """
 
 from __future__ import annotations

@@ -1,8 +1,16 @@
 """From-scratch statistical/ML substrates used by the ETSC algorithms."""
 
+from .backends import (
+    available_backends,
+    get_backend,
+    register_backend,
+    set_default_backend,
+    use_backend,
+)
 from .boosting import GradientBoostingClassifier
 from .dtw import DTWClassifier, dtw_distance, dtw_distance_matrix
 from .distance import (
+    best_match_distances,
     euclidean,
     min_subseries_distance,
     pairwise_squared_euclidean,
@@ -27,6 +35,11 @@ from .svm import OneClassSVM, rbf_kernel
 from .tree import DecisionTreeClassifier, DecisionTreeRegressor
 
 __all__ = [
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "set_default_backend",
+    "use_backend",
     "GradientBoostingClassifier",
     "DTWClassifier",
     "dtw_distance",
@@ -35,6 +48,7 @@ __all__ = [
     "squared_euclidean",
     "pairwise_squared_euclidean",
     "min_subseries_distance",
+    "best_match_distances",
     "sliding_window_view",
     "SelectKBest",
     "chi2_scores",

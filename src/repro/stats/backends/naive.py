@@ -1,0 +1,221 @@
+"""The pure-python reference backend.
+
+Extracted from the in-file baselines of ``benchmarks/bench_perf.py``:
+scalar loops with no vectorised reductions, so every accumulation order
+is explicit and auditable. This backend *is* the conformance reference —
+every other backend's :class:`~.base.OpTolerance` is declared against
+it — which is why correctness here is prioritised over speed (orders of
+magnitude slower than ``numpy``; select it only for differential testing
+or debugging suspected kernel bugs).
+
+NaN semantics deliberately mirror numpy's so exact-op comparisons hold on
+the NaN corpus: ``min``/``minimum`` propagate NaN, and ``argmin``/
+``argmax`` stick to the first NaN encountered (numpy treats NaN as the
+extreme value in arg-reductions).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .base import EXACT, KernelBackend
+
+__all__ = ["NaiveBackend"]
+
+
+def _fmin(a: float, b: float) -> float:
+    """``np.minimum`` semantics: NaN in, NaN out."""
+    if math.isnan(a) or math.isnan(b):
+        return math.nan
+    return a if a < b else b
+
+
+def _argmin_numpy(values) -> int:
+    """First strict minimum, with numpy's first-NaN-wins arg-reduction."""
+    best, index = values[0], 0
+    for j in range(1, len(values)):
+        value = values[j]
+        if not math.isnan(best) and (math.isnan(value) or value < best):
+            best, index = value, j
+    return index
+
+
+def _argmax_numpy(values) -> int:
+    """First strict maximum, with numpy's first-NaN-wins arg-reduction."""
+    best, index = values[0], 0
+    for j in range(1, len(values)):
+        value = values[j]
+        if not math.isnan(best) and (math.isnan(value) or value > best):
+            best, index = value, j
+    return index
+
+
+class NaiveBackend(KernelBackend):
+    """Scalar pure-python kernels — the conformance reference."""
+
+    name = "naive"
+    dtype = np.float64
+    tolerances = {op: EXACT for op in (
+        "dtw",
+        "dtw_matrix",
+        "sliding_window",
+        "shapelet_match",
+        "prefix_step",
+        "kmeans_update",
+        "pairwise_sqeuclidean",
+    )}
+
+    # -- DTW ------------------------------------------------------------
+    def dtw(self, first, second, window=None, max_sq_dist=None):
+        # The same anti-diagonal sweep as the batched kernel, cell by
+        # cell in python floats: identical per-cell arithmetic *and*
+        # identical early-abandon decisions.
+        from .numpy_backend import _band_limits
+
+        first = [float(x) for x in np.asarray(first, dtype=float)]
+        second = [float(x) for x in np.asarray(second, dtype=float)]
+        n, m = len(first), len(second)
+        inf = math.inf
+        prev2 = [inf] * (n + 1)
+        prev2[0] = 0.0
+        prev = [inf] * (n + 1)
+        for d in range(2, n + m + 1):
+            lo, hi = _band_limits(d, n, m, window)
+            current = [inf] * (n + 1)
+            for i in range(lo, hi + 1):
+                difference = first[i - 1] - second[d - i - 1]
+                current[i] = difference * difference + _fmin(
+                    _fmin(prev[i], prev[i - 1]), prev2[i - 1]
+                )
+            prev2, prev = prev, current
+            if max_sq_dist is not None:
+                frontier = inf
+                saw_nan = False
+                for value in prev:
+                    saw_nan = saw_nan or math.isnan(value)
+                    frontier = min(frontier, value) if not math.isnan(value) else frontier
+                for value in prev2:
+                    saw_nan = saw_nan or math.isnan(value)
+                    frontier = min(frontier, value) if not math.isnan(value) else frontier
+                if saw_nan:
+                    frontier = math.nan  # np.min propagates NaN
+                if frontier > max_sq_dist:
+                    return math.inf
+        return prev[n]
+
+    def dtw_matrix(self, rows, others, window, symmetric):
+        rows = np.asarray(rows, dtype=float)
+        others = rows if symmetric else np.asarray(others, dtype=float)
+        distances = np.zeros((rows.shape[0], others.shape[0]))
+        for i in range(rows.shape[0]):
+            start = i + 1 if symmetric else 0
+            for j in range(start, others.shape[0]):
+                distance = math.sqrt(self.dtw(rows[i], others[j], window))
+                distances[i, j] = distance
+                if symmetric:
+                    distances[j, i] = distance
+        return distances
+
+    # -- window matching ------------------------------------------------
+    def sliding_window(self, pattern, matrix):
+        pattern = [float(x) for x in np.asarray(pattern, dtype=float)]
+        matrix = np.asarray(matrix, dtype=float)
+        width = len(pattern)
+        n_offsets = matrix.shape[1] - width + 1
+        out = np.empty((matrix.shape[0], n_offsets))
+        for i in range(matrix.shape[0]):
+            row = [float(x) for x in matrix[i]]
+            for s in range(n_offsets):
+                total = 0.0
+                for k in range(width):
+                    difference = row[s + k] - pattern[k]
+                    total += difference * difference
+                out[i, s] = math.sqrt(total)
+        return out
+
+    def shapelet_match(self, pattern, matrix):
+        table = self.sliding_window(pattern, matrix)
+        out = np.empty(table.shape[0])
+        for i in range(table.shape[0]):
+            best = float(table[i, 0])
+            for s in range(1, table.shape[1]):
+                best = _fmin(best, float(table[i, s]))
+            out[i] = best
+        return out
+
+    # -- prefix distances -----------------------------------------------
+    def prefix_step(self, sq_distances, values, column):
+        n_queries, n_references = sq_distances.shape
+        if values.ndim == 2:
+            n_variables = values.shape[1]
+            for q in range(n_queries):
+                for n in range(n_references):
+                    accumulator = float(sq_distances[q, n])
+                    for v in range(n_variables):
+                        difference = float(values[q, v]) - float(column[n, v])
+                        accumulator += difference * difference
+                    sq_distances[q, n] = accumulator
+        else:
+            for q in range(n_queries):
+                value = float(values[q])
+                for n in range(n_references):
+                    difference = value - float(column[n])
+                    sq_distances[q, n] = (
+                        float(sq_distances[q, n]) + difference * difference
+                    )
+
+    # -- clustering -----------------------------------------------------
+    def pairwise_sqeuclidean(self, rows, others):
+        rows = np.asarray(rows, dtype=float)
+        others = np.asarray(others, dtype=float)
+        out = np.empty((rows.shape[0], others.shape[0]))
+        row_lists = rows.tolist()
+        other_lists = others.tolist()
+        for i, row in enumerate(row_lists):
+            for j, other in enumerate(other_lists):
+                total = 0.0
+                for a, b in zip(row, other):
+                    difference = a - b
+                    total += difference * difference
+                out[i, j] = total
+        return out
+
+    def kmeans_update(self, rows, centroids):
+        rows = np.asarray(rows, dtype=float)
+        centroids = np.asarray(centroids, dtype=float)
+        n_rows, n_features = rows.shape
+        k = centroids.shape[0]
+        distances = self.pairwise_sqeuclidean(rows, centroids)
+        distance_lists = distances.tolist()
+        assignment = np.empty(n_rows, dtype=np.intp)
+        nearest = [0.0] * n_rows
+        for i in range(n_rows):
+            index = _argmin_numpy(distance_lists[i])
+            assignment[i] = index
+            nearest[i] = min(
+                distance_lists[i]
+            ) if not any(map(math.isnan, distance_lists[i])) else math.nan
+        sums = [[0.0] * n_features for _ in range(k)]
+        counts = [0] * k
+        row_lists = rows.tolist()
+        for i in range(n_rows):  # members accumulate in row order
+            cluster = int(assignment[i])
+            counts[cluster] += 1
+            target = sums[cluster]
+            row = row_lists[i]
+            for f in range(n_features):
+                target[f] += row[f]
+        new_centroids = np.empty((k, n_features))
+        farthest = _argmax_numpy(nearest)
+        for cluster in range(k):
+            if counts[cluster]:
+                for f in range(n_features):
+                    new_centroids[cluster, f] = (
+                        sums[cluster][f] / counts[cluster]
+                    )
+            else:
+                # Re-seed empty clusters at the farthest point.
+                new_centroids[cluster] = rows[farthest]
+        return new_centroids, assignment

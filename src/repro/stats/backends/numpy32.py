@@ -1,0 +1,52 @@
+"""Float32 variant of the vectorised backend.
+
+Same kernels as :class:`~.numpy_backend.NumpyBackend`, run at float32
+working precision with a quarter of the DTW block memory budget: the
+batched DP's cost tensor is the dominant allocation, so halving the
+element size *and* halving the byte budget keeps peak memory roughly 4x
+below the float64 path — the trade serving fleets want when reference
+sets grow.
+
+Conformance contract: all ops are tolerance-bounded against the float64
+naive reference. The documented bounds cover two float32 effects —
+~``eps32`` relative error per cast/operation compounded over the longest
+reduction (a few hundred accumulations in the conformance corpus), and
+cancellation when a distance is tiny relative to the operand magnitude,
+which is why every squared-quantity op carries a quadratically scaled
+``atol`` rather than a loosened ``rtol``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import OpTolerance
+from .numpy_backend import NumpyBackend
+
+__all__ = ["Numpy32Backend"]
+
+_SQUARED = OpTolerance(
+    rtol=1e-3, atol=1e-5, scale_power=2,
+    note="float32 accumulation of squared quantities",
+)
+_LINEAR = OpTolerance(
+    rtol=1e-3, atol=1e-5, scale_power=1,
+    note="float32 accumulation of linear quantities",
+)
+
+
+class Numpy32Backend(NumpyBackend):
+    """Vectorised kernels at float32 with a tighter memory budget."""
+
+    name = "numpy32"
+    dtype = np.float32
+    block_budget_bytes = NumpyBackend.block_budget_bytes // 4
+    tolerances = {
+        "dtw": _SQUARED,            # squared DTW accumulates squared costs
+        "dtw_matrix": _LINEAR,      # square-rooted distances
+        "sliding_window": _LINEAR,
+        "shapelet_match": _LINEAR,
+        "prefix_step": _SQUARED,
+        "pairwise_sqeuclidean": _SQUARED,
+        "kmeans_update": _LINEAR,
+    }

@@ -2,8 +2,11 @@
 
 ECTS matches prefixes by Euclidean distance; EDSC aligns shapelets against
 every subseries of a candidate series and takes the minimum distance. Both
-primitives live here, vectorised over numpy, so that the algorithm modules
-stay readable.
+primitives live here as validating wrappers that dispatch the heavy
+kernels — pairwise distances, window matching, incremental prefix
+accumulation — to the active kernel backend (see
+:mod:`repro.stats.backends`), so the algorithm modules stay readable and
+every implementation stays swappable and conformance-tested.
 """
 
 from __future__ import annotations
@@ -11,12 +14,14 @@ from __future__ import annotations
 import numpy as np
 
 from ..exceptions import DataError
+from .backends import KernelBackend, get_backend
 
 __all__ = [
     "euclidean",
     "squared_euclidean",
     "pairwise_squared_euclidean",
     "min_subseries_distance",
+    "best_match_distances",
     "sliding_window_view",
     "sliding_window_distances",
     "PrefixDistanceCache",
@@ -41,13 +46,18 @@ def squared_euclidean(a: np.ndarray, b: np.ndarray) -> float:
     return float(np.sum((a - b) ** 2))
 
 
-def pairwise_squared_euclidean(rows: np.ndarray, others: np.ndarray | None = None) -> np.ndarray:
+def pairwise_squared_euclidean(
+    rows: np.ndarray,
+    others: np.ndarray | None = None,
+    backend: "str | KernelBackend | None" = None,
+) -> np.ndarray:
     """All-pairs squared Euclidean distances between row vectors.
 
     Returns an ``(n, m)`` matrix for ``rows`` of shape ``(n, d)`` and
-    ``others`` of shape ``(m, d)`` (``others`` defaults to ``rows``). Uses
-    the expanded form ``|a|^2 - 2ab + |b|^2`` and clips tiny negative values
-    caused by floating-point cancellation.
+    ``others`` of shape ``(m, d)`` (``others`` defaults to ``rows``).
+    ``backend`` overrides the active kernel backend for this call; the
+    vectorised backends use the expanded ``|a|^2 - 2ab + |b|^2`` form and
+    clip tiny negative values caused by floating-point cancellation.
     """
     rows = np.asarray(rows, dtype=float)
     if rows.ndim != 2:
@@ -58,10 +68,7 @@ def pairwise_squared_euclidean(rows: np.ndarray, others: np.ndarray | None = Non
             f"others must be 2-D with {rows.shape[1]} columns, "
             f"got shape {others.shape}"
         )
-    row_norms = np.einsum("ij,ij->i", rows, rows)
-    other_norms = np.einsum("ij,ij->i", others, others)
-    distances = row_norms[:, None] - 2.0 * rows @ others.T + other_norms[None, :]
-    return np.maximum(distances, 0.0)
+    return get_backend(backend).pairwise_sqeuclidean(rows, others)
 
 
 def sliding_window_view(series: np.ndarray, window: int) -> np.ndarray:
@@ -76,17 +83,9 @@ def sliding_window_view(series: np.ndarray, window: int) -> np.ndarray:
     return np.lib.stride_tricks.sliding_window_view(series, window)
 
 
-def sliding_window_distances(
+def _validate_pattern_matrix(
     pattern: np.ndarray, matrix: np.ndarray
-) -> np.ndarray:
-    """Euclidean distance from ``pattern`` to every aligned window of
-    every row.
-
-    For ``matrix`` of shape ``(N, L)`` and a pattern of width ``w``,
-    returns the ``(N, L - w + 1)`` matrix of alignment distances — the
-    whole EDSC matching table in one stride-tricks window tensor instead
-    of a per-row Python loop.
-    """
+) -> tuple[np.ndarray, np.ndarray]:
     pattern = np.asarray(pattern, dtype=float)
     matrix = np.asarray(matrix, dtype=float)
     if pattern.ndim != 1:
@@ -98,24 +97,56 @@ def sliding_window_distances(
             f"pattern width must be in [1, {matrix.shape[1]}], "
             f"got {pattern.size}"
         )
-    windows = np.lib.stride_tricks.sliding_window_view(
-        matrix, pattern.size, axis=1
-    )  # (N, L - w + 1, w), a view — no copy
-    differences = windows - pattern[None, None, :]
-    return np.sqrt(np.einsum("nij,nij->ni", differences, differences))
+    return pattern, matrix
 
 
-def min_subseries_distance(series: np.ndarray, pattern: np.ndarray) -> float:
+def sliding_window_distances(
+    pattern: np.ndarray,
+    matrix: np.ndarray,
+    backend: "str | KernelBackend | None" = None,
+) -> np.ndarray:
+    """Euclidean distance from ``pattern`` to every aligned window of
+    every row.
+
+    For ``matrix`` of shape ``(N, L)`` and a pattern of width ``w``,
+    returns the ``(N, L - w + 1)`` matrix of alignment distances — the
+    whole EDSC matching table at once instead of a per-row Python loop.
+    ``backend`` overrides the active kernel backend for this call.
+    """
+    pattern, matrix = _validate_pattern_matrix(pattern, matrix)
+    return get_backend(backend).sliding_window(pattern, matrix)
+
+
+def best_match_distances(
+    pattern: np.ndarray,
+    matrix: np.ndarray,
+    backend: "str | KernelBackend | None" = None,
+) -> np.ndarray:
+    """EDSC best-matching distance from ``pattern`` to every row.
+
+    The minimum over the row's :func:`sliding_window_distances` — one
+    value per row, ``(N,)``. Backends may fuse the window table and the
+    min-reduction; ``backend`` overrides the active kernel backend.
+    """
+    pattern, matrix = _validate_pattern_matrix(pattern, matrix)
+    return get_backend(backend).shapelet_match(pattern, matrix)
+
+
+def min_subseries_distance(
+    series: np.ndarray,
+    pattern: np.ndarray,
+    backend: "str | KernelBackend | None" = None,
+) -> float:
     """Minimum Euclidean distance from ``pattern`` to any aligned subseries.
 
     This is EDSC's "best matching distance": the pattern slides across the
     series and the smallest alignment distance is returned. The series must
     be at least as long as the pattern.
     """
-    pattern = np.asarray(pattern, dtype=float)
-    windows = sliding_window_view(series, pattern.size)
-    differences = windows - pattern[None, :]
-    return float(np.sqrt(np.min(np.einsum("ij,ij->i", differences, differences))))
+    series = np.asarray(series, dtype=float)
+    if series.ndim != 1:
+        raise DataError(f"series must be 1-D, got shape {series.shape}")
+    return float(best_match_distances(pattern, series[None, :], backend)[0])
 
 
 class PrefixDistanceCache:
@@ -139,6 +170,11 @@ class PrefixDistanceCache:
     n_queries:
         Number of query streams advanced in lockstep (ECTS training
         advances all ``N`` training series against each other at once).
+    backend:
+        Kernel backend for the accumulation step (name, instance, or
+        ``None`` for the active backend). Resolved once at construction;
+        references and the running sums live in the backend's working
+        precision.
 
     ``advance`` consumes the queries' values at the next time-point and
     returns the updated ``(n_queries, N)`` squared-distance matrix —
@@ -147,7 +183,12 @@ class PrefixDistanceCache:
     NaN-padded prefix.
     """
 
-    def __init__(self, references: np.ndarray, n_queries: int = 1) -> None:
+    def __init__(
+        self,
+        references: np.ndarray,
+        n_queries: int = 1,
+        backend: "str | KernelBackend | None" = None,
+    ) -> None:
         references = np.asarray(references, dtype=float)
         if references.ndim not in (2, 3):
             raise DataError(
@@ -156,10 +197,13 @@ class PrefixDistanceCache:
             )
         if n_queries < 1:
             raise DataError(f"n_queries must be >= 1, got {n_queries}")
-        self._references = references
+        self._backend = get_backend(backend)
+        self._references = self._backend.prepare(references)
         self._multivariate = references.ndim == 3
         self._n_queries = n_queries
-        self._sq_distances = np.zeros((n_queries, references.shape[0]))
+        self._sq_distances = np.zeros(
+            (n_queries, references.shape[0]), dtype=self._backend.dtype
+        )
         self._t = 0
 
     @property
@@ -198,7 +242,7 @@ class PrefixDistanceCache:
             raise DataError(
                 f"cache already consumed all {self.max_length} time-points"
             )
-        values = np.asarray(values, dtype=float)
+        values = self._backend.prepare(values)
         if self._multivariate:
             column = self._references[:, :, self._t]  # (N, V)
             values = values.reshape(self._n_queries, -1)
@@ -207,12 +251,10 @@ class PrefixDistanceCache:
                     f"expected {self._references.shape[1]} variables, "
                     f"got {values.shape[1]}"
                 )
-            deltas = values[:, None, :] - column[None, :, :]
-            self._sq_distances += np.einsum("qnv,qnv->qn", deltas, deltas)
         else:
             column = self._references[:, self._t]  # (N,)
             values = values.reshape(self._n_queries)
-            self._sq_distances += (values[:, None] - column[None, :]) ** 2
+        self._backend.prefix_step(self._sq_distances, values, column)
         self._t += 1
         if self._n_queries == 1:
             return self._sq_distances[0]

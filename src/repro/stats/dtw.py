@@ -14,6 +14,12 @@ cell on diagonal ``i + j = d`` depends only on diagonals ``d - 1`` and
 :func:`dtw_distance_matrix` runs the recurrence for a block of row/column
 pairs simultaneously on a 2-D frontier, which is where the bulk of the
 1-NN-DTW speedup comes from.
+
+Both public functions validate their inputs here and dispatch the DP to
+the active kernel backend (see :mod:`repro.stats.backends`): ``numpy``
+runs the batched sweep above, ``naive`` the scalar reference recurrence
+(bit-identical by conformance contract), ``numpy32`` the same sweep at
+float32 with a tighter memory budget.
 """
 
 from __future__ import annotations
@@ -23,75 +29,13 @@ import numpy as np
 from ..core.base import FullTSClassifier
 from ..data.dataset import TimeSeriesDataset
 from ..exceptions import DataError, NotFittedError
+from .backends import KernelBackend, get_backend
+
+# Backward-compatible aliases: the batched kernel now lives with the
+# numpy backend implementation.
+from .backends.numpy_backend import _band_limits, _dtw_batch  # noqa: F401
 
 __all__ = ["dtw_distance", "dtw_distance_matrix", "DTWClassifier"]
-
-#: Cap on the cost-tensor footprint of one batched DP block (floats).
-_BLOCK_BUDGET = 4_000_000
-
-
-def _band_limits(
-    d: int, n: int, m: int, window: int | None
-) -> tuple[int, int]:
-    """Valid ``i`` range of anti-diagonal ``d`` (cells ``D[i, d - i]``).
-
-    Grid indices are 1-based (``D`` is the ``(n+1, m+1)`` DP table);
-    ``window`` is the Sakoe-Chiba half-width constraint ``|i - j| <= w``.
-    """
-    lo = max(1, d - m)
-    hi = min(n, d - 1)
-    if window is not None:
-        # |2i - d| <= window
-        lo = max(lo, -((window - d) // 2))
-        hi = min(hi, (d + window) // 2)
-    return lo, hi
-
-
-def _dtw_batch(
-    firsts: np.ndarray,
-    seconds: np.ndarray,
-    window: int | None,
-    max_sq_dist: float | None = None,
-) -> np.ndarray:
-    """Squared DTW distances for a batch of equal-shape series pairs.
-
-    ``firsts``/``seconds`` are ``(P, n)`` / ``(P, m)``; the anti-diagonal
-    recurrence runs on a ``(P, n + 1)`` frontier so all ``P`` dynamic
-    programs advance in lockstep. ``max_sq_dist`` enables early abandon:
-    once *every* cell on the two most recent frontier diagonals exceeds it
-    (two, because diagonal path steps skip alternate anti-diagonals), no
-    path can finish below the bound and the whole batch returns ``inf``.
-    """
-    p, n = firsts.shape
-    m = seconds.shape[1]
-    cost = (firsts[:, :, None] - seconds[:, None, :]) ** 2  # (P, n, m)
-    # Anti-diagonals of ``cost`` are the diagonals of the column-reversed
-    # tensor — ``np.diagonal`` views them without fancy indexing.
-    flipped = cost[:, :, ::-1]
-    prev2 = np.full((p, n + 1), np.inf)
-    prev2[:, 0] = 0.0  # diagonal d=0 holds only D[0, 0]
-    prev = np.full((p, n + 1), np.inf)  # diagonal d=1: all boundary cells
-    for d in range(2, n + m + 1):
-        lo, hi = _band_limits(d, n, m, window)
-        current = np.full((p, n + 1), np.inf)
-        if lo <= hi:
-            # cost anti-diagonal d-2 starts at row index max(1, d-m) - 1.
-            base = max(1, d - m)
-            diag = flipped.diagonal(m - 1 - (d - 2), axis1=1, axis2=2)
-            costs = diag[:, lo - base : hi - base + 1]
-            current[:, lo : hi + 1] = costs + np.minimum(
-                np.minimum(
-                    prev[:, lo : hi + 1],       # insertion  D[i-1, j]...
-                    prev[:, lo - 1 : hi],       # deletion
-                ),
-                prev2[:, lo - 1 : hi],          # match      D[i-1, j-1]
-            )
-        prev2, prev = prev, current
-        if max_sq_dist is not None:
-            frontier = min(prev.min(), prev2.min())
-            if frontier > max_sq_dist:
-                return np.full(p, np.inf)
-    return prev[:, n]
 
 
 def dtw_distance(
@@ -99,6 +43,7 @@ def dtw_distance(
     second: np.ndarray,
     window: int | None = None,
     max_dist: float | None = None,
+    backend: "str | KernelBackend | None" = None,
 ) -> float:
     """DTW distance between two 1-D series.
 
@@ -112,6 +57,8 @@ def dtw_distance(
     neighbour distance known so far in a 1-NN scan): as soon as every
     partial path already exceeds it, the computation stops and ``inf`` is
     returned — the exact distance is never needed once it cannot win.
+
+    ``backend`` overrides the active kernel backend for this call.
     """
     first = np.asarray(first, dtype=float)
     second = np.asarray(second, dtype=float)
@@ -128,7 +75,7 @@ def dtw_distance(
     if max_dist is not None and max_dist < 0:
         raise DataError(f"max_dist must be >= 0, got {max_dist}")
     max_sq = None if max_dist is None else float(max_dist) ** 2
-    squared = _dtw_batch(first[None, :], second[None, :], window, max_sq)[0]
+    squared = get_backend(backend).dtw(first, second, window, max_sq)
     return float(np.sqrt(squared))
 
 
@@ -136,44 +83,28 @@ def dtw_distance_matrix(
     rows: np.ndarray,
     others: np.ndarray | None = None,
     window: int | None = None,
+    backend: "str | KernelBackend | None" = None,
 ) -> np.ndarray:
     """All-pairs DTW distances between the rows of two matrices.
 
-    All pairs share one ``(n, m)`` grid shape, so the anti-diagonal
-    recurrence advances every pair at once on a ``(pairs, n + 1)``
-    frontier; pair blocks are sized to bound the cost tensor's memory.
+    All pairs share one ``(n, m)`` grid shape, so the vectorised backends
+    advance every pair at once on a ``(pairs, n + 1)`` frontier, with
+    pair blocks sized to the backend's cost-tensor memory budget.
+    ``backend`` overrides the active kernel backend for this call.
     """
     rows = np.asarray(rows, dtype=float)
     others = rows if others is None else np.asarray(others, dtype=float)
     if rows.ndim != 2 or others.ndim != 2:
         raise DataError("dtw_distance_matrix expects 2-D matrices")
     symmetric = others is rows
-    n_rows, n = rows.shape
-    n_others, m = others.shape
+    n, m = rows.shape[1], others.shape[1]
     if n == 0 or m == 0:
         raise DataError("dtw_distance needs non-empty series")
     if window is not None:
         if window < 0:
             raise DataError(f"window must be >= 0, got {window}")
         window = max(window, abs(n - m))
-    if symmetric:
-        upper = np.triu_indices(n_rows, k=1)
-        pair_i, pair_j = upper
-    else:
-        grid_i, grid_j = np.meshgrid(
-            np.arange(n_rows), np.arange(n_others), indexing="ij"
-        )
-        pair_i, pair_j = grid_i.ravel(), grid_j.ravel()
-    distances = np.zeros((n_rows, n_others))
-    block = max(1, _BLOCK_BUDGET // max(1, n * m))
-    for start in range(0, pair_i.size, block):
-        i_block = pair_i[start : start + block]
-        j_block = pair_j[start : start + block]
-        squared = _dtw_batch(rows[i_block], others[j_block], window)
-        distances[i_block, j_block] = np.sqrt(squared)
-    if symmetric:
-        distances[pair_j, pair_i] = distances[pair_i, pair_j]
-    return distances
+    return get_backend(backend).dtw_matrix(rows, others, window, symmetric)
 
 
 class DTWClassifier(FullTSClassifier):

@@ -4,6 +4,10 @@ ECONOMY-K clusters the full-length training series into ``k`` groups and
 then reasons about per-cluster classifier reliability; this module provides
 that clustering substrate, plus soft membership probabilities derived from
 distances (the paper's "cluster membership probability").
+
+The hot inner step — assignment distances plus the centroid update —
+dispatches to the active kernel backend's ``kmeans_update`` op (see
+:mod:`repro.stats.backends`); convergence and restart logic stay here.
 """
 
 from __future__ import annotations
@@ -11,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..exceptions import ConvergenceError, DataError, NotFittedError
+from .backends import get_backend
 from .distance import pairwise_squared_euclidean
 
 __all__ = ["KMeans"]
@@ -76,22 +81,10 @@ class KMeans:
         self, rows: np.ndarray, rng: np.random.Generator
     ) -> tuple[np.ndarray, float]:
         centroids = self._init_centroids(rows, rng)
-        cluster_ids = np.arange(self.n_clusters)
+        backend = get_backend()
         for _ in range(self.max_iter):
-            distances = pairwise_squared_euclidean(rows, centroids)
-            assignment = distances.argmin(axis=1)
-            # Vectorised centroid update: a (k, n) membership indicator
-            # turns the per-cluster sums into one matrix product instead
-            # of a per-centroid Python loop.
-            indicator = (assignment[None, :] == cluster_ids[:, None])
-            counts = indicator.sum(axis=1)
-            sums = indicator.astype(float) @ rows
-            new_centroids = sums / np.maximum(counts, 1)[:, None]
-            empty = counts == 0
-            if empty.any():
-                # Re-seed empty clusters at the farthest point.
-                farthest = distances.min(axis=1).argmax()
-                new_centroids[empty] = rows[farthest]
+            new_centroids, _ = backend.kmeans_update(rows, centroids)
+            new_centroids = np.asarray(new_centroids, dtype=float)
             movement = np.sqrt(((new_centroids - centroids) ** 2).sum())
             centroids = new_centroids
             if movement <= self.tol * max(1.0, np.abs(centroids).max()):

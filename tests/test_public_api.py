@@ -20,6 +20,7 @@ _PUBLIC_MODULES = [
     "repro.obs",
     "repro.serve",
     "repro.stats",
+    "repro.stats.backends",
     "repro.transform",
     "repro.tsc",
     "repro.exceptions",

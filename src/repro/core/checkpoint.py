@@ -117,14 +117,28 @@ class CheckpointState:
         """Refuse to resume a grid that differs from the checkpointed one."""
         if self.fingerprint == fingerprint:
             return
-        differing = sorted(
-            key
-            for key in set(self.fingerprint) | set(fingerprint)
-            if self.fingerprint.get(key) != fingerprint.get(key)
-        )
+        differing = []
+        for key in sorted(set(self.fingerprint) | set(fingerprint)):
+            ours, theirs = self.fingerprint.get(key), fingerprint.get(key)
+            if ours == theirs:
+                continue
+            # Nested mappings (the 'extra' blob carries e.g. the
+            # corruption spec/seed) are diffed per key so the message
+            # names the actual knob that changed, not just 'extra'.
+            if isinstance(ours, dict) and isinstance(theirs, dict):
+                for sub in sorted(set(ours) | set(theirs)):
+                    if ours.get(sub) != theirs.get(sub):
+                        differing.append(
+                            f"{key}.{sub} (checkpoint {ours.get(sub)!r} "
+                            f"!= run {theirs.get(sub)!r})"
+                        )
+            else:
+                differing.append(
+                    f"{key} (checkpoint {ours!r} != run {theirs!r})"
+                )
         raise CheckpointMismatchError(
             "checkpoint fingerprint does not match this run "
-            f"(differing: {', '.join(differing)}); resuming would mix "
+            f"(differing: {'; '.join(differing)}); resuming would mix "
             "results from incompatible grids — use a fresh checkpoint path"
         )
 

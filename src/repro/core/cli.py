@@ -34,6 +34,12 @@ policies, per-shard health tracking, automatic failover of SIGKILLed or
 hung shard workers — and reports per-shard and fleet-wide SLOs plus
 shed/degraded/failover rates (see ``docs/serving.md``).
 
+Robustness: ``etsc-bench robustness ...`` evaluates algorithms on
+deterministically corrupted dataset variants (missing blocks, dropout,
+noise, warp, label noise, concept drift, ...) and reports degradation
+curves over severity plus a robustness-AUC per algorithm (see
+``docs/robustness.md``).
+
 Examples
 --------
 List what is available::
@@ -247,6 +253,10 @@ def main(argv: list[str] | None = None, out=None) -> int:
         from ..fleet.cli import main as serve_fleet_main
 
         return serve_fleet_main(argv[1:], out)
+    if argv and argv[0] == "robustness":
+        from ..robustness.cli import main as robustness_main
+
+        return robustness_main(argv[1:], out)
     arguments = build_parser().parse_args(argv)
     if arguments.kernel_backend:
         from ..exceptions import ConfigurationError

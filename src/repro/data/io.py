@@ -15,9 +15,14 @@ of each row, the class label. Files of type .arff are also supported."
 
 Both loaders accept ``strict=False`` (lenient mode): malformed data rows
 are skipped — counted and reported through one ``repro.data.io`` logger
-warning per file — instead of raising :class:`DataFormatError`. Header
-errors, unreadable files, and files with *no* valid rows still raise;
-lenient mode only tolerates bad rows inside an otherwise usable file.
+warning per file — instead of raising :class:`DataFormatError`. Rows
+that are merely *shorter* than the file's series length (a truncated
+sensor log) are not malformed in lenient mode: they are kept and padded
+with a NaN tail to the common length, counted through their own
+``repro.data.io`` warning, and the NaNs flow into the Section 5.1 gap
+filling like any other missing values. Header errors, unreadable files,
+and files with *no* valid rows still raise; lenient mode only tolerates
+bad rows inside an otherwise usable file.
 """
 
 from __future__ import annotations
@@ -64,6 +69,18 @@ def _report_skipped(path, skipped: list[str]) -> None:
         )
 
 
+def _report_padded(path, padded: list[str]) -> None:
+    """One counted warning per file for lenient-mode NaN-tail padding."""
+    if padded:
+        _logger.warning(
+            "%s: padded %d short row(s) with NaN tails in lenient mode "
+            "(first: %s)",
+            path,
+            len(padded),
+            padded[0],
+        )
+
+
 def load_csv(
     path: str | os.PathLike,
     name: str | None = None,
@@ -74,13 +91,16 @@ def load_csv(
 
     Each row is one instance: ``label, x_0, x_1, ..., x_{L-1}``. All rows
     must have the same length; blank lines are skipped. With
-    ``strict=False`` malformed rows (bad cells, non-integer labels, or a
-    length disagreeing with the first valid row) are skipped with a
-    counted warning instead of raising.
+    ``strict=False`` malformed rows (bad cells, non-integer labels) are
+    skipped with a counted warning instead of raising, and
+    variable-length rows are *kept*: every row shorter than the file's
+    longest is padded with a NaN tail (a truncated recording is missing
+    data, not garbage) and counted through its own warning.
     """
     rows: list[list[float]] = []
     labels: list[int] = []
     skipped: list[str] = []
+    padded: list[str] = []
 
     def bad_row(message: str) -> None:
         if strict:
@@ -111,22 +131,25 @@ def load_csv(
                     "integer"
                 )
                 continue
-            if not strict and rows and len(values) != len(rows[0]):
-                bad_row(
-                    f"{path}:{line_number}: row length {len(values)} "
-                    f"differs from first row ({len(rows[0])})"
-                )
-                continue
             labels.append(int(label_value))
             rows.append(values)
     if not rows:
         raise DataFormatError(f"{path}: no data rows")
     lengths = {len(row) for row in rows}
     if len(lengths) != 1:
-        raise DataFormatError(
-            f"{path}: rows have inconsistent lengths {sorted(lengths)}"
-        )
+        if strict:
+            raise DataFormatError(
+                f"{path}: rows have inconsistent lengths {sorted(lengths)}"
+            )
+        target = max(lengths)
+        for index, row in enumerate(rows):
+            if len(row) < target:
+                padded.append(
+                    f"row {index + 1}: length {len(row)} -> {target}"
+                )
+                row.extend([float("nan")] * (target - len(row)))
     _report_skipped(path, skipped)
+    _report_padded(path, padded)
     return TimeSeriesDataset(
         np.asarray(rows, dtype=float),
         np.asarray(labels, dtype=int),
@@ -184,8 +207,11 @@ def load_arff(
     Supports numeric time-point attributes followed by one class attribute
     (nominal ``{a,b,...}`` or numeric) as the last column — the layout used
     by the UEA & UCR archive exports. With ``strict=False`` malformed data
-    rows (wrong cell count, unknown class value, unparsable cells) are
-    skipped with a counted warning; header problems still raise.
+    rows (unknown class value, unparsable cells, *more* cells than
+    attributes) are skipped with a counted warning; rows with *fewer*
+    cells — a truncated recording whose last cell is still the class —
+    are kept, their missing time-points padded with a NaN tail and
+    counted through their own warning. Header problems still raise.
     """
     attributes: list[tuple[str, str]] = []
     data_rows: list[str] = []
@@ -219,6 +245,7 @@ def load_arff(
     rows: list[list[float]] = []
     labels: list[int] = []
     skipped: list[str] = []
+    padded: list[str] = []
 
     def bad_row(message: str) -> None:
         if strict:
@@ -228,11 +255,25 @@ def load_arff(
     for line_number, line in enumerate(data_rows, start=1):
         cells = [cell.strip() for cell in line.split(",")]
         if len(cells) != len(attributes):
-            bad_row(
-                f"{path}: data row {line_number} has {len(cells)} cells, "
-                f"expected {len(attributes)}"
+            # Lenient mode keeps short rows: the final cell is still the
+            # class, the absent time-points become a NaN tail. Over-long
+            # rows are ambiguous (which cell is the class?) and are
+            # still skipped.
+            if strict or len(cells) > len(attributes) or len(cells) < 2:
+                bad_row(
+                    f"{path}: data row {line_number} has {len(cells)} "
+                    f"cells, expected {len(attributes)}"
+                )
+                continue
+            padded.append(
+                f"data row {line_number}: {len(cells) - 1} point(s) -> "
+                f"{len(attributes) - 1}"
             )
-            continue
+            cells = (
+                cells[:-1]
+                + [""] * (len(attributes) - len(cells))
+                + cells[-1:]
+            )
         *point_cells, class_cell = cells
         if nominal_values is not None:
             if class_cell not in nominal_values:
@@ -258,6 +299,7 @@ def load_arff(
     if not rows:
         raise DataFormatError(f"{path}: no valid data rows")
     _report_skipped(path, skipped)
+    _report_padded(path, padded)
     return TimeSeriesDataset(
         np.asarray(rows, dtype=float),
         np.asarray(labels, dtype=int),

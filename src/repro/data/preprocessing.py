@@ -36,7 +36,16 @@ def fill_missing_array(series: np.ndarray) -> np.ndarray:
       check :meth:`TimeSeriesDataset.has_missing` first;
     - interior gaps take the mean of the two bracketing observations,
       computed as ``0.5*a + 0.5*b`` so two finite values near the float
-      limits never overflow to ``inf`` (``(a + b) / 2`` would).
+      limits never overflow to ``inf`` (``(a + b) / 2`` would);
+    - an interior gap *longer than half the series* is filled with a
+      linear ramp between the brackets instead. The paper's
+      constant-mean rule is written for short sensor dropouts; applied
+      to a gap that dominates the series it replaces most of the signal
+      with one flat plateau, erasing the shape every distance-based
+      classifier keys on. The ramp keeps the fill deterministic and
+      bracket-bounded while preserving the series' trend. Ramp values
+      are convex combinations ``(1-t)*a + t*b``, so they stay within
+      ``[min(a, b), max(a, b)]`` and never overflow.
 
     The output therefore contains a non-finite value only where the
     input already contained one that was not NaN (an explicit ``inf``).
@@ -51,11 +60,23 @@ def fill_missing_array(series: np.ndarray) -> np.ndarray:
     # Leading and trailing gaps clamp to the nearest observation.
     series[: observed[0]] = series[observed[0]]
     series[observed[-1] + 1 :] = series[observed[-1]]
-    # Interior gaps take the mean of the bracketing observed values,
-    # halving each bracket *before* adding: 0.5*(a + b) overflows to inf
-    # for a, b near ±float64 max even though the mean is representable.
+    long_gap = series.size // 2
     for start, end in zip(observed[:-1], observed[1:]):
-        if end - start > 1:
+        gap = end - start - 1
+        if gap <= 0:
+            continue
+        if gap > long_gap:
+            # A dominating gap: linear ramp, not a constant plateau.
+            fractions = np.arange(1, gap + 1, dtype=float) / (gap + 1)
+            series[start + 1 : end] = (
+                (1.0 - fractions) * series[start]
+                + fractions * series[end]
+            )
+        else:
+            # Short gaps use the paper's bracketing mean, halving each
+            # bracket *before* adding: 0.5*(a + b) overflows to inf for
+            # a, b near ±float64 max even though the mean is
+            # representable.
             series[start + 1 : end] = (
                 0.5 * series[start] + 0.5 * series[end]
             )

@@ -282,31 +282,6 @@ def metrics_from_spans(spans: Iterable[Any]) -> MetricsRegistry:
                 )
             if span.attributes.get("slo.deadline_missed"):
                 registry.counter("slo.deadline_misses").inc()
-            for event in getattr(span, "events", ()) or ():
-                name = (
-                    event.get("name")
-                    if isinstance(event, dict)
-                    else getattr(event, "name", None)
-                )
-                attrs = (
-                    event.get("attributes", {})
-                    if isinstance(event, dict)
-                    else getattr(event, "attributes", {})
-                )
-                if (
-                    name == "breaker_transition"
-                    and attrs.get("to_state") == "open"
-                ):
-                    registry.counter("serve.breaker_trips").inc()
-                elif name == "consult_failed":
-                    # Mirror the live session's split: timeouts land in
-                    # serve.consult_timeouts, everything else in
-                    # serve.consult_failures — a replayed trace must
-                    # reproduce the live counters exactly.
-                    if attrs.get("kind") == "timeout":
-                        registry.counter("serve.consult_timeouts").inc()
-                    else:
-                        registry.counter("serve.consult_failures").inc()
         elif span.name == "fleet_stream":
             # The fleet coordinator emits one fleet_stream span per
             # requested stream at commit time, attributed with the
@@ -332,4 +307,42 @@ def metrics_from_spans(spans: Iterable[Any]) -> MetricsRegistry:
             # caught by the heartbeat), regardless of how many in-flight
             # streams it displaced — those are fleet.stream_failovers.
             registry.counter("fleet.failovers").inc()
+        # Serving-layer events are not tied to one span kind: breaker and
+        # consult failures annotate push spans, while corruption fires
+        # before the push span opens and lands on the enclosing stream
+        # span — so scan every span's events.
+        for event in getattr(span, "events", ()) or ():
+            name = (
+                event.get("name")
+                if isinstance(event, dict)
+                else getattr(event, "name", None)
+            )
+            attrs = (
+                event.get("attributes", {})
+                if isinstance(event, dict)
+                else getattr(event, "attributes", {})
+            )
+            if (
+                name == "breaker_transition"
+                and attrs.get("to_state") == "open"
+            ):
+                registry.counter("serve.breaker_trips").inc()
+            elif name == "consult_failed":
+                # Mirror the live session's split: timeouts land in
+                # serve.consult_timeouts, everything else in
+                # serve.consult_failures — a replayed trace must
+                # reproduce the live counters exactly.
+                if attrs.get("kind") == "timeout":
+                    registry.counter("serve.consult_timeouts").inc()
+                else:
+                    registry.counter("serve.consult_failures").inc()
+            elif name == "corrupted_push":
+                # One event per corrupted point, its ``ops`` attribute the
+                # comma-joined operators that fired — mirroring the live
+                # serve.corrupted_points / serve.corruption.<op> counters
+                # (repro.robustness stream corruption).
+                registry.counter("serve.corrupted_points").inc()
+                for op in str(attrs.get("ops", "")).split(","):
+                    if op:
+                        registry.counter(f"serve.corruption.{op}").inc()
     return registry

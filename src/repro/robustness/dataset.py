@@ -1,0 +1,180 @@
+"""Corrupted dataset variants for the evaluation grid.
+
+:func:`corrupt_dataset` applies a corruption pipeline to one loaded
+:class:`~repro.data.dataset.TimeSeriesDataset`; ``CorruptedDatasetVariant``
+names one (base dataset, operator, severity, placement) grid cell; and
+:func:`corrupted_registry` materialises a derived
+:class:`~repro.core.registry.DatasetRegistry` in which clean and
+corrupted variants sit side by side, so the unmodified
+:class:`~repro.core.runner.BenchmarkRunner` — checkpointing, retries,
+parallel workers and all — schedules them like any other dataset.
+
+Variant naming: ``Base#op:severity[@where]`` (e.g.
+``PowerCons#missing_blocks:3``). The ``#`` separator cannot appear in
+registered dataset names, so :meth:`CorruptedDatasetVariant.parse_name`
+recovers the (base, spec) pair from a report key unambiguously.
+
+Determinism: the corruption RNG is derived per
+``(corruption_seed, base dataset name, op, severity, where)`` via
+crc32, so a variant's values are identical across processes, worker
+counts, and evaluation order — the property the checkpoint/resume path
+and the double-run determinism gate rely on.
+
+NaN-producing operators (``missing_blocks``, ``point_dropout``,
+``truncate_varlen``) are followed by the paper's Section 5.1 gap
+filling (:func:`repro.data.preprocessing.fill_missing`) by default, so
+fixed-length algorithms see what a production ingest pipeline would
+feed them and the degradation curve measures *information loss*, not
+NaN-crash artefacts. ``fill=False`` keeps the raw NaNs (the serving
+layer's input guard is measured against those instead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.registry import DatasetRegistry
+from ..data.dataset import TimeSeriesDataset
+from ..data.preprocessing import fill_missing
+from ..exceptions import ConfigurationError
+from .operators import apply_operator, corruption_rng
+from .spec import CorruptionSpec, parse_corruption_spec
+
+__all__ = [
+    "CorruptedDatasetVariant",
+    "corrupt_dataset",
+    "corrupted_registry",
+]
+
+#: Separator between a base dataset name and its corruption spec.
+VARIANT_SEPARATOR = "#"
+
+
+def corrupt_dataset(
+    dataset: TimeSeriesDataset,
+    specs: Sequence[CorruptionSpec],
+    corruption_seed: int = 0,
+    *,
+    fill: bool = True,
+    name: str | None = None,
+) -> TimeSeriesDataset:
+    """Apply a corruption pipeline to a loaded dataset, deterministically.
+
+    Operators compose left to right; each gets its own crc32-derived
+    RNG stream keyed by (seed, dataset name, op, severity, where). A
+    pipeline whose specs are all severity 0 returns ``dataset`` itself
+    (the same object) — the bit-identical no-op contract.
+    """
+    values, labels = dataset.values, dataset.labels
+    changed = False
+    for spec in specs:
+        if spec.severity == 0:
+            continue
+        rng = corruption_rng(
+            corruption_seed, dataset.name, spec.op, spec.severity, spec.where
+        )
+        values, labels = apply_operator(
+            spec.op, values, labels, rng, spec.severity, spec.window
+        )
+        changed = True
+    if not changed:
+        return dataset
+    corrupted = TimeSeriesDataset(
+        values,
+        labels,
+        name=name or dataset.name,
+        frequency_seconds=dataset.frequency_seconds,
+    )
+    if fill and corrupted.has_missing():
+        corrupted = fill_missing(corrupted)
+    return corrupted
+
+
+@dataclass(frozen=True)
+class CorruptedDatasetVariant:
+    """One (base dataset, corruption spec) cell of a robustness grid."""
+
+    base: str
+    spec: CorruptionSpec
+
+    @property
+    def name(self) -> str:
+        """The registry/report name: ``Base#op:severity[@where]``."""
+        return f"{self.base}{VARIANT_SEPARATOR}{self.spec}"
+
+    @classmethod
+    def parse_name(cls, name: str) -> "CorruptedDatasetVariant | None":
+        """Recover a variant from its registry name; ``None`` if clean."""
+        if VARIANT_SEPARATOR not in name:
+            return None
+        base, _, spec_text = name.partition(VARIANT_SEPARATOR)
+        return cls(base=base, spec=parse_corruption_spec(spec_text))
+
+    def load(
+        self,
+        base_registry: DatasetRegistry,
+        corruption_seed: int = 0,
+        *,
+        fill: bool = True,
+    ) -> TimeSeriesDataset:
+        """Load the base dataset and corrupt it, under the variant name."""
+        return corrupt_dataset(
+            base_registry.load(self.base),
+            [self.spec],
+            corruption_seed,
+            fill=fill,
+            name=self.name,
+        )
+
+
+def corrupted_registry(
+    base: DatasetRegistry,
+    dataset_names: Sequence[str],
+    ops: Sequence[CorruptionSpec],
+    severities: Sequence[int],
+    corruption_seed: int = 0,
+    *,
+    fill: bool = True,
+) -> tuple[DatasetRegistry, dict[str, CorruptedDatasetVariant]]:
+    """Build the derived registry a robustness grid runs over.
+
+    For every base dataset: the clean entry (under its own name, the
+    shared severity-0 cell) plus one variant per (op, severity >= 1).
+    ``ops`` carries the operator and placement; each spec's own
+    severity is ignored in favour of the ``severities`` sweep. Returns
+    the registry and the variant-name -> variant mapping the report
+    uses to fold cells back into degradation curves.
+    """
+    for name in dataset_names:
+        if VARIANT_SEPARATOR in name:
+            raise ConfigurationError(
+                f"dataset name {name!r} contains the variant separator "
+                f"{VARIANT_SEPARATOR!r}"
+            )
+        if name not in base:
+            raise ConfigurationError(
+                f"unknown dataset {name!r}; known: "
+                f"{', '.join(sorted(base.names()))}"
+            )
+    registry = DatasetRegistry()
+    variants: dict[str, CorruptedDatasetVariant] = {}
+    positive = sorted({int(s) for s in severities if int(s) >= 1})
+    for name in dataset_names:
+        registry.register(name, lambda name=name: base.load(name))
+        for op_spec in ops:
+            for severity in positive:
+                variant = CorruptedDatasetVariant(
+                    base=name,
+                    spec=CorruptionSpec(
+                        op=op_spec.op, severity=severity, where=op_spec.where
+                    ),
+                )
+                variants[variant.name] = variant
+                registry.register(
+                    variant.name,
+                    lambda variant=variant: variant.load(
+                        base, corruption_seed, fill=fill
+                    ),
+                )
+    return registry, variants

@@ -1,0 +1,357 @@
+"""The corruption operator library: seeded, composable, severity-dialed.
+
+Every operator is a pure function ``(values, labels, rng, severity,
+window) -> (values, labels)`` over a dataset-shaped ``(N, V, L)`` float
+array and its integer label vector. Three contracts hold for all of
+them:
+
+1. **Severity 0 is a bit-identical no-op.** The operator returns its
+   inputs *unmodified and untouched by the RNG*, so a severity-0
+   corrupted grid cell, serve session, or SLO replay is byte-identical
+   to its clean counterpart.
+2. **Determinism.** All randomness flows through the caller-provided
+   ``numpy`` generator; :func:`corruption_rng` derives one from
+   structured parts via crc32 (the ``hash()`` pitfall PR 2 fixed must
+   not come back here), so the same (dataset, seed, spec) always
+   produces the same corruption regardless of process or evaluation
+   order.
+3. **Composability.** Operators tolerate NaNs introduced by earlier
+   operators in a pipeline; statistics they need (per-series std for
+   noise scaling) are computed over the finite values only.
+
+Severity maps to operator parameters through per-operator tables
+(severity 1 = mild nuisance, 5 = hostile): see :data:`operator_catalog`
+for the human-readable summary rendered by ``etsc-bench robustness
+--list-ops`` and ``docs/robustness.md``.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "OPERATOR_NAMES",
+    "MAX_SEVERITY",
+    "apply_operator",
+    "corruption_rng",
+    "operator_catalog",
+    "severity_params",
+]
+
+#: Highest supported severity level (0 is always the identity).
+MAX_SEVERITY = 5
+
+
+def corruption_rng(*parts) -> np.random.Generator:
+    """A generator seeded from structured parts via crc32.
+
+    The key convention is ``(seed, dataset-or-stream, op, severity,
+    where, layer)`` — every (dataset, seed, severity) combination gets
+    its own independent stream, stable across processes.
+    """
+    key = ":".join(str(part) for part in parts).encode("utf-8")
+    return np.random.default_rng(np.random.SeedSequence(zlib.crc32(key)))
+
+
+def _window_bounds(length: int, window: tuple[float, float]) -> tuple[int, int]:
+    """Integer [start, stop) time bounds of a fractional window.
+
+    Guarantees a non-empty window of at least one point, so ``@head``
+    on a 2-point series still has something to corrupt.
+    """
+    start = int(np.floor(window[0] * length))
+    stop = int(np.ceil(window[1] * length))
+    start = max(0, min(start, length - 1))
+    stop = max(start + 1, min(stop, length))
+    return start, stop
+
+
+def _finite_std(series: np.ndarray) -> float:
+    """Std of the finite values; 1.0 for empty/constant series so noise
+    amplitudes stay well-defined on fully-NaN or flat inputs."""
+    finite = series[np.isfinite(series)]
+    if finite.size == 0:
+        return 1.0
+    std = float(finite.std())
+    return std if std > 0 else 1.0
+
+
+# ----------------------------------------------------------------------
+# Severity tables: severity (1..5) -> the operator's strength parameter.
+
+_SEVERITY_TABLES: dict[str, dict[str, tuple]] = {
+    "missing_blocks": {"block_fraction": (0.05, 0.10, 0.20, 0.30, 0.45)},
+    "point_dropout": {"dropout_probability": (0.02, 0.05, 0.10, 0.20, 0.35)},
+    "irregular_resample": {"jitter": (0.05, 0.10, 0.20, 0.35, 0.50)},
+    "additive_noise": {"sigma_factor": (0.05, 0.10, 0.20, 0.35, 0.50)},
+    "magnitude_warp": {"amplitude": (0.05, 0.10, 0.20, 0.30, 0.50)},
+    "truncate_varlen": {"min_keep_fraction": (0.90, 0.80, 0.65, 0.50, 0.35)},
+    "label_noise": {"flip_fraction": (0.02, 0.05, 0.10, 0.20, 0.35)},
+    "concept_drift": {
+        "drift_tick_fraction": (0.90, 0.75, 0.60, 0.50, 0.40),
+        "affected_fraction": (0.10, 0.20, 0.35, 0.50, 0.70),
+    },
+}
+
+
+def severity_params(op: str, severity: int) -> dict[str, float]:
+    """The parameter values operator ``op`` uses at ``severity`` (1..5)."""
+    if op not in _SEVERITY_TABLES:
+        raise ConfigurationError(
+            f"unknown corruption operator {op!r}; known: "
+            f"{', '.join(OPERATOR_NAMES)}"
+        )
+    if not 1 <= severity <= MAX_SEVERITY:
+        raise ConfigurationError(
+            f"severity must be in [1, {MAX_SEVERITY}] for parameter "
+            f"lookup, got {severity}"
+        )
+    return {
+        name: table[severity - 1]
+        for name, table in _SEVERITY_TABLES[op].items()
+    }
+
+
+# ----------------------------------------------------------------------
+# Operators. Each takes (values, labels, rng, severity, window) with
+# values (N, V, L) and returns new (values, labels); severity >= 1 here
+# (apply_operator short-circuits severity 0 before dispatch).
+
+
+def _missing_blocks(values, labels, rng, severity, window):
+    """One contiguous NaN block per (instance, variable) in the window."""
+    fraction = severity_params("missing_blocks", severity)["block_fraction"]
+    values = values.copy()
+    n, v, length = values.shape
+    start, stop = _window_bounds(length, window)
+    span = stop - start
+    block = max(1, int(round(fraction * length)))
+    block = min(block, span)
+    offsets = rng.integers(0, span - block + 1, size=(n, v))
+    for i in range(n):
+        for j in range(v):
+            begin = start + int(offsets[i, j])
+            values[i, j, begin : begin + block] = np.nan
+    return values, labels
+
+
+def _point_dropout(values, labels, rng, severity, window):
+    """Independent Bernoulli NaN dropout of points in the window."""
+    p = severity_params("point_dropout", severity)["dropout_probability"]
+    values = values.copy()
+    n, v, length = values.shape
+    start, stop = _window_bounds(length, window)
+    mask = rng.random(size=(n, v, stop - start)) < p
+    region = values[:, :, start:stop]
+    region[mask] = np.nan
+    values[:, :, start:stop] = region
+    return values, labels
+
+
+def _irregular_resample(values, labels, rng, severity, window):
+    """Jittered sampling instants, re-read by nearest neighbour.
+
+    Models an irregularly sampled sensor resampled onto the nominal
+    grid: each nominal instant ``t`` actually sampled at
+    ``t + jitter``, so the delivered value is the original series read
+    at a nearby (possibly repeated or skipped) index. Length is
+    preserved; NaNs in the source propagate.
+    """
+    jitter = severity_params("irregular_resample", severity)["jitter"]
+    values = values.copy()
+    n, v, length = values.shape
+    start, stop = _window_bounds(length, window)
+    span = stop - start
+    grid = np.arange(start, stop, dtype=float)
+    offsets = rng.uniform(-jitter * span, jitter * span, size=(n, span))
+    for i in range(n):
+        indices = np.clip(
+            np.rint(grid + offsets[i]).astype(int), start, stop - 1
+        )
+        values[i, :, start:stop] = values[i, :, indices].T
+    return values, labels
+
+
+def _additive_noise(values, labels, rng, severity, window):
+    """Gaussian noise scaled to each (instance, variable)'s finite std."""
+    factor = severity_params("additive_noise", severity)["sigma_factor"]
+    values = values.copy()
+    n, v, length = values.shape
+    start, stop = _window_bounds(length, window)
+    noise = rng.standard_normal(size=(n, v, stop - start))
+    for i in range(n):
+        for j in range(v):
+            scale = factor * _finite_std(values[i, j])
+            values[i, j, start:stop] += scale * noise[i, j]
+    return values, labels
+
+
+def _magnitude_warp(values, labels, rng, severity, window):
+    """Smooth multiplicative amplitude drift (low-frequency sinusoid)."""
+    amplitude = severity_params("magnitude_warp", severity)["amplitude"]
+    values = values.copy()
+    n, v, length = values.shape
+    start, stop = _window_bounds(length, window)
+    t = np.arange(start, stop, dtype=float) / max(length - 1, 1)
+    cycles = rng.integers(1, 4, size=n)
+    phases = rng.uniform(0.0, 2.0 * np.pi, size=n)
+    for i in range(n):
+        curve = 1.0 + amplitude * np.sin(
+            2.0 * np.pi * cycles[i] * t + phases[i]
+        )
+        values[i, :, start:stop] *= curve
+    return values, labels
+
+
+def _truncate_varlen(values, labels, rng, severity, window):
+    """Per-instance variable-length truncation: NaN tails.
+
+    Each instance keeps a seeded uniform fraction of its points in
+    ``[min_keep, 1]``; everything after the cut becomes NaN, producing
+    the ragged-tail shape real variable-length archives have. The
+    ``window`` selects where cuts may fall (default: anywhere).
+    """
+    min_keep = severity_params("truncate_varlen", severity)[
+        "min_keep_fraction"
+    ]
+    values = values.copy()
+    n, v, length = values.shape
+    start, stop = _window_bounds(length, window)
+    fractions = rng.uniform(min_keep, 1.0, size=n)
+    for i in range(n):
+        keep = max(2, int(round(fractions[i] * length)))
+        keep = max(keep, start + 1)  # never cut before the window
+        if keep < stop:
+            values[i, :, keep:stop] = np.nan
+    return values, labels
+
+
+def _label_noise(values, labels, rng, severity, window):
+    """Flip a seeded fraction of labels to a different class.
+
+    A single-class dataset has nothing to flip to and passes through
+    unchanged. Time windows do not apply — the spec grammar rejects
+    ``label_noise@where`` for any ``where`` other than ``all``.
+    """
+    fraction = severity_params("label_noise", severity)["flip_fraction"]
+    labels = np.asarray(labels).copy()
+    classes = np.unique(labels)
+    if classes.size < 2:
+        return values, labels
+    n = labels.shape[0]
+    n_flips = max(1, int(round(fraction * n)))
+    victims = rng.choice(n, size=min(n_flips, n), replace=False)
+    for index in victims:
+        others = classes[classes != labels[index]]
+        labels[index] = others[rng.integers(0, others.size)]
+    return values, labels
+
+
+def _concept_drift(values, labels, rng, severity, window):
+    """Swap the class-conditional generator at a deterministic tick.
+
+    From the drift tick onward, an affected instance's values continue
+    as a *donor* instance of a different class — the stream starts as
+    one class and drifts into another mid-way, while its recorded label
+    stays the original. Single-class datasets pass through unchanged.
+    The tick is the same for every affected instance (a population-level
+    distribution shift, not per-instance jitter); higher severities
+    drift earlier and affect more instances.
+    """
+    params = severity_params("concept_drift", severity)
+    values = values.copy()
+    labels = np.asarray(labels)
+    classes = np.unique(labels)
+    n, v, length = values.shape
+    if classes.size < 2:
+        return values, labels
+    start, stop = _window_bounds(length, window)
+    tick = int(round(params["drift_tick_fraction"] * length))
+    tick = max(start + 1, min(tick, stop - 1)) if stop - start > 1 else start
+    n_affected = max(1, int(round(params["affected_fraction"] * n)))
+    affected = rng.choice(n, size=min(n_affected, n), replace=False)
+    for index in affected:
+        donors = np.flatnonzero(labels != labels[index])
+        donor = int(donors[rng.integers(0, donors.size)])
+        values[index, :, tick:stop] = values[donor, :, tick:stop]
+    return values, labels
+
+
+_OPERATORS: dict[str, Callable] = {
+    "missing_blocks": _missing_blocks,
+    "point_dropout": _point_dropout,
+    "irregular_resample": _irregular_resample,
+    "additive_noise": _additive_noise,
+    "magnitude_warp": _magnitude_warp,
+    "truncate_varlen": _truncate_varlen,
+    "label_noise": _label_noise,
+    "concept_drift": _concept_drift,
+}
+
+#: Operator names in catalog order.
+OPERATOR_NAMES = tuple(_OPERATORS)
+
+#: One-line description per operator (for --list-ops and the docs).
+_DESCRIPTIONS = {
+    "missing_blocks": "one contiguous NaN gap per instance/variable",
+    "point_dropout": "independent Bernoulli point loss (NaN)",
+    "irregular_resample": "jittered sampling instants, nearest-neighbour read",
+    "additive_noise": "Gaussian noise scaled to per-series std",
+    "magnitude_warp": "smooth multiplicative amplitude drift",
+    "truncate_varlen": "per-instance variable-length NaN tails",
+    "label_noise": "flip a fraction of labels to another class",
+    "concept_drift": "swap class-conditional generator at a fixed tick",
+}
+
+
+def operator_catalog() -> dict[str, dict]:
+    """Name -> {description, params-by-severity} for docs and --list-ops."""
+    catalog = {}
+    for name in OPERATOR_NAMES:
+        catalog[name] = {
+            "description": _DESCRIPTIONS[name],
+            "severity_params": {
+                severity: severity_params(name, severity)
+                for severity in range(1, MAX_SEVERITY + 1)
+            },
+        }
+    return catalog
+
+
+def apply_operator(
+    op: str,
+    values: np.ndarray,
+    labels: np.ndarray,
+    rng: np.random.Generator,
+    severity: int,
+    window: tuple[float, float] = (0.0, 1.0),
+) -> tuple[np.ndarray, np.ndarray]:
+    """Apply one operator at one severity to dataset-shaped arrays.
+
+    Severity 0 returns ``(values, labels)`` untouched — the same
+    objects, with the RNG never consulted — which is what makes the
+    severity-0 no-op bit-identical end to end.
+    """
+    if op not in _OPERATORS:
+        raise ConfigurationError(
+            f"unknown corruption operator {op!r}; known: "
+            f"{', '.join(OPERATOR_NAMES)}"
+        )
+    if not 0 <= severity <= MAX_SEVERITY:
+        raise ConfigurationError(
+            f"severity must be in [0, {MAX_SEVERITY}], got {severity}"
+        )
+    if severity == 0:
+        return values, labels
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 3:
+        raise ConfigurationError(
+            f"operator input values must be (N, V, L), got shape "
+            f"{values.shape}"
+        )
+    return _OPERATORS[op](values, labels, rng, severity, window)

@@ -1,0 +1,130 @@
+"""The ``op:severity[@where]`` corruption spec grammar.
+
+Mirrors the fault-spec grammar of :func:`repro.serve.chaos.parse_fault_specs`
+(PR 2/PR 6): a spec is a small, strict string the CLI, scenario configs,
+and benchmarks all share, validated eagerly so a malformed spec fails
+before anything trains. Examples::
+
+    missing_blocks:3        # severity-3 contiguous NaN gaps, anywhere
+    additive_noise:2@tail   # severity-2 noise on the last third only
+    label_noise:0           # explicit no-op (bit-identical passthrough)
+
+``where`` restricts the corrupted time region: ``head`` (first third),
+``mid`` (middle third), ``tail`` (last third), ``all`` (default).
+Operators without a time axis (``label_noise``) accept only ``all``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError
+from .operators import MAX_SEVERITY, OPERATOR_NAMES
+
+__all__ = [
+    "WHERE_CHOICES",
+    "CorruptionSpec",
+    "parse_corruption_spec",
+    "parse_corruption_specs",
+]
+
+#: Placement name -> fractional (start, stop) time window.
+_WHERE_WINDOWS: dict[str, tuple[float, float]] = {
+    "all": (0.0, 1.0),
+    "head": (0.0, 1.0 / 3.0),
+    "mid": (1.0 / 3.0, 2.0 / 3.0),
+    "tail": (2.0 / 3.0, 1.0),
+}
+
+WHERE_CHOICES = tuple(_WHERE_WINDOWS)
+
+#: Operators that have no time axis and therefore reject placement.
+_TIMELESS_OPS = ("label_noise",)
+
+
+@dataclass(frozen=True)
+class CorruptionSpec:
+    """One parsed ``op:severity[@where]`` corruption spec."""
+
+    op: str
+    severity: int
+    where: str = "all"
+
+    def __post_init__(self) -> None:
+        if self.op not in OPERATOR_NAMES:
+            raise ConfigurationError(
+                f"unknown corruption operator {self.op!r}; known: "
+                f"{', '.join(OPERATOR_NAMES)}"
+            )
+        if not 0 <= self.severity <= MAX_SEVERITY:
+            raise ConfigurationError(
+                f"corruption severity must be in [0, {MAX_SEVERITY}], "
+                f"got {self.severity} in {str(self)!r}"
+            )
+        if self.where not in _WHERE_WINDOWS:
+            raise ConfigurationError(
+                f"unknown corruption placement {self.where!r}; expected "
+                f"one of {', '.join(WHERE_CHOICES)}"
+            )
+        if self.op in _TIMELESS_OPS and self.where != "all":
+            raise ConfigurationError(
+                f"{self.op} has no time axis; placement must be 'all', "
+                f"got {self.where!r}"
+            )
+
+    @property
+    def window(self) -> tuple[float, float]:
+        """The fractional (start, stop) time window of ``where``."""
+        return _WHERE_WINDOWS[self.where]
+
+    def __str__(self) -> str:
+        base = f"{self.op}:{self.severity}"
+        return base if self.where == "all" else f"{base}@{self.where}"
+
+
+def parse_corruption_spec(spec: str) -> CorruptionSpec:
+    """Parse one ``op:severity[@where]`` string, strictly."""
+    text = spec.strip()
+    where = "all"
+    if "@" in text:
+        text, _, where = text.partition("@")
+        where = where.strip()
+        if not where:
+            raise ConfigurationError(
+                f"bad corruption spec {spec!r}: empty placement after '@'"
+            )
+    parts = text.split(":")
+    if len(parts) != 2 or not parts[0] or not parts[1]:
+        raise ConfigurationError(
+            f"bad corruption spec {spec!r}; expected op:severity[@where], "
+            f"e.g. missing_blocks:3 or additive_noise:2@tail"
+        )
+    op = parts[0].strip()
+    try:
+        severity = int(parts[1])
+    except ValueError:
+        raise ConfigurationError(
+            f"bad corruption severity {parts[1]!r} in {spec!r}; expected "
+            f"an integer in [0, {MAX_SEVERITY}]"
+        ) from None
+    return CorruptionSpec(op=op, severity=severity, where=where)
+
+
+def parse_corruption_specs(specs) -> tuple[CorruptionSpec, ...]:
+    """Parse a list of spec strings into an ordered pipeline.
+
+    Order matters (operators compose left to right); duplicate
+    (op, where) pairs are rejected — the same operator twice in one
+    pipeline is almost certainly a typo and would double-corrupt.
+    """
+    parsed = tuple(parse_corruption_spec(spec) for spec in specs)
+    seen: set[tuple[str, str]] = set()
+    for item in parsed:
+        key = (item.op, item.where)
+        if key in seen:
+            raise ConfigurationError(
+                f"duplicate corruption operator {item.op!r} "
+                f"(placement {item.where!r}) in spec list"
+            )
+        seen.add(key)
+    return parsed

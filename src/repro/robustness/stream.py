@@ -1,0 +1,244 @@
+"""Push-time corruption for the serving layer.
+
+:class:`StreamCorruptor` applies the corruption operators *as the
+points arrive*: the serving stack — input guard, fallback, breaker —
+is measured against data faults the way PR 2's fault plans measure it
+against timing faults. The guarded session consults the corruptor
+between point coercion and the input guard, so the guard sees exactly
+what a degraded sensor would deliver.
+
+Stream analogues of the dataset operators (same severity tables):
+
+- ``missing_blocks`` — a contiguous run of pushes arrives as NaN.
+- ``point_dropout`` — individual pushes arrive as NaN.
+- ``truncate_varlen`` — every push after a seeded cutoff arrives NaN
+  (the sensor died early).
+- ``additive_noise`` — per-push Gaussian noise, scaled by a reference
+  std (the guard's train-time stats when available, else 1.0).
+- ``magnitude_warp`` — a smooth multiplicative drift curve over the
+  stream.
+- ``irregular_resample`` — sample-and-hold: at jittered pushes the
+  *previous* delivered point repeats (a stale reading), the stream
+  analogue of irregular sampling.
+
+``label_noise`` and ``concept_drift`` need class-conditional data the
+stream does not carry; specs naming them are rejected here with a
+pointer at the grid mode.
+
+Determinism: the per-stream schedule is derived once per
+(seed, stream name, op, severity, where) via crc32 — independent of
+arrival interleaving across streams — and severity-0 specs are dropped
+at construction so they cost nothing and change nothing (the
+bit-identical no-op contract).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .operators import _window_bounds, corruption_rng, severity_params
+from .spec import CorruptionSpec, parse_corruption_specs
+
+__all__ = ["STREAM_OPERATOR_NAMES", "StreamCorruptor"]
+
+#: Operators that have a push-time stream analogue.
+STREAM_OPERATOR_NAMES = (
+    "missing_blocks",
+    "point_dropout",
+    "irregular_resample",
+    "additive_noise",
+    "magnitude_warp",
+    "truncate_varlen",
+)
+
+
+class _StreamSchedule:
+    """The precomputed corruption plan of one stream.
+
+    ``nan_pushes`` maps 1-based push indices to the op that blanks
+    them; ``hold_pushes`` to the op that repeats the previous point;
+    ``noise``/``warp`` are per-push additive/multiplicative terms.
+    Later ops never override an earlier op's claim on a push, matching
+    the left-to-right composition order of the dataset pipeline.
+    """
+
+    def __init__(self) -> None:
+        self.nan_pushes: dict[int, str] = {}
+        self.hold_pushes: dict[int, str] = {}
+        self.noise: dict[int, tuple[str, np.ndarray]] = {}
+        self.warp: dict[int, tuple[str, float]] = {}
+
+
+class StreamCorruptor:
+    """Deterministic push-time corruption over named streams.
+
+    Parameters
+    ----------
+    specs:
+        Parsed :class:`CorruptionSpec` pipeline (or raw spec strings).
+        Severity-0 entries are dropped; stream-incompatible operators
+        raise.
+    seed:
+        Corruption seed; combined with the stream name per crc32, so
+        every stream gets independent, order-free randomness.
+    noise_scale:
+        Reference amplitude for ``additive_noise`` (typically the mean
+        train-time channel std); defaults to 1.0.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[CorruptionSpec] | Sequence[str],
+        seed: int = 0,
+        noise_scale: float = 1.0,
+    ) -> None:
+        if specs and isinstance(specs[0], str):
+            specs = parse_corruption_specs(specs)
+        for spec in specs:
+            if spec.op not in STREAM_OPERATOR_NAMES:
+                raise ConfigurationError(
+                    f"corruption operator {spec.op!r} has no push-time "
+                    f"stream analogue (stream operators: "
+                    f"{', '.join(STREAM_OPERATOR_NAMES)}); use "
+                    f"'etsc-bench robustness' for grid-only operators"
+                )
+        self.specs = tuple(spec for spec in specs if spec.severity >= 1)
+        self.seed = int(seed)
+        self.noise_scale = float(noise_scale)
+        self._schedules: dict[tuple[str, int, int], _StreamSchedule] = {}
+        self._last_point: dict[str, np.ndarray] = {}
+        #: (stream, push index, op) triples, in firing order — the
+        #: provenance log tests and reports read back.
+        self.fired: list[tuple[str, int, str]] = []
+
+    @property
+    def active(self) -> bool:
+        """Whether any spec survives at severity >= 1."""
+        return bool(self.specs)
+
+    def describe(self) -> list[str]:
+        """The active specs as canonical strings."""
+        return [str(spec) for spec in self.specs]
+
+    # ------------------------------------------------------------------
+    def _schedule(
+        self, stream: str, length: int, n_channels: int
+    ) -> _StreamSchedule:
+        key = (stream, length, n_channels)
+        schedule = self._schedules.get(key)
+        if schedule is None:
+            schedule = self._build_schedule(stream, length, n_channels)
+            self._schedules[key] = schedule
+        return schedule
+
+    def _build_schedule(
+        self, stream: str, length: int, n_channels: int
+    ) -> _StreamSchedule:
+        schedule = _StreamSchedule()
+        for spec in self.specs:
+            rng = corruption_rng(
+                self.seed, stream, spec.op, spec.severity, spec.where,
+                "stream",
+            )
+            params = severity_params(spec.op, spec.severity)
+            start, stop = _window_bounds(length, spec.window)
+            span = stop - start
+            if spec.op == "missing_blocks":
+                block = min(
+                    span,
+                    max(1, int(round(params["block_fraction"] * length))),
+                )
+                begin = start + int(rng.integers(0, span - block + 1))
+                for t in range(begin, begin + block):
+                    schedule.nan_pushes.setdefault(t + 1, spec.op)
+            elif spec.op == "point_dropout":
+                drops = rng.random(span) < params["dropout_probability"]
+                for offset in np.flatnonzero(drops):
+                    schedule.nan_pushes.setdefault(
+                        start + int(offset) + 1, spec.op
+                    )
+            elif spec.op == "truncate_varlen":
+                fraction = float(
+                    rng.uniform(params["min_keep_fraction"], 1.0)
+                )
+                keep = max(2, int(round(fraction * length)))
+                keep = max(keep, start + 1)
+                for t in range(keep, stop):
+                    schedule.nan_pushes.setdefault(t + 1, spec.op)
+            elif spec.op == "irregular_resample":
+                # A stale read: with probability = the jitter fraction
+                # the sampled instant lands before the nominal one and
+                # the previous delivery repeats. (The dataset operator's
+                # offset-rounding rule saturates near 50% for long
+                # series, which would erase the severity gradient here.)
+                stale = rng.random(span) < params["jitter"]
+                for offset in np.flatnonzero(stale):
+                    t = start + int(offset)
+                    if t > 0:
+                        schedule.hold_pushes.setdefault(t + 1, spec.op)
+            elif spec.op == "additive_noise":
+                scale = params["sigma_factor"] * self.noise_scale
+                noise = rng.standard_normal((span, n_channels)) * scale
+                for offset in range(span):
+                    schedule.noise[start + offset + 1] = (
+                        spec.op, noise[offset],
+                    )
+            elif spec.op == "magnitude_warp":
+                amplitude = params["amplitude"]
+                cycles = int(rng.integers(1, 4))
+                phase = float(rng.uniform(0.0, 2.0 * np.pi))
+                t_norm = np.arange(start, stop) / max(length - 1, 1)
+                curve = 1.0 + amplitude * np.sin(
+                    2.0 * np.pi * cycles * t_norm + phase
+                )
+                for offset in range(span):
+                    schedule.warp[start + offset + 1] = (
+                        spec.op, float(curve[offset]),
+                    )
+        return schedule
+
+    # ------------------------------------------------------------------
+    def apply(
+        self,
+        stream: str,
+        index: int,
+        point: np.ndarray,
+        length: int,
+    ) -> tuple[np.ndarray, list[str]]:
+        """Corrupt one delivered point; returns (point, fired op names).
+
+        ``index`` is the 1-based push index; ``length`` the stream's
+        full horizon. With no active specs the input array is returned
+        untouched (same object).
+        """
+        if not self.specs:
+            return point, []
+        point = np.asarray(point, dtype=float)
+        schedule = self._schedule(stream, length, point.shape[0])
+        fired: list[str] = []
+        out = point
+        nan_op = schedule.nan_pushes.get(index)
+        hold_op = schedule.hold_pushes.get(index)
+        if nan_op is not None:
+            out = np.full_like(point, np.nan)
+            fired.append(nan_op)
+        elif hold_op is not None and stream in self._last_point:
+            out = self._last_point[stream].copy()
+            fired.append(hold_op)
+        else:
+            noise = schedule.noise.get(index)
+            warp = schedule.warp.get(index)
+            if warp is not None:
+                out = out * warp[1]
+                fired.append(warp[0])
+            if noise is not None:
+                out = out + noise[1]
+                if noise[0] not in fired:
+                    fired.append(noise[0])
+        self._last_point[stream] = np.asarray(out, dtype=float)
+        for op in fired:
+            self.fired.append((stream, index, op))
+        return out, fired

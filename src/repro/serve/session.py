@@ -115,6 +115,18 @@ class GuardedStreamingSession(StreamingSession):
         at every push (``stage="push"``) and model consultation
         (``stage="consult"``); raising injects the failure. See
         :class:`~repro.serve.chaos.ServeFaultPlan`.
+    corruptor:
+        Optional push-time data corruptor
+        (:class:`~repro.robustness.stream.StreamCorruptor`): applied to
+        every delivered point *between* coercion and the input guard,
+        so the guard sees exactly what a degraded sensor would emit.
+        When omitted, a corruptor attached to the ``fault_injector``
+        plan (``ServeFaultPlan.with_corruption``) is picked up
+        automatically. Every corrupted push is counted
+        (``serve.corrupted_points`` plus per-operator
+        ``serve.corruption.<op>`` counters) and logged in
+        ``session.corruption_events`` — the provenance that says which
+        operator degraded which push.
     stream_name, algorithm_name:
         Labels used in warnings, fault matching, and span attributes.
     metrics:
@@ -148,6 +160,7 @@ class GuardedStreamingSession(StreamingSession):
         deadline_seconds: float | None = None,
         breaker: CircuitBreaker | None = None,
         fault_injector: Callable[[str, str, str, int], None] | None = None,
+        corruptor=None,
         stream_name: str = "stream",
         algorithm_name: str | None = None,
         metrics: MetricsRegistry | None = None,
@@ -171,6 +184,11 @@ class GuardedStreamingSession(StreamingSession):
         self.deadline_seconds = deadline_seconds
         self.breaker = breaker
         self.fault_injector = fault_injector
+        if corruptor is None:
+            # A ServeFaultPlan can carry push-time corruption; one plan
+            # object then configures the whole failure surface.
+            corruptor = getattr(fault_injector, "corruptor", None)
+        self.corruptor = corruptor
         self.stream_name = stream_name
         self.algorithm_name = algorithm_name or type(classifier).__name__
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -180,6 +198,9 @@ class GuardedStreamingSession(StreamingSession):
         self._pushes = 0
         self._reported = False
         self.rejection_reasons: list[str] = []
+        #: (push index, op) pairs for every corrupted delivery — the
+        #: degraded-decision provenance of this stream.
+        self.corruption_events: list[tuple[int, str]] = []
         self.consult_records: list[ConsultRecord] = []
         self._consult_note: dict[str, object] = {}
         if breaker is not None:
@@ -267,6 +288,15 @@ class GuardedStreamingSession(StreamingSession):
         self.metrics.counter("serve.rejected_points").inc()
         self.rejection_reasons.append(reason)
 
+    def _note_corrupted(self, index: int, ops: list[str]) -> None:
+        self.metrics.counter("serve.corrupted_points").inc()
+        for op in ops:
+            self.metrics.counter(f"serve.corruption.{op}").inc()
+            self.corruption_events.append((index, op))
+        current_span().add_event(
+            "corrupted_push", push_index=index, ops=",".join(ops)
+        )
+
     # ------------------------------------------------------------------
     def push(self, point: np.ndarray | float) -> StreamingDecision | None:
         """Guarded push: validate/sanitize the point, then consult.
@@ -287,7 +317,14 @@ class GuardedStreamingSession(StreamingSession):
                 self.fault_injector(
                     STAGE_PUSH, self.algorithm_name, self.stream_name, index
                 )
-            outcome = self.guard.inspect(self._coerce_point(point))
+            point_array = self._coerce_point(point)
+            if self.corruptor is not None:
+                point_array, fired = self.corruptor.apply(
+                    self.stream_name, index, point_array, self.series_length
+                )
+                if fired:
+                    self._note_corrupted(index, fired)
+            outcome = self.guard.inspect(point_array)
         except DataError as error:
             if self.guard.policy == GUARD_STRICT:
                 raise

@@ -56,6 +56,7 @@ class ServeSimReport:
     breaker_transitions: list[tuple[str, str, str, float]] = field(
         default_factory=list
     )
+    corruption_specs: list[str] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     @property
@@ -130,6 +131,19 @@ class ServeSimReport:
             f"breaker        {self.n_breaker_trips} trip(s), "
             f"{self.n_breaker_recoveries} recovery(ies)",
         ]
+        if self.corruption_specs:
+            ops = sorted(
+                (name.removeprefix("serve.corruption."), value)
+                for name, value in self.counters.items()
+                if name.startswith("serve.corruption.")
+            )
+            fired = ", ".join(f"{op}={n}" for op, n in ops) or "none fired"
+            lines.insert(
+                len(lines) - 2,
+                f"corruption     {get('serve.corrupted_points', 0)} "
+                f"corrupted point(s) under "
+                f"{' '.join(self.corruption_specs)} ({fired})",
+            )
         if self.latency is not None:
             lat = self.latency
             lines += [
@@ -164,6 +178,8 @@ def run_serve_sim(
     breaker_recovery_seconds: float = 0.0,
     check_every: int = 1,
     fault_injector: Callable[[str, str, str, int], None] | None = None,
+    corrupt_specs: list[str] | None = None,
+    corruption_seed: int | None = None,
     test_fraction: float = 0.3,
     seed: int = 0,
 ) -> ServeSimReport:
@@ -175,6 +191,13 @@ def run_serve_sim(
     without degradation; ``breaker_threshold=None`` disables the
     breaker. ``breaker_recovery_seconds`` defaults to 0 so deterministic
     replays recover via probes rather than wall-clock waits.
+
+    ``corrupt_specs`` (``op:severity[@where]`` strings, see
+    docs/robustness.md) applies push-time data corruption to every
+    replayed stream via a :class:`~repro.robustness.stream.\
+StreamCorruptor` seeded with ``corruption_seed`` (default: ``seed``);
+    the additive-noise amplitude is referenced to the train-time channel
+    std so severity means the same thing here as in the offline grid.
     """
     train, test = train_test_split(
         dataset, test_fraction=test_fraction, seed=seed
@@ -182,6 +205,17 @@ def run_serve_sim(
     classifier = wrap_for_dataset(classifier_factory, train)
     classifier.train(train)
     stats = GuardStats.from_dataset(train)
+    corruptor = None
+    if corrupt_specs:
+        from ..robustness.stream import StreamCorruptor
+
+        corruptor = StreamCorruptor(
+            corrupt_specs,
+            seed=seed if corruption_seed is None else corruption_seed,
+            noise_scale=float(
+                np.mean([channel.std for channel in stats.channels])
+            ),
+        )
     fitted_fallback = (
         make_fallback(fallback).fit(train) if fallback else None
     )
@@ -195,6 +229,7 @@ def run_serve_sim(
         frequency_seconds=dataset.frequency_seconds,
         n_streams=n_streams,
         n_points=n_streams * dataset.length,
+        corruption_specs=corruptor.describe() if corruptor else [],
     )
     latencies: list[float] = []
     for i in range(n_streams):
@@ -215,6 +250,7 @@ def run_serve_sim(
             deadline_seconds=deadline_seconds,
             breaker=breaker,
             fault_injector=fault_injector,
+            corruptor=corruptor,
             stream_name=f"{dataset.name}[{i}]",
             algorithm_name=algorithm_name,
             metrics=metrics,
@@ -303,6 +339,18 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--corrupt", action="append", default=[], metavar="SPEC",
+        help=(
+            "apply push-time data corruption: op:severity[@where], e.g. "
+            "missing_blocks:3 / additive_noise:2@tail (repeatable; see "
+            "'etsc-bench robustness --list-ops')"
+        ),
+    )
+    parser.add_argument(
+        "--corruption-seed", type=int, default=None, metavar="N",
+        help="seed of the corruption RNG streams (default: --seed)",
+    )
+    parser.add_argument(
         "--trace", metavar="PATH", default=None,
         help="write a JSONL trace of the replay (stream/push spans)",
     )
@@ -348,6 +396,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
             ),
             check_every=arguments.check_every,
             fault_injector=fault_plan,
+            corrupt_specs=arguments.corrupt or None,
+            corruption_seed=arguments.corruption_seed,
             seed=arguments.seed,
         )
         if arguments.trace:

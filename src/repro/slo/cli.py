@@ -12,11 +12,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import replace
 from pathlib import Path
 
 from ..exceptions import ConfigurationError, ReproError
 from .harness import run_scenario
-from .scenario import bundled_scenarios, resolve_scenario
+from .scenario import CorruptionBlock, bundled_scenarios, resolve_scenario
 
 __all__ = ["main", "build_parser"]
 
@@ -46,6 +47,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="list bundled scenarios, then exit",
     )
     parser.add_argument(
+        "--corrupt",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help=(
+            "override every scenario's corruption block with this "
+            "push-time pipeline: op:severity[@where], repeatable (see "
+            "'etsc-bench robustness --list-ops' and docs/robustness.md)"
+        ),
+    )
+    parser.add_argument(
+        "--corruption-seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "seed of the --corrupt RNG streams (default: each "
+            "scenario's own seed)"
+        ),
+    )
+    parser.add_argument(
         "--output",
         metavar="PATH",
         default=None,
@@ -69,10 +91,12 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_all(names: list[str], out) -> dict:
+def _run_all(names: list[str], out, corruption=None) -> dict:
     reports = {}
     for name in names:
         scenario = resolve_scenario(name)
+        if corruption is not None:
+            scenario = replace(scenario, corruption=corruption)
         report = run_scenario(scenario)
         print(report.render(), file=out)
         print("", file=out)
@@ -99,20 +123,26 @@ def main(argv: list[str] | None = None, out=None) -> int:
         print("error: no scenarios bundled and none given", file=out)
         return 2
     try:
+        corruption = None
+        if arguments.corrupt:
+            corruption = CorruptionBlock(
+                ops=tuple(arguments.corrupt),
+                seed=arguments.corruption_seed,
+            )
         if arguments.trace:
             from ..obs.events import TraceWriter
             from ..obs.trace import Tracer, use_tracer
 
             with TraceWriter(arguments.trace) as writer:
                 with use_tracer(Tracer(on_finish=writer.write_span)):
-                    reports = _run_all(names, out)
+                    reports = _run_all(names, out, corruption)
             print(
                 f"trace written to {arguments.trace} "
                 f"({writer.n_spans} spans)",
                 file=out,
             )
         else:
-            reports = _run_all(names, out)
+            reports = _run_all(names, out, corruption)
     except ConfigurationError as error:
         print(f"error: {error}", file=out)
         return 2

@@ -247,6 +247,19 @@ def run_scenario(
 
         return observe
 
+    # One corruptor per trained pair: additive noise is referenced to
+    # that pair's train-time channel std, so scenario severities mean
+    # the same thing as in the offline robustness grid. None when the
+    # scenario declares no (or only severity-0) corruption.
+    corruptors: dict[tuple[str, str], object] = {
+        key: scenario.corruptor(
+            noise_scale=float(
+                np.mean([channel.std for channel in bundle.stats.channels])
+            )
+        )
+        for key, bundle in bundles.items()
+    }
+
     global_index = 0
     for spec in scenario.streams:
         bundle = bundles[(spec.algorithm, spec.dataset)]
@@ -302,6 +315,7 @@ def run_scenario(
                 deadline_seconds=deadline,
                 breaker=breaker,
                 fault_injector=fault_plan,
+                corruptor=corruptors[(spec.algorithm, spec.dataset)],
                 stream_name=name,
                 algorithm_name=spec.algorithm,
                 metrics=metrics,

@@ -181,6 +181,19 @@ class ScenarioReport:
             f"{self.counters.get('serve.rejected_points', 0)}, sanitized "
             f"{self.counters.get('serve.sanitized_points', 0)} point(s)",
         ]
+        if scenario.corruption is not None:
+            fired = ", ".join(
+                f"{name.removeprefix('serve.corruption.')}={value}"
+                for name, value in sorted(self.counters.items())
+                if name.startswith("serve.corruption.")
+            )
+            lines.append(
+                f"corruption     "
+                f"{self.counters.get('serve.corrupted_points', 0)} "
+                f"corrupted point(s) under "
+                f"{' '.join(scenario.corruption.ops)} "
+                f"({fired or 'none fired'})"
+            )
         if self.environment:
             peak = self.environment.get("peak_rss_kb")
             wall = self.environment.get("wall_seconds")

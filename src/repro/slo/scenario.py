@@ -22,6 +22,7 @@ from pathlib import Path
 from typing import Any, Mapping
 
 from ..exceptions import ConfigurationError
+from ..robustness.stream import StreamCorruptor
 from ..serve.chaos import parse_fault_specs
 from ..serve.fallback import FALLBACK_NAMES
 from ..serve.guard import GUARD_LENIENT, GUARD_POLICIES
@@ -34,6 +35,7 @@ __all__ = [
     "ServiceModel",
     "StreamSpec",
     "BreakerSpec",
+    "CorruptionBlock",
     "Scenario",
     "parse_scenario",
     "load_scenario",
@@ -110,6 +112,44 @@ class BreakerSpec:
 
 
 @dataclass(frozen=True)
+class CorruptionBlock:
+    """Push-time data corruption applied to every replayed stream.
+
+    ``ops`` is a pipeline of ``op:severity[@where]`` specs (see
+    ``docs/robustness.md``); ``seed`` defaults to the scenario seed so
+    a scenario is still one self-contained deterministic description.
+    Severity-0 pipelines are valid and are a bit-identical no-op — the
+    degraded scenario's control case.
+    """
+
+    ops: tuple[str, ...]
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.ops:
+            raise ConfigurationError(
+                "corruption.ops must be a non-empty list of "
+                "op:severity[@where] specs"
+            )
+        # Fail fast on malformed or stream-incompatible specs — the
+        # constructor runs the full spec grammar + stream checks.
+        StreamCorruptor(list(self.ops))
+
+    def build(self, seed: int, noise_scale: float = 1.0) -> StreamCorruptor:
+        """A fresh corruptor for one replay (corruptors record state).
+
+        ``seed`` is the scenario seed, used when the block does not pin
+        its own; ``noise_scale`` references additive noise to the
+        bundle's train-time channel std.
+        """
+        return StreamCorruptor(
+            list(self.ops),
+            seed=self.seed if self.seed is not None else seed,
+            noise_scale=noise_scale,
+        )
+
+
+@dataclass(frozen=True)
 class Scenario:
     """One fully described serve workload."""
 
@@ -129,6 +169,7 @@ class Scenario:
     service: ServiceModel = field(default_factory=ServiceModel)
     breaker: BreakerSpec | None = field(default_factory=BreakerSpec)
     faults: tuple[str, ...] = ()
+    corruption: CorruptionBlock | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -176,6 +217,15 @@ class Scenario:
         """A fresh fault injector for one replay (plans record state)."""
         return parse_fault_specs(list(self.faults)) if self.faults else None
 
+    def corruptor(self, noise_scale: float = 1.0) -> StreamCorruptor | None:
+        """A fresh push-time corruptor, or ``None`` when the scenario
+        declares no corruption or only severity-0 specs (the
+        bit-identical control case)."""
+        if self.corruption is None:
+            return None
+        corruptor = self.corruption.build(self.seed, noise_scale)
+        return corruptor if corruptor.active else None
+
 
 # ----------------------------------------------------------------------
 # Strict mapping -> dataclass parsing.
@@ -202,6 +252,7 @@ _ARRIVAL_KEYS = ("process", "period_ms", "burst_size", "idle_ms")
 _SERVICE_KEYS = ("base_ms", "per_point_ms", "jitter_ms")
 _STREAM_KEYS = ("dataset", "algorithm", "count")
 _BREAKER_KEYS = ("threshold", "recovery_ms", "probe_successes")
+_CORRUPTION_KEYS = ("ops", "seed")
 _SCENARIO_KEYS = (
     "name",
     "description",
@@ -219,6 +270,7 @@ _SCENARIO_KEYS = (
     "streams",
     "breaker",
     "faults",
+    "corruption",
 )
 
 
@@ -257,6 +309,25 @@ def _parse_stream(raw: Any, where: str) -> StreamSpec:
     )
     _reject_unknown(mapping, where, _STREAM_KEYS)
     return spec
+
+
+def _parse_corruption(raw: Any, where: str) -> CorruptionBlock | None:
+    if raw is None:
+        return None
+    mapping = _require_mapping(raw, where)
+    raw_ops = mapping.pop("ops", [])
+    if not isinstance(raw_ops, (list, tuple)) or not raw_ops:
+        raise ConfigurationError(
+            f"{where}: ops must be a non-empty list of "
+            "op:severity[@where] specs"
+        )
+    seed = mapping.pop("seed", None)
+    block = CorruptionBlock(
+        ops=tuple(str(spec) for spec in raw_ops),
+        seed=None if seed is None else int(seed),
+    )
+    _reject_unknown(mapping, where, _CORRUPTION_KEYS)
+    return block
 
 
 def _parse_breaker(raw: Any, where: str) -> BreakerSpec | None:
@@ -326,6 +397,9 @@ def parse_scenario(raw: Any, source: str = "scenario") -> Scenario:
         ),
         streams=streams,
         faults=tuple(str(spec) for spec in raw_faults),
+        corruption=_parse_corruption(
+            mapping.pop("corruption", None), f"{source}: corruption"
+        ),
     )
     _reject_unknown(mapping, source, _SCENARIO_KEYS)
     return scenario

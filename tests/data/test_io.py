@@ -198,7 +198,7 @@ class TestLenientMode:
             "0,1.0,2.0,3.0\n"
             "not-a-label,1.0,2.0,3.0\n"   # bad label
             "1,4.0,oops,6.0\n"            # unparsable cell
-            "1,7.0,8.0\n"                 # wrong length
+            "1,7.0,8.0\n"                 # short row: kept, NaN-padded
             "1,7.0,8.0,9.0\n"
         )
         return path
@@ -212,14 +212,24 @@ class TestLenientMode:
 
         with caplog.at_level(logging.WARNING, logger="repro"):
             ds = load_csv(self._messy_csv(tmp_path), strict=False)
-        assert ds.n_instances == 2
-        assert ds.labels.tolist() == [0, 1]
+        # Malformed rows are skipped; the short row survives with a
+        # NaN tail (it is missing data, not garbage).
+        assert ds.n_instances == 3
+        assert ds.labels.tolist() == [0, 1, 1]
+        np.testing.assert_allclose(ds.values[1, 0, :2], [7.0, 8.0])
+        assert np.isnan(ds.values[1, 0, 2])
         warnings = [
             record for record in caplog.records
-            if "skipped 3 malformed row" in record.message
+            if "skipped 2 malformed row" in record.message
         ]
         assert len(warnings) == 1
         assert warnings[0].name == "repro.data.io"
+        padded = [
+            record for record in caplog.records
+            if "padded 1 short row" in record.message
+        ]
+        assert len(padded) == 1
+        assert padded[0].name == "repro.data.io"
 
     def test_csv_lenient_with_no_valid_rows_still_raises(self, tmp_path):
         path = tmp_path / "hopeless.csv"
@@ -237,7 +247,7 @@ class TestLenientMode:
             "@data\n"
             "1.0,2.0,a\n"
             "1.0,2.0,zzz\n"      # unknown class
-            "1.0,b\n"            # wrong cell count
+            "1.0,b\n"            # short row: kept, NaN-padded
             "1.0,oops,b\n"       # unparsable cell
             "3.0,4.0,b\n"
         )
@@ -252,10 +262,16 @@ class TestLenientMode:
 
         with caplog.at_level(logging.WARNING, logger="repro"):
             ds = load_arff(self._messy_arff(tmp_path), strict=False)
-        assert ds.n_instances == 2
-        assert ds.labels.tolist() == [0, 1]
+        assert ds.n_instances == 3
+        assert ds.labels.tolist() == [0, 1, 1]
+        np.testing.assert_allclose(ds.values[1, 0, 0], 1.0)
+        assert np.isnan(ds.values[1, 0, 1])
         assert any(
-            "skipped 3 malformed row" in record.message
+            "skipped 2 malformed row" in record.message
+            for record in caplog.records
+        )
+        assert any(
+            "padded 1 short row" in record.message
             for record in caplog.records
         )
 

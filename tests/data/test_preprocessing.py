@@ -68,6 +68,41 @@ class TestFillMissing:
         assert np.isfinite(mixed).all()
         assert mixed[1] == pytest.approx(0.0)
 
+    def test_long_interior_gap_gets_a_linear_ramp(self):
+        # An interior gap longer than half the series would become one
+        # flat plateau under the constant bracket-mean rule, erasing the
+        # trend; it must ramp linearly between the brackets instead.
+        series = np.asarray(
+            [0.0] + [np.nan] * 8 + [9.0]
+        )  # gap of 8 > 10 // 2
+        filled = fill_missing_array(series)
+        np.testing.assert_allclose(filled, np.arange(10.0))
+
+    def test_short_gap_still_uses_the_papers_bracket_mean(self):
+        # Exactly at the threshold (gap == size // 2) the Section 5.1
+        # constant mean still applies — the ramp is only for gaps that
+        # dominate the series.
+        series = np.asarray(
+            [0.0, np.nan, np.nan, np.nan, np.nan, 8.0, 8.0, 8.0]
+        )  # gap of 4 == 8 // 2: not yet 'long'
+        filled = fill_missing_array(series)
+        np.testing.assert_allclose(filled[1:5], [4.0, 4.0, 4.0, 4.0])
+
+    def test_long_gap_ramp_is_descending_too(self):
+        series = np.asarray([10.0] + [np.nan] * 4 + [0.0])
+        filled = fill_missing_array(series)
+        np.testing.assert_allclose(filled, [10.0, 8.0, 6.0, 4.0, 2.0, 0.0])
+        assert (np.diff(filled) < 0).all()
+
+    def test_long_gap_ramp_never_overflows(self):
+        # Convex combinations (1-t)*a + t*b stay inside [min, max] even
+        # for brackets near the float64 limits.
+        big = np.finfo(float).max * 0.9
+        series = np.asarray([-big] + [np.nan] * 6 + [big])
+        filled = fill_missing_array(series)
+        assert np.isfinite(filled).all()
+        assert (np.diff(filled) >= 0).all()
+
     def test_no_missing_passthrough(self):
         original = np.asarray([1.0, 2.0, 3.0])
         np.testing.assert_array_equal(fill_missing_array(original), original)

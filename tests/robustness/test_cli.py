@@ -1,0 +1,72 @@
+"""Tests for the ``etsc-bench robustness`` CLI."""
+
+import io
+import json
+
+from repro.core.cli import main as dispatch_main
+from repro.robustness.cli import main
+
+
+class TestListOps:
+    def test_catalog_lists_every_operator(self):
+        out = io.StringIO()
+        assert main(["--list-ops"], out=out) == 0
+        text = out.getvalue()
+        for op in (
+            "missing_blocks", "point_dropout", "irregular_resample",
+            "additive_noise", "magnitude_warp", "truncate_varlen",
+            "label_noise", "concept_drift",
+        ):
+            assert op in text
+        assert "op:severity[@where]" in text
+        assert "s5:" in text
+
+
+class TestValidation:
+    def test_unknown_operator_is_a_usage_error(self):
+        out = io.StringIO()
+        assert main(["--ops", "gremlins"], out=out) == 2
+        assert "unknown corruption operator" in out.getvalue()
+
+    def test_out_of_range_severity_is_a_usage_error(self):
+        out = io.StringIO()
+        assert main(
+            ["--ops", "missing_blocks", "--severities", "9"], out=out
+        ) == 2
+        assert "severity" in out.getvalue()
+
+    def test_resume_requires_checkpoint(self):
+        out = io.StringIO()
+        assert main(["--resume"], out=out) == 2
+        assert "--checkpoint" in out.getvalue()
+
+
+class TestTinyRun:
+    def test_mini_grid_renders_and_writes_report(self, tmp_path):
+        out = io.StringIO()
+        report_path = tmp_path / "robust.json"
+        code = main(
+            [
+                "--ops", "missing_blocks",
+                "--severities", "2",
+                "--algorithms", "ECTS",
+                "--datasets", "PowerCons",
+                "--scale", "0.08",
+                "--folds", "2",
+                "--output", str(report_path),
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "missing_blocks" in text
+        assert "ECTS" in text
+        payload = json.loads(report_path.read_text())
+        assert payload["grid"]["ops"] == ["missing_blocks"]
+        assert payload["grid"]["severities"] == [0, 2]
+        assert "environment" in payload
+
+    def test_dispatch_through_etsc_bench(self):
+        out = io.StringIO()
+        assert dispatch_main(["robustness", "--list-ops"], out=out) == 0
+        assert "corruption operators" in out.getvalue()

@@ -1,0 +1,163 @@
+"""Tests for corrupted dataset variants and the derived registry."""
+
+import numpy as np
+import pytest
+
+from repro.core import DatasetRegistry
+from repro.exceptions import ConfigurationError
+from repro.robustness import (
+    CorruptedDatasetVariant,
+    CorruptionSpec,
+    corrupt_dataset,
+    corrupted_registry,
+)
+from tests.conftest import make_sinusoid_dataset
+
+
+@pytest.fixture
+def dataset():
+    return make_sinusoid_dataset(16, length=24, name="toy")
+
+
+def base_registry():
+    registry = DatasetRegistry()
+    registry.register("toy", lambda: make_sinusoid_dataset(16, length=24,
+                                                           name="toy"))
+    return registry
+
+
+class TestCorruptDataset:
+    def test_all_severity_zero_returns_same_object(self, dataset):
+        specs = [
+            CorruptionSpec(op="missing_blocks", severity=0),
+            CorruptionSpec(op="additive_noise", severity=0),
+        ]
+        assert corrupt_dataset(dataset, specs) is dataset
+
+    def test_deterministic_across_calls(self, dataset):
+        specs = [CorruptionSpec(op="point_dropout", severity=3)]
+        a = corrupt_dataset(dataset, specs, corruption_seed=5)
+        b = corrupt_dataset(dataset, specs, corruption_seed=5)
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_corruption_seed_changes_output(self, dataset):
+        specs = [CorruptionSpec(op="point_dropout", severity=3)]
+        a = corrupt_dataset(dataset, specs, corruption_seed=0, fill=False)
+        b = corrupt_dataset(dataset, specs, corruption_seed=1, fill=False)
+        assert not np.array_equal(
+            np.isnan(a.values), np.isnan(b.values)
+        )
+
+    def test_fill_applies_section_51_gap_filling(self, dataset):
+        specs = [CorruptionSpec(op="missing_blocks", severity=3)]
+        filled = corrupt_dataset(dataset, specs, fill=True)
+        assert not filled.has_missing()
+        raw = corrupt_dataset(dataset, specs, fill=False)
+        assert raw.has_missing()
+        # Fill only changes the points the operator blanked.
+        blanked = np.isnan(raw.values)
+        np.testing.assert_array_equal(
+            filled.values[~blanked], dataset.values[~blanked]
+        )
+
+    def test_pipeline_composes_left_to_right(self, dataset):
+        noise = CorruptionSpec(op="additive_noise", severity=2)
+        labels = CorruptionSpec(op="label_noise", severity=4)
+        combined = corrupt_dataset(dataset, [noise, labels])
+        only_noise = corrupt_dataset(dataset, [noise])
+        np.testing.assert_array_equal(combined.values, only_noise.values)
+        assert not np.array_equal(combined.labels, dataset.labels)
+
+    def test_name_override(self, dataset):
+        out = corrupt_dataset(
+            dataset,
+            [CorruptionSpec(op="additive_noise", severity=1)],
+            name="toy#additive_noise:1",
+        )
+        assert out.name == "toy#additive_noise:1"
+
+
+class TestVariantNaming:
+    def test_name_and_parse_round_trip(self):
+        variant = CorruptedDatasetVariant(
+            base="PowerCons",
+            spec=CorruptionSpec(op="missing_blocks", severity=3,
+                                where="tail"),
+        )
+        assert variant.name == "PowerCons#missing_blocks:3@tail"
+        assert CorruptedDatasetVariant.parse_name(variant.name) == variant
+
+    def test_parse_clean_name_is_none(self):
+        assert CorruptedDatasetVariant.parse_name("PowerCons") is None
+
+    def test_load_names_and_corrupts(self):
+        variant = CorruptedDatasetVariant(
+            base="toy", spec=CorruptionSpec(op="additive_noise", severity=2)
+        )
+        loaded = variant.load(base_registry(), corruption_seed=0)
+        assert loaded.name == variant.name
+        assert not np.array_equal(
+            loaded.values, base_registry().load("toy").values
+        )
+
+
+class TestCorruptedRegistry:
+    def test_clean_and_variants_side_by_side(self):
+        registry, variants = corrupted_registry(
+            base_registry(),
+            ["toy"],
+            [CorruptionSpec(op="missing_blocks", severity=1)],
+            severities=[0, 1, 3],
+        )
+        names = registry.names()
+        assert "toy" in names
+        assert "toy#missing_blocks:1" in names
+        assert "toy#missing_blocks:3" in names
+        # Severity 0 never materialises a variant: the clean entry IS
+        # the severity-0 cell, shared by every operator's curve.
+        assert set(variants) == {
+            "toy#missing_blocks:1", "toy#missing_blocks:3",
+        }
+
+    def test_registry_loads_are_deterministic(self):
+        registry, _ = corrupted_registry(
+            base_registry(),
+            ["toy"],
+            [CorruptionSpec(op="point_dropout", severity=1)],
+            severities=[2],
+            corruption_seed=9,
+        )
+        a = registry.load("toy#point_dropout:2")
+        b = registry.load("toy#point_dropout:2")
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_clean_entry_is_the_base_dataset(self):
+        registry, _ = corrupted_registry(
+            base_registry(),
+            ["toy"],
+            [CorruptionSpec(op="additive_noise", severity=1)],
+            severities=[1],
+        )
+        np.testing.assert_array_equal(
+            registry.load("toy").values, base_registry().load("toy").values
+        )
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown dataset"):
+            corrupted_registry(
+                base_registry(),
+                ["missing"],
+                [CorruptionSpec(op="additive_noise", severity=1)],
+                severities=[1],
+            )
+
+    def test_separator_in_name_rejected(self):
+        registry = DatasetRegistry()
+        registry.register("bad#name", lambda: make_sinusoid_dataset(4))
+        with pytest.raises(ConfigurationError, match="separator"):
+            corrupted_registry(
+                registry,
+                ["bad#name"],
+                [CorruptionSpec(op="additive_noise", severity=1)],
+                severities=[1],
+            )

@@ -1,0 +1,297 @@
+"""Tests for the robustness grid: curves, retention, AUC, determinism,
+and corruption-aware checkpoint fingerprints."""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AlgorithmRegistry,
+    BenchmarkRunner,
+    DatasetRegistry,
+    EarlyClassifier,
+    EarlyPrediction,
+)
+from repro.exceptions import CheckpointMismatchError, ConfigurationError
+from repro.robustness import (
+    CorruptionSpec,
+    RobustnessReport,
+    run_robustness,
+)
+from tests.conftest import make_sinusoid_dataset
+
+
+class _Majority(EarlyClassifier):
+    """Value-blind classifier: perfectly robust to value corruption."""
+
+    supports_multivariate = True
+
+    def _train(self, dataset):
+        values, counts = np.unique(dataset.labels, return_counts=True)
+        self._majority = int(values[counts.argmax()])
+
+    def _predict(self, dataset):
+        return [
+            EarlyPrediction(self._majority, 1, dataset.length)
+            for _ in range(dataset.n_instances)
+        ]
+
+
+def toy_registries():
+    algorithms = AlgorithmRegistry()
+    algorithms.register("MAJ", _Majority)
+    datasets = DatasetRegistry()
+    datasets.register(
+        "toy", lambda: make_sinusoid_dataset(16, length=24, name="toy")
+    )
+    return algorithms, datasets
+
+
+def _cell(accuracy):
+    return SimpleNamespace(
+        accuracy=accuracy,
+        f1=accuracy,
+        earliness=0.5,
+        harmonic_mean=accuracy,
+    )
+
+
+def fabricated_report(cells, severities=(0, 1, 2)):
+    """A report over one algorithm/dataset with hand-picked accuracies."""
+    results = {("A", name): _cell(value) for name, value in cells.items()}
+    return RobustnessReport(
+        base_report=SimpleNamespace(results=results, failures={}),
+        variants={},
+        algorithms=["A"],
+        base_datasets=["D"],
+        ops=["point_dropout"],
+        severities=list(severities),
+    )
+
+
+class TestCurveMath:
+    def test_curve_and_retention(self):
+        report = fabricated_report(
+            {"D": 0.8, "D#point_dropout:1": 0.6, "D#point_dropout:2": 0.4}
+        )
+        assert report.curve("A", "point_dropout", "accuracy") == {
+            0: 0.8, 1: 0.6, 2: 0.4,
+        }
+        retention = report.retention_curve("A", "point_dropout", "accuracy")
+        assert retention == pytest.approx({0: 1.0, 1: 0.75, 2: 0.5})
+
+    def test_auc_is_normalised_trapezoid(self):
+        report = fabricated_report(
+            {"D": 0.8, "D#point_dropout:1": 0.6, "D#point_dropout:2": 0.4}
+        )
+        # Retention (0,1.0) (1,0.75) (2,0.5): area 1.5 over span 2.
+        auc = report.robustness_auc("A", "point_dropout", "accuracy")
+        assert auc == pytest.approx(0.75)
+
+    def test_flat_curve_has_auc_one(self):
+        report = fabricated_report(
+            {"D": 0.8, "D#point_dropout:1": 0.8, "D#point_dropout:2": 0.8}
+        )
+        assert report.robustness_auc("A", "point_dropout") == pytest.approx(
+            1.0
+        )
+
+    def test_failed_severities_are_omitted_not_zero(self):
+        report = fabricated_report(
+            {"D": 0.8, "D#point_dropout:2": 0.4}  # severity 1 failed
+        )
+        assert 1 not in report.curve("A", "point_dropout", "accuracy")
+
+    def test_auc_needs_two_points(self):
+        report = fabricated_report({"D": 0.8}, severities=(0, 1))
+        assert report.robustness_auc("A", "point_dropout") is None
+
+    def test_zero_clean_score_retention(self):
+        report = fabricated_report(
+            {"D": 0.0, "D#point_dropout:1": 0.0, "D#point_dropout:2": 0.3}
+        )
+        retention = report.retention_curve("A", "point_dropout", "accuracy")
+        assert retention[0] == 1.0
+        assert retention[1] == 1.0  # still zero: fully 'retained'
+        assert retention[2] == 0.0  # a zero baseline cannot be retained
+
+    def test_unknown_metric_rejected(self):
+        report = fabricated_report({"D": 0.8})
+        with pytest.raises(ConfigurationError, match="metric"):
+            report.curve("A", "point_dropout", "vibes")
+
+
+class TestRunRobustness:
+    def test_value_blind_classifier_is_perfectly_robust(self):
+        algorithms, datasets = toy_registries()
+        report = run_robustness(
+            algorithms,
+            datasets,
+            ops=[CorruptionSpec(op="additive_noise", severity=1)],
+            severities=[2, 4],
+            n_folds=2,
+        )
+        # Severity 0 is always evaluated and anchors the curve.
+        assert report.severities == [0, 2, 4]
+        curve = report.curve("MAJ", "additive_noise", "accuracy")
+        assert set(curve) == {0, 2, 4}
+        # Value corruption cannot move a label-only classifier.
+        assert report.robustness_auc("MAJ", "additive_noise") == (
+            pytest.approx(1.0)
+        )
+
+    def test_severity_zero_cells_match_plain_grid(self):
+        algorithms, datasets = toy_registries()
+        report = run_robustness(
+            algorithms,
+            datasets,
+            ops=[CorruptionSpec(op="missing_blocks", severity=1)],
+            severities=[3],
+            n_folds=2,
+            seed=0,
+        )
+        plain = BenchmarkRunner(
+            algorithms, datasets, n_folds=2, seed=0
+        ).run()
+        clean = report.base_report.results[("MAJ", "toy")]
+        expected = plain.results[("MAJ", "toy")]
+        assert clean.accuracy == expected.accuracy
+        assert clean.earliness == expected.earliness
+        assert clean.harmonic_mean == expected.harmonic_mean
+
+    def test_double_run_is_byte_identical(self):
+        def one_run():
+            algorithms, datasets = toy_registries()
+            return run_robustness(
+                algorithms,
+                datasets,
+                ops=[
+                    CorruptionSpec(op="point_dropout", severity=1),
+                    CorruptionSpec(
+                        op="additive_noise", severity=1, where="tail"
+                    ),
+                ],
+                severities=[1, 3],
+                n_folds=2,
+            ).deterministic_dict()
+
+        import json
+
+        a, b = one_run(), one_run()
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_report_render_mentions_ops_and_auc(self):
+        algorithms, datasets = toy_registries()
+        report = run_robustness(
+            algorithms,
+            datasets,
+            ops=[CorruptionSpec(op="magnitude_warp", severity=1)],
+            severities=[2],
+            n_folds=2,
+        )
+        text = report.render()
+        assert "magnitude_warp" in text
+        assert "MAJ" in text
+        assert "AUC" in text
+
+    def test_deterministic_dict_shape(self):
+        algorithms, datasets = toy_registries()
+        payload = run_robustness(
+            algorithms,
+            datasets,
+            ops=[CorruptionSpec(op="label_noise", severity=1)],
+            severities=[5],
+            n_folds=2,
+        ).deterministic_dict()
+        assert set(payload) == {"grid", "clean", "robustness", "failures"}
+        assert payload["grid"]["ops"] == ["label_noise"]
+        assert payload["grid"]["severities"] == [0, 5]
+        assert "label_noise" in payload["robustness"]
+        assert "auc" in payload["robustness"]["label_noise"]["MAJ"]
+
+    def test_requires_an_operator(self):
+        algorithms, datasets = toy_registries()
+        with pytest.raises(ConfigurationError, match="at least one"):
+            run_robustness(algorithms, datasets, ops=[], severities=[1])
+
+    def test_requires_a_positive_severity(self):
+        algorithms, datasets = toy_registries()
+        with pytest.raises(ConfigurationError, match="severity 0 alone"):
+            run_robustness(
+                algorithms,
+                datasets,
+                ops=[CorruptionSpec(op="point_dropout", severity=1)],
+                severities=[0],
+            )
+
+    def test_duplicate_ops_rejected(self):
+        algorithms, datasets = toy_registries()
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            run_robustness(
+                algorithms,
+                datasets,
+                ops=[
+                    CorruptionSpec(op="point_dropout", severity=1),
+                    CorruptionSpec(op="point_dropout", severity=2),
+                ],
+                severities=[1],
+            )
+
+
+class TestCheckpointFingerprint:
+    def _run(self, tmp_path, resume=False, **kwargs):
+        algorithms, datasets = toy_registries()
+        path = tmp_path / "robust.ckpt"
+        return run_robustness(
+            algorithms,
+            datasets,
+            ops=[CorruptionSpec(op="missing_blocks", severity=1)],
+            severities=[2],
+            n_folds=2,
+            checkpoint_path=path,
+            resume_from=path if resume else None,
+            **kwargs,
+        )
+
+    def test_resume_with_same_corruption_succeeds(self, tmp_path):
+        first = self._run(tmp_path, corruption_seed=7)
+        resumed = self._run(tmp_path, resume=True, corruption_seed=7)
+        assert (
+            resumed.deterministic_dict() == first.deterministic_dict()
+        )
+
+    def test_resume_with_different_corruption_seed_fails_fast(
+        self, tmp_path
+    ):
+        self._run(tmp_path, corruption_seed=0)
+        with pytest.raises(CheckpointMismatchError) as error:
+            self._run(tmp_path, resume=True, corruption_seed=99)
+        # Satellite: the error names the actual knob that changed.
+        message = str(error.value)
+        assert "extra.corruption_seed" in message
+        assert "0" in message and "99" in message
+
+    def test_resume_with_different_ops_fails_fast(self, tmp_path):
+        algorithms, datasets = toy_registries()
+        path = tmp_path / "robust.ckpt"
+        run_robustness(
+            algorithms,
+            datasets,
+            ops=[CorruptionSpec(op="missing_blocks", severity=1)],
+            severities=[2],
+            n_folds=2,
+            checkpoint_path=path,
+        )
+        with pytest.raises(
+            CheckpointMismatchError, match="corruption_ops"
+        ):
+            run_robustness(
+                algorithms,
+                datasets,
+                ops=[CorruptionSpec(op="additive_noise", severity=1)],
+                severities=[2],
+                n_folds=2,
+                checkpoint_path=path,
+                resume_from=path,
+            )

@@ -1,0 +1,266 @@
+"""Tests for the corruption operator library: the three contracts
+(severity-0 no-op, determinism, composability) plus per-op behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.robustness import (
+    MAX_SEVERITY,
+    OPERATOR_NAMES,
+    apply_operator,
+    corruption_rng,
+    operator_catalog,
+    severity_params,
+)
+from repro.robustness.operators import _window_bounds
+
+
+@pytest.fixture
+def arrays():
+    rng = np.random.default_rng(7)
+    values = rng.normal(size=(12, 2, 40))
+    labels = np.arange(12) % 3
+    return values, labels
+
+
+class TestSeverityZeroContract:
+    @pytest.mark.parametrize("op", OPERATOR_NAMES)
+    def test_severity_zero_returns_same_objects(self, op, arrays):
+        values, labels = arrays
+        out_values, out_labels = apply_operator(
+            op, values, labels, corruption_rng(0, "d", op), 0
+        )
+        assert out_values is values
+        assert out_labels is labels
+
+    @pytest.mark.parametrize("op", OPERATOR_NAMES)
+    def test_severity_zero_never_consults_rng(self, op, arrays):
+        values, labels = arrays
+        rng = corruption_rng(0, "d", op)
+        apply_operator(op, values, labels, rng, 0)
+        fresh = corruption_rng(0, "d", op)
+        # An untouched generator still produces the same first draw.
+        assert rng.random() == fresh.random()
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("op", OPERATOR_NAMES)
+    @pytest.mark.parametrize("severity", [1, 3, 5])
+    def test_same_key_same_output(self, op, severity, arrays):
+        values, labels = arrays
+        a = apply_operator(
+            op, values, labels, corruption_rng(0, "d", op, severity), severity
+        )
+        b = apply_operator(
+            op, values, labels, corruption_rng(0, "d", op, severity), severity
+        )
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_different_seed_different_corruption(self, arrays):
+        values, labels = arrays
+        a, _ = apply_operator(
+            "point_dropout", values, labels, corruption_rng(0, "d"), 3
+        )
+        b, _ = apply_operator(
+            "point_dropout", values, labels, corruption_rng(1, "d"), 3
+        )
+        assert not np.array_equal(
+            np.isnan(a), np.isnan(b)
+        )
+
+    def test_corruption_rng_is_crc32_stable(self):
+        # The key convention must not fall back to hash() (per-process
+        # salted); equal parts give byte-equal streams.
+        a = corruption_rng(0, "PowerCons", "missing_blocks", 3, "all")
+        b = corruption_rng(0, "PowerCons", "missing_blocks", 3, "all")
+        np.testing.assert_array_equal(a.random(16), b.random(16))
+        c = corruption_rng(0, "PowerCons", "missing_blocks", 4, "all")
+        assert not np.array_equal(a.random(16), c.random(16))
+
+
+class TestShapesAndValues:
+    @pytest.mark.parametrize("op", OPERATOR_NAMES)
+    def test_shape_and_input_preserved(self, op, arrays):
+        values, labels = arrays
+        before = values.copy()
+        out_values, out_labels = apply_operator(
+            op, values, labels, corruption_rng(0, "d", op), 3
+        )
+        assert out_values.shape == values.shape
+        assert out_labels.shape == labels.shape
+        # Operators copy; the caller's arrays stay pristine.
+        np.testing.assert_array_equal(values, before)
+
+    def test_missing_blocks_one_gap_per_series(self, arrays):
+        values, labels = arrays
+        out, _ = apply_operator(
+            "missing_blocks", values, labels, corruption_rng(0, "d"), 3
+        )
+        fraction = severity_params("missing_blocks", 3)["block_fraction"]
+        expected = max(1, int(round(fraction * values.shape[2])))
+        for i in range(values.shape[0]):
+            for j in range(values.shape[1]):
+                gaps = np.flatnonzero(np.isnan(out[i, j]))
+                assert gaps.size == expected
+                assert gaps[-1] - gaps[0] == expected - 1  # contiguous
+
+    def test_point_dropout_severity_gradient(self, arrays):
+        values, labels = arrays
+        mild, _ = apply_operator(
+            "point_dropout", values, labels, corruption_rng(0, "d"), 1
+        )
+        harsh, _ = apply_operator(
+            "point_dropout", values, labels, corruption_rng(0, "d"), 5
+        )
+        assert np.isnan(harsh).sum() > np.isnan(mild).sum() > 0
+
+    def test_additive_noise_perturbs_without_nans(self, arrays):
+        values, labels = arrays
+        out, _ = apply_operator(
+            "additive_noise", values, labels, corruption_rng(0, "d"), 2
+        )
+        assert not np.isnan(out).any()
+        assert not np.array_equal(out, values)
+
+    def test_additive_noise_tolerates_nan_input(self, arrays):
+        # Composability: std for scaling is computed over finite values.
+        values, labels = arrays
+        values = values.copy()
+        values[0, 0, :5] = np.nan
+        out, _ = apply_operator(
+            "additive_noise", values, labels, corruption_rng(0, "d"), 2
+        )
+        assert np.isfinite(out[0, 0, 5:]).all()
+
+    def test_magnitude_warp_is_multiplicative(self, arrays):
+        values, labels = arrays
+        zeros = np.zeros_like(values)
+        out, _ = apply_operator(
+            "magnitude_warp", zeros, labels, corruption_rng(0, "d"), 4
+        )
+        np.testing.assert_array_equal(out, zeros)
+
+    def test_truncate_varlen_gives_nan_tails(self, arrays):
+        values, labels = arrays
+        out, _ = apply_operator(
+            "truncate_varlen", values, labels, corruption_rng(0, "d"), 5
+        )
+        assert np.isnan(out).any()
+        for i in range(values.shape[0]):
+            missing = np.isnan(out[i, 0])
+            if missing.any():
+                # Once NaN, NaN until the end: a tail, not a gap.
+                first = np.flatnonzero(missing)[0]
+                assert missing[first:].all()
+
+    def test_label_noise_flips_labels_not_values(self, arrays):
+        values, labels = arrays
+        out_values, out_labels = apply_operator(
+            "label_noise", values, labels, corruption_rng(0, "d"), 5
+        )
+        assert out_values is values
+        flipped = np.flatnonzero(out_labels != labels)
+        assert flipped.size > 0
+        # Every flip lands on a *different* valid class.
+        for index in flipped:
+            assert out_labels[index] in labels
+            assert out_labels[index] != labels[index]
+
+    def test_label_noise_single_class_pass_through(self):
+        values = np.zeros((5, 1, 10))
+        labels = np.zeros(5, dtype=int)
+        _, out_labels = apply_operator(
+            "label_noise", values, labels, corruption_rng(0, "d"), 5
+        )
+        np.testing.assert_array_equal(out_labels, labels)
+
+    def test_concept_drift_changes_values_not_labels(self, arrays):
+        values, labels = arrays
+        out_values, out_labels = apply_operator(
+            "concept_drift", values, labels, corruption_rng(0, "d"), 4
+        )
+        np.testing.assert_array_equal(out_labels, labels)
+        tick = int(round(
+            severity_params("concept_drift", 4)["drift_tick_fraction"]
+            * values.shape[2]
+        ))
+        # Nothing before the drift tick moves.
+        np.testing.assert_array_equal(
+            out_values[:, :, :tick], values[:, :, :tick]
+        )
+        assert not np.array_equal(out_values, values)
+
+    def test_concept_drift_single_class_pass_through(self):
+        values = np.random.default_rng(0).normal(size=(5, 1, 10))
+        labels = np.zeros(5, dtype=int)
+        out_values, _ = apply_operator(
+            "concept_drift", values, labels, corruption_rng(0, "d"), 5
+        )
+        np.testing.assert_array_equal(out_values, values)
+
+
+class TestWindows:
+    def test_tail_window_leaves_head_untouched(self, arrays):
+        values, labels = arrays
+        out, _ = apply_operator(
+            "point_dropout",
+            values,
+            labels,
+            corruption_rng(0, "d"),
+            5,
+            window=(2.0 / 3.0, 1.0),
+        )
+        start, _ = _window_bounds(values.shape[2], (2.0 / 3.0, 1.0))
+        np.testing.assert_array_equal(
+            out[:, :, :start], values[:, :, :start]
+        )
+        assert np.isnan(out[:, :, start:]).any()
+
+    def test_window_bounds_never_empty(self):
+        for length in (1, 2, 3, 40):
+            for window in [(0.0, 1.0 / 3.0), (1.0 / 3.0, 2.0 / 3.0),
+                           (2.0 / 3.0, 1.0)]:
+                start, stop = _window_bounds(length, window)
+                assert 0 <= start < stop <= length
+
+
+class TestValidationAndCatalog:
+    def test_unknown_operator_rejected(self, arrays):
+        values, labels = arrays
+        with pytest.raises(ConfigurationError, match="unknown corruption"):
+            apply_operator("gremlins", values, labels, corruption_rng(0), 1)
+
+    def test_out_of_range_severity_rejected(self, arrays):
+        values, labels = arrays
+        with pytest.raises(ConfigurationError, match="severity"):
+            apply_operator(
+                "point_dropout", values, labels, corruption_rng(0),
+                MAX_SEVERITY + 1,
+            )
+
+    def test_non_3d_values_rejected(self):
+        with pytest.raises(ConfigurationError, match=r"\(N, V, L\)"):
+            apply_operator(
+                "point_dropout",
+                np.zeros((4, 10)),
+                np.zeros(4, dtype=int),
+                corruption_rng(0),
+                2,
+            )
+
+    def test_severity_params_validation(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            severity_params("gremlins", 1)
+        with pytest.raises(ConfigurationError, match="severity"):
+            severity_params("point_dropout", 0)
+
+    def test_catalog_covers_every_operator_and_severity(self):
+        catalog = operator_catalog()
+        assert set(catalog) == set(OPERATOR_NAMES)
+        for entry in catalog.values():
+            assert entry["description"]
+            assert set(entry["severity_params"]) == set(
+                range(1, MAX_SEVERITY + 1)
+            )

@@ -1,0 +1,95 @@
+"""Tests for the ``op:severity[@where]`` corruption spec grammar."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.robustness import (
+    CorruptionSpec,
+    parse_corruption_spec,
+    parse_corruption_specs,
+)
+from repro.robustness.spec import WHERE_CHOICES
+
+
+class TestParsing:
+    def test_minimal_spec(self):
+        spec = parse_corruption_spec("missing_blocks:3")
+        assert spec.op == "missing_blocks"
+        assert spec.severity == 3
+        assert spec.where == "all"
+        assert spec.window == (0.0, 1.0)
+
+    def test_placed_spec(self):
+        spec = parse_corruption_spec("additive_noise:2@tail")
+        assert spec.where == "tail"
+        assert spec.window == (2.0 / 3.0, 1.0)
+
+    def test_whitespace_tolerated(self):
+        spec = parse_corruption_spec("  point_dropout : 1 @ mid ".replace(
+            " : ", ":"
+        ).replace(" @ ", "@"))
+        assert (spec.op, spec.severity, spec.where) == (
+            "point_dropout", 1, "mid"
+        )
+
+    @pytest.mark.parametrize(
+        "text",
+        ["missing_blocks:3", "additive_noise:2@tail", "label_noise:0"],
+    )
+    def test_str_round_trip(self, text):
+        assert str(parse_corruption_spec(text)) == text
+
+    def test_severity_zero_is_valid(self):
+        assert parse_corruption_spec("missing_blocks:0").severity == 0
+
+    def test_where_choices_cover_the_thirds(self):
+        assert WHERE_CHOICES == ("all", "head", "mid", "tail")
+
+
+class TestRejection:
+    @pytest.mark.parametrize(
+        "text, match",
+        [
+            ("gremlins:3", "unknown corruption operator"),
+            ("missing_blocks:9", "severity"),
+            ("missing_blocks:-1", "severity"),
+            ("missing_blocks:soft", "severity"),
+            ("missing_blocks", "expected op:severity"),
+            ("missing_blocks:3:4", "expected op:severity"),
+            (":3", "expected op:severity"),
+            ("missing_blocks:3@", "empty placement"),
+            ("missing_blocks:3@nowhere", "placement"),
+            ("label_noise:3@tail", "no time axis"),
+        ],
+    )
+    def test_malformed_specs(self, text, match):
+        with pytest.raises(ConfigurationError, match=match):
+            parse_corruption_spec(text)
+
+    def test_constructor_validates_too(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            CorruptionSpec(op="gremlins", severity=1)
+        with pytest.raises(ConfigurationError, match="no time axis"):
+            CorruptionSpec(op="label_noise", severity=1, where="head")
+
+
+class TestPipelines:
+    def test_order_is_preserved(self):
+        specs = parse_corruption_specs(
+            ["additive_noise:1", "missing_blocks:2"]
+        )
+        assert [spec.op for spec in specs] == [
+            "additive_noise", "missing_blocks",
+        ]
+
+    def test_duplicate_op_and_placement_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            parse_corruption_specs(
+                ["missing_blocks:1", "missing_blocks:3"]
+            )
+
+    def test_same_op_different_placement_allowed(self):
+        specs = parse_corruption_specs(
+            ["missing_blocks:1@head", "missing_blocks:1@tail"]
+        )
+        assert len(specs) == 2

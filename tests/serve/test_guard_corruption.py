@@ -1,0 +1,165 @@
+"""Input-guard behaviour under corruption-shaped inputs (robustness
+suite satellite): NaN blocks, warped magnitudes, NaN tails — and the
+severity-0 bit-identity gate."""
+
+import numpy as np
+import pytest
+
+from repro.core.prediction import SOURCE_FALLBACK
+from repro.etsc import TEASER
+from repro.robustness import CorruptionSpec, StreamCorruptor, corrupt_dataset
+from repro.serve import (
+    GUARD_LENIENT,
+    GuardedStreamingSession,
+    GuardStats,
+    InputGuard,
+    make_fallback,
+)
+from tests.conftest import make_sinusoid_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_sinusoid_dataset(40, length=24, noise=0.1)
+
+
+@pytest.fixture(scope="module")
+def trained(dataset):
+    return TEASER(n_prefixes=6).train(dataset)
+
+
+@pytest.fixture(scope="module")
+def stats(dataset):
+    return GuardStats.from_dataset(dataset)
+
+
+class TestNanBlockImputation:
+    def test_guard_imputes_missing_block_from_last_good(self, dataset, stats):
+        corrupted = corrupt_dataset(
+            dataset,
+            [CorruptionSpec(op="missing_blocks", severity=4)],
+            fill=False,
+        )
+        series = corrupted.values[0]
+        assert np.isnan(series).any()
+        guard = InputGuard(stats, policy=GUARD_LENIENT)
+        last_good = None
+        for t in range(series.shape[1]):
+            outcome = guard.inspect(series[:, t])
+            assert outcome.accepted
+            assert np.isfinite(outcome.point).all()
+            if np.isnan(series[0, t]):
+                # Interior NaNs repair to the last good delivery, the
+                # same rule a real sensor dropout would hit.
+                assert outcome.repaired
+                assert outcome.point[0] == last_good
+            last_good = float(outcome.point[0])
+        assert guard.n_sanitized == int(np.isnan(series).sum())
+
+    def test_session_decides_through_a_nan_block(self, trained, dataset):
+        corrupted = corrupt_dataset(
+            dataset,
+            [CorruptionSpec(op="missing_blocks", severity=5)],
+            fill=False,
+        )
+        session = GuardedStreamingSession.for_dataset(trained, dataset)
+        decision = session.run(corrupted.values[1])
+        assert decision is not None
+        assert session.n_rejected == 0
+        assert session.metrics.snapshot()["serve.sanitized_points"] == int(
+            np.isnan(corrupted.values[1]).sum()
+        )
+
+
+class TestMagnitudeClampOnWarpedSeries:
+    def test_extreme_warp_is_clamped_into_the_training_band(self, stats):
+        guard = InputGuard(stats, policy=GUARD_LENIENT)
+        channel = stats.channels[0]
+        # A warp far beyond anything magnitude_warp:5 produces — the
+        # clamp band must contain whatever comes back.
+        outcome = guard.inspect(np.asarray([channel.hi * 50.0]))
+        assert outcome.accepted
+        assert outcome.repaired
+        assert channel.lo <= outcome.point[0] <= channel.hi
+
+    def test_moderate_warp_passes_unclamped(self, dataset, stats):
+        corrupted = corrupt_dataset(
+            dataset, [CorruptionSpec(op="magnitude_warp", severity=1)]
+        )
+        guard = InputGuard(stats, policy=GUARD_LENIENT)
+        series = corrupted.values[0]
+        repaired = 0
+        for t in range(series.shape[1]):
+            outcome = guard.inspect(series[:, t])
+            assert outcome.accepted
+            repaired += int(outcome.repaired)
+        # A 5% amplitude drift stays inside the 6-sigma training band.
+        assert repaired == 0
+
+
+class TestPrefixFallbackWithNanTails:
+    def test_prefix_1nn_answers_on_truncated_stream(self, trained, dataset):
+        corrupted = corrupt_dataset(
+            dataset,
+            [CorruptionSpec(op="truncate_varlen", severity=5)],
+            fill=False,
+        )
+        # Pick an instance that actually lost its tail.
+        index = next(
+            i
+            for i in range(corrupted.n_instances)
+            if np.isnan(corrupted.values[i]).any()
+        )
+        session = GuardedStreamingSession.for_dataset(
+            trained,
+            dataset,
+            fallback=make_fallback("prefix-1nn").fit(dataset),
+        )
+        decision = session.run(corrupted.values[index])
+        assert decision is not None
+        # The guard imputed the NaN tail, so the PrefixDistanceCache
+        # consults saw only finite values.
+        assert session.n_rejected == 0
+        assert decision.label in np.unique(dataset.labels)
+
+    def test_prefix_1nn_direct_consult_after_guard_repair(self, dataset):
+        fallback = make_fallback("prefix-1nn").fit(dataset)
+        guard = InputGuard(
+            GuardStats.from_dataset(dataset), policy=GUARD_LENIENT
+        )
+        series = dataset.values[0].copy()
+        series[0, 10:] = np.nan  # a dead sensor's NaN tail
+        repaired = np.empty_like(series)
+        for t in range(series.shape[1]):
+            repaired[:, t] = guard.inspect(series[:, t]).point
+        prediction = fallback.predict_prefix(repaired, dataset.length)
+        assert prediction.source == SOURCE_FALLBACK
+        assert np.isfinite(prediction.confidence)
+
+
+class TestSeverityZeroBitIdentity:
+    def test_guarded_results_identical_with_noop_corruptor(
+        self, trained, dataset
+    ):
+        noop = StreamCorruptor(
+            ["missing_blocks:0", "additive_noise:0", "magnitude_warp:0"]
+        )
+        for i in range(4):
+            clean = GuardedStreamingSession.for_dataset(trained, dataset)
+            expected = clean.run(dataset.values[i])
+            guarded = GuardedStreamingSession.for_dataset(
+                trained, dataset, corruptor=noop
+            )
+            actual = guarded.run(dataset.values[i])
+            assert actual.label == expected.label
+            assert actual.decided_at == expected.decided_at
+            assert actual.confidence == expected.confidence
+            assert guarded.metrics.snapshot() == clean.metrics.snapshot()
+            assert guarded.corruption_events == []
+
+    def test_severity_zero_dataset_is_the_same_object(self, dataset):
+        specs = [
+            CorruptionSpec(op=op, severity=0)
+            for op in ("missing_blocks", "additive_noise", "label_noise")
+        ]
+        assert corrupt_dataset(dataset, specs) is dataset

@@ -30,7 +30,18 @@ from .resilience import (
     classify_failure,
     failure_reason,
 )
+from .pool import available_cores
 from .results import load_report, report_to_markdown, save_report
+from .sched import (
+    CellEstimate,
+    ClaimBoard,
+    CostModel,
+    ShardSpec,
+    lpt_order,
+    merge_checkpoint_states,
+    partition_cells,
+    resolve_workers,
+)
 from .significance import (
     SignificanceReport,
     compare_algorithms,
@@ -93,4 +104,13 @@ __all__ = [
     "StreamingDecision",
     "StreamingSession",
     "LatencySummary",
+    "CellEstimate",
+    "ClaimBoard",
+    "CostModel",
+    "ShardSpec",
+    "available_cores",
+    "lpt_order",
+    "merge_checkpoint_states",
+    "partition_cells",
+    "resolve_workers",
 ]

@@ -101,8 +101,17 @@ class CheckpointState:
     )
     failures: dict[tuple[str, str], str] = field(default_factory=dict)
     failure_kinds: dict[tuple[str, str], str] = field(default_factory=dict)
+    failure_attempts: dict[tuple[str, str], int] = field(
+        default_factory=dict
+    )
     categories: dict[str, DatasetCategories] = field(default_factory=dict)
     frequencies: dict[str, float] = field(default_factory=dict)
+    #: Per-cell ``{"wall_seconds": ..., "cpu_seconds": ...}`` (whichever
+    #: of the two the row carried). Seeds the scheduler's cost model on
+    #: resume; empty for checkpoints written before the fields existed.
+    timings: dict[tuple[str, str], dict[str, float]] = field(
+        default_factory=dict
+    )
     truncated: bool = False
 
     def completed_keys(self) -> set[tuple[str, str]]:
@@ -207,7 +216,20 @@ def load_checkpoint(path: str | os.PathLike) -> CheckpointState:
             else:
                 state.failures[key] = record.get("reason", "unknown failure")
                 state.failure_kinds[key] = record.get("kind", "permanent")
+                if record.get("attempts") is not None:
+                    state.failure_attempts[key] = int(record["attempts"])
                 state.results.pop(key, None)
+            # Optional timing fields (added in PR 10); rows written by
+            # older versions simply lack them and load unchanged.
+            timings = {
+                field_name: float(record[field_name])
+                for field_name in ("wall_seconds", "cpu_seconds")
+                if record.get(field_name) is not None
+            }
+            if timings:
+                state.timings[key] = timings
+            else:
+                state.timings.pop(key, None)
         # Unknown record types are skipped (forward compatibility).
     return state
 
@@ -268,18 +290,31 @@ class CheckpointWriter:
         )
 
     def write_result(
-        self, algorithm: str, dataset: str, result: EvaluationResult
+        self,
+        algorithm: str,
+        dataset: str,
+        result: EvaluationResult,
+        wall_seconds: float | None = None,
+        cpu_seconds: float | None = None,
     ) -> None:
-        """Record one successfully evaluated cell."""
-        self._write_line(
-            {
-                "type": "cell",
-                "algorithm": algorithm,
-                "dataset": dataset,
-                "outcome": "result",
-                "folds": [fold_to_dict(fold) for fold in result.folds],
-            }
-        )
+        """Record one successfully evaluated cell.
+
+        The optional wall/CPU timings seed the scheduler's cost model on
+        ``--resume``; omitted fields are omitted from the row, so files
+        stay loadable by older readers (unknown keys are ignored).
+        """
+        record = {
+            "type": "cell",
+            "algorithm": algorithm,
+            "dataset": dataset,
+            "outcome": "result",
+            "folds": [fold_to_dict(fold) for fold in result.folds],
+        }
+        if wall_seconds is not None:
+            record["wall_seconds"] = float(wall_seconds)
+        if cpu_seconds is not None:
+            record["cpu_seconds"] = float(cpu_seconds)
+        self._write_line(record)
 
     def write_failure(
         self,
@@ -288,19 +323,24 @@ class CheckpointWriter:
         reason: str,
         kind: str,
         attempts: int = 1,
+        wall_seconds: float | None = None,
+        cpu_seconds: float | None = None,
     ) -> None:
         """Record one failed cell (classified, with attempt count)."""
-        self._write_line(
-            {
-                "type": "cell",
-                "algorithm": algorithm,
-                "dataset": dataset,
-                "outcome": "failure",
-                "reason": reason,
-                "kind": kind,
-                "attempts": attempts,
-            }
-        )
+        record = {
+            "type": "cell",
+            "algorithm": algorithm,
+            "dataset": dataset,
+            "outcome": "failure",
+            "reason": reason,
+            "kind": kind,
+            "attempts": attempts,
+        }
+        if wall_seconds is not None:
+            record["wall_seconds"] = float(wall_seconds)
+        if cpu_seconds is not None:
+            record["cpu_seconds"] = float(cpu_seconds)
+        self._write_line(record)
 
     def close(self) -> None:
         """Close the underlying file (idempotent)."""

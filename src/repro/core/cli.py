@@ -61,7 +61,19 @@ from .categorization import category_names
 from .registry import default_algorithms, default_datasets, extended_algorithms
 from .runner import BenchmarkRunner
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "merge_checkpoints_main"]
+
+
+def _workers_argument(text: str):
+    """``--workers`` accepts a positive integer or the literal ``auto``."""
+    if text == "auto":
+        return "auto"
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {text!r}"
+        ) from None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -190,13 +202,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--workers",
-        type=int,
+        type=_workers_argument,
         default=1,
         metavar="N",
         help=(
             "evaluate up to N grid cells in parallel worker processes "
-            "(default 1 = serial); results and checkpoints are merged in "
-            "canonical order, identical to a serial run"
+            "(default 1 = serial), or 'auto' to match the cores this "
+            "process may actually use (sched_getaffinity; clamps to 1 "
+            "on a 1-core box instead of oversubscribing); results and "
+            "checkpoints are merged in canonical order, identical to a "
+            "serial run"
+        ),
+    )
+    parser.add_argument(
+        "--scheduler",
+        choices=("lpt", "fifo"),
+        default="lpt",
+        help=(
+            "parallel dispatch policy: lpt (default) starts the "
+            "longest-estimated cells first using the cost model; fifo "
+            "submits in canonical grid order (artifacts are identical "
+            "either way)"
+        ),
+    )
+    parser.add_argument(
+        "--shard",
+        metavar="I/N",
+        default=None,
+        help=(
+            "run only the I-th of N cost-balanced bins of the grid "
+            "(0-based, e.g. 0/2); requires --checkpoint DIR, a directory "
+            "shared by all shards — each writes shard-I.jsonl there and "
+            "steals unclaimed cells from idle siblings; combine with "
+            "'etsc-bench merge-checkpoints DIR' for the canonical report"
+        ),
+    )
+    parser.add_argument(
+        "--no-steal",
+        action="store_true",
+        help=(
+            "in --shard mode, never steal cells from sibling bins "
+            "(strict partitioning)"
         ),
     )
     parser.add_argument(
@@ -257,6 +303,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         from ..robustness.cli import main as robustness_main
 
         return robustness_main(argv[1:], out)
+    if argv and argv[0] == "merge-checkpoints":
+        return merge_checkpoints_main(argv[1:], out)
     arguments = build_parser().parse_args(argv)
     if arguments.kernel_backend:
         from ..exceptions import ConfigurationError
@@ -294,6 +342,20 @@ def main(argv: list[str] | None = None, out=None) -> int:
             file=out,
         )
         return 2
+    if arguments.shard is not None and not arguments.checkpoint:
+        print(
+            "error: --shard requires --checkpoint DIR (the directory "
+            "all shards share)",
+            file=out,
+        )
+        return 2
+    if arguments.shard is not None and arguments.resume:
+        print(
+            "error: --shard resumes implicitly from its own "
+            "shard-<i>.jsonl; drop --resume",
+            file=out,
+        )
+        return 2
     retry_policy = None
     if arguments.retries > 0:
         from .resilience import RetryPolicy
@@ -302,29 +364,37 @@ def main(argv: list[str] | None = None, out=None) -> int:
             max_attempts=arguments.retries + 1,
             base_delay=arguments.retry_delay,
         )
-    runner = BenchmarkRunner(
-        algorithms,
-        datasets,
-        n_folds=arguments.folds,
-        time_budget_seconds=arguments.budget_seconds,
-        wide_threshold=max(2, int(1300 * arguments.scale)),
-        large_threshold=max(2, int(1000 * arguments.scale)),
-        seed=arguments.seed,
-        progress=lambda line: print(line, file=out),
-        retry_policy=retry_policy,
-        checkpoint_path=arguments.checkpoint,
-        resume_from=arguments.checkpoint if arguments.resume else None,
-        workers=arguments.workers,
-        # The runner cannot see the scale factor or registry profile, but
-        # both change the grid's contents — fold them into the fingerprint
-        # so --resume refuses a mismatched invocation.
-        fingerprint_extra={
-            "scale": arguments.scale,
-            "extended": arguments.extended,
-            "paper_params": arguments.paper_params,
-        },
-    )
-    from ..exceptions import CheckpointError
+    from ..exceptions import CheckpointError, ConfigurationError
+
+    try:
+        runner = BenchmarkRunner(
+            algorithms,
+            datasets,
+            n_folds=arguments.folds,
+            time_budget_seconds=arguments.budget_seconds,
+            wide_threshold=max(2, int(1300 * arguments.scale)),
+            large_threshold=max(2, int(1000 * arguments.scale)),
+            seed=arguments.seed,
+            progress=lambda line: print(line, file=out),
+            retry_policy=retry_policy,
+            checkpoint_path=arguments.checkpoint,
+            resume_from=arguments.checkpoint if arguments.resume else None,
+            workers=arguments.workers,
+            scheduler=arguments.scheduler,
+            shard=arguments.shard,
+            shard_steal=not arguments.no_steal,
+            # The runner cannot see the scale factor or registry profile,
+            # but both change the grid's contents — fold them into the
+            # fingerprint so --resume refuses a mismatched invocation.
+            fingerprint_extra={
+                "scale": arguments.scale,
+                "extended": arguments.extended,
+                "paper_params": arguments.paper_params,
+            },
+        )
+    except ConfigurationError as error:
+        print(f"error: {error}", file=out)
+        return 2
 
     try:
         if arguments.trace:
@@ -348,6 +418,16 @@ def main(argv: list[str] | None = None, out=None) -> int:
     except CheckpointError as error:
         print(f"error: {error}", file=out)
         return 2
+    if arguments.shard is not None:
+        snapshot = runner.metrics.snapshot()
+        print(
+            f"\nshard {arguments.shard}: "
+            f"{snapshot.get('sched.cells_scheduled', 0)} cells evaluated "
+            f"({snapshot.get('sched.steals', 0)} stolen); merge the full "
+            f"grid with: etsc-bench merge-checkpoints "
+            f"{arguments.checkpoint}",
+            file=out,
+        )
     for metric in ("accuracy", "f1", "earliness", "harmonic_mean"):
         _print_category_table(report, metric, out)
     if report.failures:
@@ -370,6 +450,104 @@ def main(argv: list[str] | None = None, out=None) -> int:
 
         save_report(report, arguments.save_report)
         print(f"\nreport saved to {arguments.save_report}", file=out)
+    return 0
+
+
+def merge_checkpoints_main(argv: list[str], out=None) -> int:
+    """``etsc-bench merge-checkpoints DIR``: shard files -> one artifact.
+
+    Loads every ``shard-*.jsonl`` in the directory, validates that all
+    fingerprints describe the same grid, and rebuilds the canonical
+    single checkpoint/report exactly as one uninterrupted run would have
+    written them. Missing cells (a shard never ran, or died before
+    finishing) are an error unless ``--allow-partial``.
+    """
+    out = out or sys.stdout
+    parser = argparse.ArgumentParser(
+        prog="etsc-bench merge-checkpoints",
+        description=(
+            "merge shard-*.jsonl checkpoints from a --shard grid run "
+            "into the canonical single checkpoint and report"
+        ),
+    )
+    parser.add_argument(
+        "directory",
+        help="the shared checkpoint directory the shards wrote into",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write the merged checkpoint (canonical dataset-major "
+            "order, byte-compatible with a single-run checkpoint) here"
+        ),
+    )
+    parser.add_argument(
+        "--save-report",
+        metavar="PATH",
+        default=None,
+        help="write the merged campaign report to a JSON file",
+    )
+    parser.add_argument(
+        "--allow-partial",
+        action="store_true",
+        help=(
+            "merge even if some grid cells have no outcome in any shard "
+            "(default: error listing the missing cells)"
+        ),
+    )
+    arguments = parser.parse_args(argv)
+    from ..exceptions import CheckpointError
+    from .sched import (
+        grid_cells,
+        load_shard_checkpoints,
+        merge_checkpoint_states,
+        missing_cells,
+        report_from_state,
+        write_canonical_checkpoint,
+    )
+
+    try:
+        states = load_shard_checkpoints(arguments.directory)
+        merged = merge_checkpoint_states(states)
+    except CheckpointError as error:
+        print(f"error: {error}", file=out)
+        return 2
+    missing = missing_cells(merged)
+    total = len(grid_cells(merged.fingerprint))
+    print(
+        f"merged {len(states)} shard checkpoints: "
+        f"{len(merged.results)} results, {len(merged.failures)} failures "
+        f"({total - len(missing)}/{total} grid cells)",
+        file=out,
+    )
+    if missing and not arguments.allow_partial:
+        print(
+            f"error: {len(missing)} cells have no outcome in any shard:",
+            file=out,
+        )
+        for algorithm, dataset in missing[:20]:
+            print(f"  {algorithm} on {dataset}", file=out)
+        if len(missing) > 20:
+            print(f"  ... and {len(missing) - 20} more", file=out)
+        print(
+            "re-run the missing shards, or pass --allow-partial to "
+            "merge what completed",
+            file=out,
+        )
+        return 1
+    report = report_from_state(merged)
+    for metric in ("accuracy", "f1", "earliness", "harmonic_mean"):
+        _print_category_table(report, metric, out)
+    if arguments.output:
+        write_canonical_checkpoint(merged, arguments.output)
+        print(f"\nmerged checkpoint written to {arguments.output}", file=out)
+    if arguments.save_report:
+        from .results import save_report
+
+        save_report(report, arguments.save_report)
+        print(f"report saved to {arguments.save_report}", file=out)
     return 0
 
 

@@ -36,6 +36,7 @@ from ..obs.logging import get_logger
 __all__ = [
     "WorkerDied",
     "WorkerHandle",
+    "available_cores",
     "fork_available",
     "spawn_worker",
     "request_reply_loop",
@@ -56,6 +57,21 @@ class WorkerDied(RuntimeError):
 def fork_available() -> bool:
     """Whether fork-based stateful workers can run on this platform."""
     return "fork" in multiprocessing.get_all_start_methods()
+
+
+def available_cores() -> int:
+    """Cores this process may actually be scheduled on, never below 1.
+
+    ``os.cpu_count()`` reports the machine, not the cgroup/affinity mask
+    a container confines us to — trusting it on a 1-core box is how the
+    grid ended up 4x *slower* at ``--workers 4`` (see BENCH_PERF.json).
+    ``os.sched_getaffinity(0)`` reports the schedulable set; platforms
+    without it (macOS) fall back to ``cpu_count``. Clamped to >= 1.
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
 
 
 def request_reply_loop(

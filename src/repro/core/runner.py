@@ -30,6 +30,18 @@ serial run's (modulo wall-clock timings). Worker span trees are stitched
 under the parent's grid span via :meth:`repro.obs.trace.Tracer
 .adopt_spans`. If the pool breaks (a worker died hard), the remaining
 cells fall back to in-parent serial execution.
+
+Scheduling: parallel submission order is chosen by the cost model in
+:mod:`repro.core.sched` — longest-estimated-first (LPT) by default, so
+the skewed grid's expensive cells start before the cheap ones pack the
+tail (``scheduler="fifo"`` keeps canonical submission order for A/B
+measurement). Because the commit loop above is untouched, the schedule
+changes only *when* cells execute, never what the artifacts contain.
+``workers="auto"`` sizes the pool to the cores this process is actually
+allowed to use. ``shard="i/n"`` (with a checkpoint *directory*) runs one
+cost-balanced bin of the grid, stealing unclaimed cells from sibling
+shards when its own bin drains — see :meth:`BenchmarkRunner._run_sharded`
+and ``etsc-bench merge-checkpoints``.
 """
 
 from __future__ import annotations
@@ -40,12 +52,13 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable
 
 import numpy as np
 
 from ..data.dataset import TimeSeriesDataset
-from ..exceptions import ConfigurationError, ReproError
+from ..exceptions import CheckpointError, ConfigurationError, ReproError
 from ..obs.events import span_to_record
 from ..obs.logging import GridProgress, get_logger
 from ..obs.metrics import MetricsRegistry
@@ -64,6 +77,18 @@ from .resilience import (
     RetryPolicy,
     failure_reason,
     format_traceback,
+)
+from .sched import (
+    CellEstimate,
+    ClaimBoard,
+    CostModel,
+    ShardSpec,
+    claims_directory,
+    find_shard_checkpoints,
+    lpt_order,
+    partition_cells,
+    resolve_workers,
+    shard_checkpoint_path,
 )
 from .timeouts import time_limit
 
@@ -192,6 +217,7 @@ class _CellOutcome:
     attempts: int
     elapsed: float
     retries: int
+    cpu_seconds: float = 0.0
 
 
 #: Fork-inherited state for pool workers. Registries hold closures (not
@@ -281,10 +307,33 @@ class BenchmarkRunner:
         (the CLI records the scale factor and registry profile here).
     workers:
         Number of worker processes evaluating cells concurrently
-        (default 1 = in-process serial). Requires the ``fork`` start
-        method (silently degrades to serial where unavailable); results,
-        checkpoint lines, and report contents are merged in canonical
-        grid order, identical to a serial run.
+        (default 1 = in-process serial), or ``"auto"`` to size the pool
+        to the cores this process may actually run on
+        (:func:`repro.core.pool.available_cores` — clamps to 1 on a
+        1-core box instead of oversubscribing). Requires the ``fork``
+        start method (silently degrades to serial where unavailable);
+        results, checkpoint lines, and report contents are merged in
+        canonical grid order, identical to a serial run.
+    scheduler:
+        Parallel dispatch policy: ``"lpt"`` (default) submits cells
+        longest-estimated-first using the cost model; ``"fifo"`` submits
+        in canonical grid order. Serial runs ignore it. Artifacts are
+        schedule-independent either way.
+    shard:
+        ``"i/n"`` (or a :class:`repro.core.sched.ShardSpec`) runs only
+        the ``i``-th of ``n`` cost-balanced bins of the grid, writing to
+        ``<checkpoint_path>/shard-i.jsonl`` — ``checkpoint_path`` must
+        then be a *directory* shared by all shards. An idle shard steals
+        unclaimed cells from its siblings (disable with
+        ``shard_steal=False``). Shard runs resume implicitly from their
+        own file; ``resume_from`` is rejected.
+    shard_steal:
+        Whether a shard that drains its own bin steals unclaimed,
+        uncompleted cells from sibling bins (default ``True``).
+    cost_model:
+        The :class:`repro.core.sched.CostModel` estimating per-cell
+        durations. A fresh one is created when omitted; resume seeds it
+        with the checkpoint's recorded wall timings either way.
 
     Tracing is picked up from the process-wide tracer
     (:func:`repro.obs.trace.get_tracer`) at :meth:`run` time; per-cell
@@ -308,11 +357,34 @@ class BenchmarkRunner:
         resume_from: str | os.PathLike | None = None,
         fault_injector: Callable[[str, str, str, int], None] | None = None,
         fingerprint_extra: dict | None = None,
-        workers: int = 1,
+        workers: int | str = 1,
+        scheduler: str = "lpt",
+        shard: str | ShardSpec | None = None,
+        shard_steal: bool = True,
+        cost_model: CostModel | None = None,
     ) -> None:
-        if workers < 1:
-            raise ConfigurationError(f"workers must be >= 1, got {workers}")
-        self.workers = workers
+        self.workers = resolve_workers(workers)
+        if scheduler not in ("lpt", "fifo"):
+            raise ConfigurationError(
+                f"scheduler must be 'lpt' or 'fifo', got {scheduler!r}"
+            )
+        self.scheduler = scheduler
+        if isinstance(shard, str):
+            shard = ShardSpec.parse(shard)
+        self.shard = shard
+        self.shard_steal = shard_steal
+        self.cost_model = cost_model or CostModel()
+        if shard is not None:
+            if checkpoint_path is None:
+                raise ConfigurationError(
+                    "shard mode requires checkpoint_path (a directory "
+                    "shared by all shards)"
+                )
+            if resume_from is not None:
+                raise ConfigurationError(
+                    "shard mode resumes implicitly from its own "
+                    "shard-<i>.jsonl; resume_from is not supported"
+                )
         self.algorithms = algorithms
         self.datasets = datasets
         self.n_folds = n_folds
@@ -377,6 +449,7 @@ class BenchmarkRunner:
             report.categories.update(state.categories)
             report._frequencies.update(state.frequencies)
             completed = state.completed_keys()
+            self._seed_cost_model(state)
             _logger.info(
                 "resuming from %s: %d cells already complete "
                 "(%d results, %d failures)",
@@ -400,26 +473,61 @@ class BenchmarkRunner:
                     name, categories, state.frequencies.get(name)
                 )
             for (algorithm, dataset), result in state.results.items():
-                writer.write_result(algorithm, dataset, result)
+                timings = state.timings.get((algorithm, dataset), {})
+                writer.write_result(
+                    algorithm,
+                    dataset,
+                    result,
+                    wall_seconds=timings.get("wall_seconds"),
+                    cpu_seconds=timings.get("cpu_seconds"),
+                )
             for (algorithm, dataset), reason in state.failures.items():
+                timings = state.timings.get((algorithm, dataset), {})
                 writer.write_failure(
                     algorithm,
                     dataset,
                     reason,
                     state.failure_kinds.get((algorithm, dataset), "permanent"),
+                    state.failure_attempts.get((algorithm, dataset), 1),
+                    wall_seconds=timings.get("wall_seconds"),
+                    cpu_seconds=timings.get("cpu_seconds"),
                 )
         return writer, completed
+
+    def _seed_cost_model(self, state) -> None:
+        """Feed a resumed checkpoint's recorded wall timings to the model."""
+        seeded = 0
+        for (algorithm, dataset), timings in state.timings.items():
+            wall = timings.get("wall_seconds")
+            if wall is not None:
+                self.cost_model.record(algorithm, dataset, wall)
+                seeded += 1
+        if seeded:
+            _logger.info(
+                "cost model seeded with %d measured cell timings", seeded
+            )
 
     def run(
         self,
         algorithm_names: list[str] | None = None,
         dataset_names: list[str] | None = None,
     ) -> RunReport:
-        """Evaluate the (sub)grid and return the aggregated report."""
+        """Evaluate the (sub)grid and return the aggregated report.
+
+        In shard mode (``shard="i/n"``) only this shard's bin (plus any
+        stolen cells) is evaluated and the returned report is partial —
+        merge the shard checkpoints (``etsc-bench merge-checkpoints`` or
+        :func:`repro.core.sched.merge_checkpoint_states`) for the
+        canonical full report.
+        """
         report = RunReport()
         algorithm_names = algorithm_names or self.algorithms.names()
         dataset_names = dataset_names or self.datasets.names()
         tracer = get_tracer()
+        if self.shard is not None:
+            return self._run_sharded(
+                report, algorithm_names, dataset_names, tracer
+            )
         checkpoint, completed = self._open_checkpoint(
             report, self.fingerprint(algorithm_names, dataset_names)
         )
@@ -554,6 +662,27 @@ class BenchmarkRunner:
             if dataset_name in datasets
             for algorithm_name in remaining
         ]
+        # Submission order is the schedule: the fork pool starts cells in
+        # the order they were submitted, so handing it the LPT order puts
+        # the expensive cells first. The commit loop below still walks the
+        # canonical grid — artifacts cannot observe the schedule.
+        estimates = self._cell_estimates(pending, datasets)
+        if self.scheduler == "lpt":
+            submit_order = lpt_order(
+                pending,
+                {key: est.seconds for key, est in estimates.items()},
+            )
+        else:
+            submit_order = list(pending)
+        grid_span.add_event(
+            "sched_plan",
+            scheduler=self.scheduler,
+            n_cells=len(pending),
+            workers=workers,
+            estimated_total_seconds=sum(
+                est.seconds for est in estimates.values()
+            ),
+        )
         _WORKER_STATE = {"runner": self, "datasets": datasets}
         executor = ProcessPoolExecutor(
             max_workers=min(workers, max(len(pending), 1)),
@@ -562,7 +691,7 @@ class BenchmarkRunner:
         try:
             futures = {
                 key: executor.submit(_evaluate_cell_worker, key)
-                for key in pending
+                for key in submit_order
             }
             for dataset_name, remaining in grid:
                 if dataset_name in load_failures:
@@ -597,6 +726,9 @@ class BenchmarkRunner:
                         )
                     self._commit_outcome(
                         report, outcome, telemetry, checkpoint
+                    )
+                    self._record_sched(
+                        grid_span, outcome, estimates.get(key)
                     )
                     completion.set(telemetry.fraction_done)
         finally:
@@ -778,6 +910,7 @@ class BenchmarkRunner:
             "cell", algorithm=algorithm_name, dataset=dataset_name
         ) as cell_span:
             start = time.perf_counter()
+            cpu_start = time.process_time()
             attempt = 0
             while True:
                 attempt += 1
@@ -823,6 +956,7 @@ class BenchmarkRunner:
                         )
                         continue
                     elapsed = time.perf_counter() - start
+                    cpu_seconds = time.process_time() - cpu_start
                     timeout = kind == TIMEOUT
                     cell_span.set_status("timeout" if timeout else "error")
                     cell_span.set_attribute("reason", reason)
@@ -840,8 +974,10 @@ class BenchmarkRunner:
                         attempts=attempt,
                         elapsed=elapsed,
                         retries=retries,
+                        cpu_seconds=cpu_seconds,
                     )
             elapsed = time.perf_counter() - start
+            cpu_seconds = time.process_time() - cpu_start
             cell_span.set_attribute("seconds", elapsed)
             cell_span.set_attribute("attempts", attempt)
             if elapsed > self.time_budget_seconds:
@@ -861,6 +997,7 @@ class BenchmarkRunner:
                     attempts=attempt,
                     elapsed=elapsed,
                     retries=retries,
+                    cpu_seconds=cpu_seconds,
                 )
             return _CellOutcome(
                 algorithm=algorithm_name,
@@ -871,6 +1008,7 @@ class BenchmarkRunner:
                 attempts=attempt,
                 elapsed=elapsed,
                 retries=retries,
+                cpu_seconds=cpu_seconds,
             )
 
     def _commit_outcome(
@@ -886,6 +1024,11 @@ class BenchmarkRunner:
         if announce:
             self.metrics.counter("cells_total").inc()
             telemetry.started(algorithm_name, dataset_name)
+        # Feed the measurement back so later estimates for this cell (and
+        # this algorithm's calibration factor) come from reality.
+        self.cost_model.record(
+            algorithm_name, dataset_name, outcome.elapsed
+        )
         if outcome.retries:
             self.metrics.counter("cell_retries").inc(outcome.retries)
         result = outcome.result
@@ -900,6 +1043,8 @@ class BenchmarkRunner:
                 checkpoint.write_failure(
                     algorithm_name, dataset_name,
                     outcome.reason, outcome.kind, outcome.attempts,
+                    wall_seconds=outcome.elapsed,
+                    cpu_seconds=outcome.cpu_seconds,
                 )
             telemetry.failed(
                 algorithm_name, dataset_name, outcome.elapsed,
@@ -912,7 +1057,11 @@ class BenchmarkRunner:
             return
         report.results[(algorithm_name, dataset_name)] = result
         if checkpoint is not None:
-            checkpoint.write_result(algorithm_name, dataset_name, result)
+            checkpoint.write_result(
+                algorithm_name, dataset_name, result,
+                wall_seconds=outcome.elapsed,
+                cpu_seconds=outcome.cpu_seconds,
+            )
         self.metrics.counter("cells_completed").inc()
         self.metrics.timer("cell_seconds").observe(outcome.elapsed)
         detail = f"acc={result.accuracy:.3f} hm={result.harmonic_mean:.3f}"
@@ -925,3 +1074,351 @@ class BenchmarkRunner:
             f"earl={result.earliness:.3f} hm={result.harmonic_mean:.3f} "
             f"({outcome.elapsed:.1f}s)"
         )
+
+    # ------------------------------------------------------------------
+    # Cost-model scheduling and checkpoint shards (repro.core.sched).
+
+    def _cell_estimates(
+        self,
+        cells: list[tuple[str, str]],
+        datasets: dict[str, TimeSeriesDataset],
+    ) -> dict[tuple[str, str], CellEstimate]:
+        """Estimate every cell's duration (attaching loaded shapes)."""
+        estimates: dict[tuple[str, str], CellEstimate] = {}
+        for algorithm_name, dataset_name in cells:
+            dataset = datasets.get(dataset_name)
+            shape = dataset.values.shape if dataset is not None else None
+            if shape is not None:
+                self.cost_model.attach_shape(dataset_name, shape)
+            estimates[(algorithm_name, dataset_name)] = (
+                self.cost_model.estimate(
+                    algorithm_name,
+                    dataset_name,
+                    shape,
+                    self.algorithms.get(algorithm_name).category,
+                )
+            )
+        return estimates
+
+    def _record_sched(
+        self,
+        grid_span,
+        outcome: _CellOutcome,
+        estimate: CellEstimate | None,
+        stolen: bool = False,
+    ) -> None:
+        """Scheduler telemetry for one committed cell.
+
+        The live ``sched.*`` counters and the ``sched_cell`` grid-span
+        event are written together so :func:`repro.obs.metrics
+        .metrics_from_spans` recomputes exactly the live numbers from a
+        trace (the rollup==live parity contract).
+        """
+        if estimate is None:
+            return
+        error_pct = (
+            abs(outcome.elapsed - estimate.seconds)
+            / max(estimate.seconds, 1e-9)
+            * 100.0
+        )
+        self.metrics.counter("sched.cells_scheduled").inc()
+        if stolen:
+            self.metrics.counter("sched.steals").inc()
+        self.metrics.timer("sched.estimate_error_pct").observe(error_pct)
+        grid_span.add_event(
+            "sched_cell",
+            algorithm=outcome.algorithm,
+            dataset=outcome.dataset,
+            estimate_seconds=estimate.seconds,
+            actual_seconds=outcome.elapsed,
+            error_pct=error_pct,
+            source=estimate.source,
+            stolen=stolen,
+        )
+
+    def _run_sharded(
+        self,
+        report: RunReport,
+        algorithm_names: list[str],
+        dataset_names: list[str],
+        tracer,
+    ) -> RunReport:
+        """Run this shard's cost-balanced bin of the grid, then steal.
+
+        ``checkpoint_path`` is a directory shared by every shard; this
+        shard appends to ``shard-<i>.jsonl`` in it (resuming implicitly
+        if the file exists) and coordinates with siblings purely through
+        atomic claim files — no locks, no coordinator. The returned
+        report covers this shard's cells only; ``etsc-bench
+        merge-checkpoints`` rebuilds the canonical single artifact.
+        """
+        shard = self.shard
+        assert shard is not None
+        directory = Path(self.checkpoint_path)
+        directory.mkdir(parents=True, exist_ok=True)
+        fingerprint = self.fingerprint(algorithm_names, dataset_names)
+        own_path = shard_checkpoint_path(directory, shard.index)
+        completed: set[tuple[str, str]] = set()
+        append = own_path.exists()
+        if append:
+            state = load_checkpoint(own_path)
+            state.validate_fingerprint(fingerprint)
+            report.results.update(state.results)
+            report.failures.update(state.failures)
+            report.categories.update(state.categories)
+            report._frequencies.update(state.frequencies)
+            completed = state.completed_keys()
+            self._seed_cost_model(state)
+            _logger.info(
+                "shard %s resuming from %s: %d cells already complete",
+                shard, own_path, len(completed),
+            )
+        claims = ClaimBoard(claims_directory(directory), shard.owner)
+        checkpoint = CheckpointWriter(own_path, fingerprint, append=append)
+        all_cells = [
+            (algorithm_name, dataset_name)
+            for dataset_name in dataset_names
+            for algorithm_name in algorithm_names
+        ]
+        telemetry = GridProgress(len(all_cells), logger=_logger)
+        completion = self.metrics.gauge("grid_completion")
+        workers = self._effective_workers()
+        try:
+            with tracer.span(
+                "grid",
+                n_algorithms=len(algorithm_names),
+                n_datasets=len(dataset_names),
+                n_folds=self.n_folds,
+                time_budget_seconds=self.time_budget_seconds,
+                seed=self.seed,
+                resumed_cells=len(completed),
+                workers=workers,
+                shard=str(shard),
+            ) as grid_span:
+                self._run_shard_grid(
+                    report, all_cells, dataset_names, completed,
+                    directory, own_path, fingerprint, claims, checkpoint,
+                    telemetry, completion, tracer, grid_span, workers,
+                    shard,
+                )
+        finally:
+            checkpoint.close()
+        return report
+
+    def _run_shard_grid(
+        self,
+        report: RunReport,
+        all_cells: list[tuple[str, str]],
+        dataset_names: list[str],
+        completed: set[tuple[str, str]],
+        directory: Path,
+        own_path: Path,
+        fingerprint: dict,
+        claims: ClaimBoard,
+        checkpoint: CheckpointWriter,
+        telemetry: GridProgress,
+        completion,
+        tracer,
+        grid_span,
+        workers: int,
+        shard: ShardSpec,
+    ) -> None:
+        """Shard body: load, partition, run own bin, steal the rest."""
+        # Load every dataset once: any bin's cells may execute here
+        # (stealing), and the partition heuristic needs the shapes.
+        datasets: dict[str, TimeSeriesDataset] = {}
+        load_failures: dict[str, tuple[str, str, int]] = {}
+        for dataset_name in dataset_names:
+            dataset, reason, kind, attempt = self._load_with_retries(
+                dataset_name, tracer
+            )
+            if dataset is None:
+                assert reason is not None and kind is not None
+                load_failures[dataset_name] = (reason, kind, attempt)
+            else:
+                datasets[dataset_name] = dataset
+                self.cost_model.attach_shape(
+                    dataset_name, dataset.values.shape
+                )
+        # Partition on the *pure heuristic* over the full grid — never
+        # on recorded history — so every shard, whatever it has resumed
+        # or measured, derives identical bins. (Should shards still
+        # disagree — say a transient load failure hid a shape from one —
+        # the claim board keeps each cell single-run; only balance
+        # suffers.)
+        heuristics = {
+            (algorithm_name, dataset_name): self.cost_model.heuristic(
+                datasets[dataset_name].values.shape
+                if dataset_name in datasets
+                else None,
+                self.algorithms.get(algorithm_name).category,
+            )
+            for algorithm_name, dataset_name in all_cells
+        }
+        bins = partition_cells(all_cells, heuristics, shard.count)
+        own_bin = bins[shard.index]
+        own_set = set(own_bin)
+        # Dispatch order within the shard may use the full cost model
+        # (history-calibrated); only the partition must stay history-free.
+        estimates = self._cell_estimates(all_cells, datasets)
+        seconds = {key: est.seconds for key, est in estimates.items()}
+        runnable = [key for key in own_bin if key not in completed]
+        if self.scheduler == "lpt":
+            runnable = lpt_order(runnable, seconds)
+        claimed = [key for key in runnable if claims.claim(*key)]
+        grid_span.add_event(
+            "sched_plan",
+            scheduler=self.scheduler,
+            n_cells=len(claimed),
+            workers=workers,
+            shard=str(shard),
+            bin_cells=len(own_bin),
+            estimated_total_seconds=sum(seconds[key] for key in claimed),
+        )
+        if len(claimed) < len(runnable):
+            _logger.info(
+                "shard %s: %d own-bin cells already claimed by siblings",
+                shard, len(runnable) - len(claimed),
+            )
+        self._execute_claimed(
+            claimed, datasets, load_failures, estimates, report,
+            checkpoint, telemetry, completion, tracer, grid_span,
+            workers, stolen=False,
+        )
+        if not self.shard_steal:
+            return
+        # Steal phase: everything outside our bin that nobody has
+        # completed or claimed, longest first — the point of stealing is
+        # to absorb a straggler sibling's expensive tail.
+        sibling_done = self._sibling_completed(
+            directory, own_path, fingerprint
+        )
+        candidates = [
+            key
+            for key in all_cells
+            if key not in own_set
+            and key not in completed
+            and key not in sibling_done
+        ]
+        if self.scheduler == "lpt":
+            candidates = lpt_order(candidates, seconds)
+        stolen = [
+            key
+            for key in candidates
+            if not claims.claimed_by_other(*key) and claims.claim(*key)
+        ]
+        if stolen:
+            self.progress(
+                f"shard {shard}: stealing {len(stolen)} unclaimed "
+                f"cells from sibling bins"
+            )
+            _logger.info(
+                "shard %s stealing %d unclaimed cells", shard, len(stolen)
+            )
+        self._execute_claimed(
+            stolen, datasets, load_failures, estimates, report,
+            checkpoint, telemetry, completion, tracer, grid_span,
+            workers, stolen=True,
+        )
+
+    def _sibling_completed(
+        self, directory: Path, own_path: Path, fingerprint: dict
+    ) -> set[tuple[str, str]]:
+        """Cells sibling shard checkpoints already have outcomes for."""
+        done: set[tuple[str, str]] = set()
+        for path in find_shard_checkpoints(directory):
+            if path == own_path:
+                continue
+            try:
+                state = load_checkpoint(path)
+                state.validate_fingerprint(fingerprint)
+            except CheckpointError as error:
+                _logger.warning(
+                    "ignoring sibling checkpoint %s: %s", path, error
+                )
+                continue
+            done |= state.completed_keys()
+        return done
+
+    def _execute_claimed(
+        self,
+        keys: list[tuple[str, str]],
+        datasets: dict[str, TimeSeriesDataset],
+        load_failures: dict[str, tuple[str, str, int]],
+        estimates: dict[tuple[str, str], CellEstimate],
+        report: RunReport,
+        checkpoint: CheckpointWriter,
+        telemetry: GridProgress,
+        completion,
+        tracer,
+        grid_span,
+        workers: int,
+        stolen: bool,
+    ) -> None:
+        """Run a batch of claimed cells (pool when ``workers > 1``).
+
+        Cells commit in the batch's dispatch order — the per-shard file
+        is not canonical; the merge step rebuilds canonical order.
+        Datasets announce lazily, once each, on first committed cell.
+        """
+        global _WORKER_STATE
+        poolable = [key for key in keys if key[1] in datasets]
+        executor = None
+        futures: dict[tuple[str, str], Any] = {}
+        if workers > 1 and len(poolable) > 1:
+            _WORKER_STATE = {"runner": self, "datasets": datasets}
+            executor = ProcessPoolExecutor(
+                max_workers=min(workers, len(poolable)),
+                mp_context=multiprocessing.get_context("fork"),
+            )
+            futures = {
+                key: executor.submit(_evaluate_cell_worker, key)
+                for key in poolable
+            }
+        try:
+            for key in keys:
+                algorithm_name, dataset_name = key
+                if dataset_name in load_failures:
+                    reason, kind, attempt = load_failures[dataset_name]
+                    self._commit_load_failure(
+                        report, [algorithm_name], dataset_name, reason,
+                        kind, attempt, telemetry, checkpoint,
+                    )
+                    completion.set(telemetry.fraction_done)
+                    continue
+                dataset = datasets[dataset_name]
+                if dataset_name not in report.categories:
+                    self._commit_dataset(
+                        report, dataset_name, dataset, checkpoint
+                    )
+                span_records: list[dict[str, Any]] = []
+                if key in futures:
+                    try:
+                        outcome, span_records = futures[key].result()
+                    except (BrokenProcessPool, OSError) as error:
+                        _logger.warning(
+                            "%s on %s: worker pool broke (%s); "
+                            "re-running the cell in the parent",
+                            algorithm_name, dataset_name, error,
+                        )
+                        span_records = []
+                        outcome = self._execute_cell(
+                            algorithm_name, dataset_name, dataset, tracer
+                        )
+                else:
+                    outcome = self._execute_cell(
+                        algorithm_name, dataset_name, dataset, tracer
+                    )
+                if span_records and isinstance(tracer, Tracer):
+                    tracer.adopt_spans(
+                        span_records, parent_id=grid_span.span_id
+                    )
+                self._commit_outcome(report, outcome, telemetry, checkpoint)
+                self._record_sched(
+                    grid_span, outcome, estimates.get(key), stolen=stolen
+                )
+                completion.set(telemetry.fraction_done)
+        finally:
+            if executor is not None:
+                executor.shutdown(wait=False, cancel_futures=True)
+                _WORKER_STATE = None

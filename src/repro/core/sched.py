@@ -1,0 +1,574 @@
+"""Cost-model grid scheduling: estimate cells, dispatch longest-first,
+shard across machines, steal idle work.
+
+The evaluation grid is embarrassingly parallel but wildly skewed: the
+same archive can hold cells whose runtimes differ by orders of magnitude
+(EDSC on a 'Wide' dataset vs a baseline on a tiny one). A naive FIFO
+dispatch in canonical dataset-major order loses twice — a long cell that
+lands last stretches the makespan by its full duration, and trusting
+``os.cpu_count()`` oversubscribes containers that only *see* one core.
+This module supplies the three pieces the runner composes:
+
+**Cost model** (:class:`CostModel`). Every cell gets an estimated
+duration from three sources, strongest first: an exact *measured* timing
+for that very (algorithm, dataset) pair (seeded from checkpoint rows on
+``--resume``), a *calibrated* per-algorithm scaling of the shape
+heuristic (median of measured/heuristic ratios over cells whose dataset
+shape is known), or the deterministic fallback *heuristic* alone — a
+per-algorithm-category polynomial in the dataset shape
+``(n_instances, n_variables, length)``. The heuristic is a pure function
+of names and shapes, so every shard of a split grid computes the same
+estimates without coordination.
+
+**LPT dispatch** (:func:`lpt_order`). Longest-processing-time-first is
+the classic 2-approximation for makespan on identical machines: sorting
+the submission queue by descending estimate means the long cells start
+first and the short ones pack the tail, instead of one laggard cell
+starting when everything else has drained. Ties break on canonical grid
+position, so the order is deterministic.
+
+**Shards and stealing** (:func:`partition_cells`, :class:`ClaimBoard`).
+``--shard i/n --checkpoint dir/`` splits the grid across machines
+sharing a directory: cells are packed into ``n`` cost-balanced bins (LPT
+greedy over the *heuristic* estimates — never history, so every shard
+derives the identical partition), each shard checkpoints to its own
+``shard-i.jsonl``, and an idle shard steals cells that no sibling has
+claimed. Claims are atomic ``O_CREAT | O_EXCL`` marker files — exactly
+one shard wins a cell, with no locks and no coordinator.
+:func:`merge_checkpoint_states` + :func:`write_canonical_checkpoint` /
+:func:`report_from_state` then rebuild the single canonical artifact:
+cells re-ordered dataset-major exactly as one serial run would have
+committed them, so the merged report is byte-identical regardless of
+schedule, steal order, or shard count.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import statistics
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from ..exceptions import CheckpointError, ConfigurationError
+from ..obs.logging import get_logger
+from .checkpoint import CheckpointState, CheckpointWriter, load_checkpoint
+from .pool import available_cores
+
+__all__ = [
+    "CellEstimate",
+    "CostModel",
+    "ShardSpec",
+    "ClaimBoard",
+    "lpt_order",
+    "partition_cells",
+    "resolve_workers",
+    "shard_checkpoint_path",
+    "find_shard_checkpoints",
+    "claims_directory",
+    "merge_checkpoint_states",
+    "missing_cells",
+    "grid_cells",
+    "write_canonical_checkpoint",
+    "report_from_state",
+]
+
+_logger = get_logger("core.sched")
+
+#: Subdirectory of a shard checkpoint directory holding claim records.
+CLAIMS_DIRNAME = "claims"
+
+_SHARD_FILE_RE = re.compile(r"^shard-(\d+)\.jsonl$")
+
+
+# ---------------------------------------------------------------------------
+# Cost model.
+
+
+@dataclass(frozen=True)
+class CellEstimate:
+    """One cell's predicted duration and where the prediction came from.
+
+    ``source`` is ``"measured"`` (exact history for this cell),
+    ``"calibrated"`` (shape heuristic scaled by this algorithm's observed
+    measured/heuristic ratio), or ``"heuristic"`` (fallback polynomial,
+    no history at all).
+    """
+
+    algorithm: str
+    dataset: str
+    seconds: float
+    source: str
+
+
+#: Per-algorithm-category heuristic profile:
+#: ``weight * n_instances**ip * length**lp * n_variables``.
+#: The exponents encode how each family's training cost scales — the
+#: absolute scale is arbitrary (calibration fixes it); only the *ordering*
+#: across cells matters for LPT, and only the *ratios* for bin balance.
+_CATEGORY_PROFILES: dict[str, tuple[float, float, float]] = {
+    # (weight, instance_power, length_power)
+    "prefix-based": (1.0, 2.0, 1.0),  # all-pairs 1-NN over prefixes
+    "shapelet-based": (0.5, 2.0, 2.0),  # shapelet windows x offsets
+    "model-based": (2.0, 1.0, 1.0),  # per-prefix model fits
+    "selective-truncation": (1.5, 1.0, 1.0),
+    "baseline": (0.1, 1.0, 1.0),
+    "miscellaneous": (1.0, 1.0, 1.0),
+}
+
+#: Nominal seconds per heuristic work unit; keeps raw heuristics in a
+#: human-plausible range so logs read sensibly before calibration.
+_SECONDS_PER_UNIT = 1e-6
+
+_DEFAULT_SHAPE = (1, 1, 1)
+
+
+class CostModel:
+    """Per-cell duration estimates from shape heuristics and history.
+
+    Deterministic by construction: estimates depend only on recorded
+    history, attached shapes, and the category profiles — never on
+    wall-clock, iteration order of sets, or hashing.
+    """
+
+    def __init__(self) -> None:
+        self._history: dict[tuple[str, str], list[float]] = {}
+        self._shapes: dict[str, tuple[int, int, int]] = {}
+
+    # -- feeding -------------------------------------------------------
+    def record(
+        self,
+        algorithm: str,
+        dataset: str,
+        seconds: float,
+        shape: Sequence[int] | None = None,
+    ) -> None:
+        """Record one measured cell duration (and optionally its shape)."""
+        self._history.setdefault((algorithm, dataset), []).append(
+            float(seconds)
+        )
+        if shape is not None:
+            self.attach_shape(dataset, shape)
+
+    def attach_shape(self, dataset: str, shape: Sequence[int]) -> None:
+        """Declare a dataset's ``(n_instances, n_variables, length)``.
+
+        History rows recorded before the dataset was loaded (resume
+        seeding) become usable for cross-dataset calibration once the
+        shape is known.
+        """
+        n_instances, n_variables, length = (int(x) for x in shape)
+        self._shapes[dataset] = (n_instances, n_variables, length)
+
+    @property
+    def n_observations(self) -> int:
+        return sum(len(values) for values in self._history.values())
+
+    # -- estimating ----------------------------------------------------
+    def heuristic(
+        self,
+        shape: Sequence[int] | None,
+        category: str = "miscellaneous",
+    ) -> float:
+        """The deterministic fallback: a category polynomial in the shape."""
+        n_instances, n_variables, length = shape or _DEFAULT_SHAPE
+        weight, instance_power, length_power = _CATEGORY_PROFILES.get(
+            category, _CATEGORY_PROFILES["miscellaneous"]
+        )
+        work = (
+            weight
+            * float(max(1, n_instances)) ** instance_power
+            * float(max(1, length)) ** length_power
+            * float(max(1, n_variables))
+        )
+        return work * _SECONDS_PER_UNIT
+
+    def _calibration_factor(
+        self, algorithm: str, category: str
+    ) -> float | None:
+        """Median measured/heuristic ratio over this algorithm's history.
+
+        Only cells whose dataset shape is known contribute; returns
+        ``None`` when there is nothing to calibrate from.
+        """
+        ratios: list[float] = []
+        for (history_algorithm, dataset), values in sorted(
+            self._history.items()
+        ):
+            if history_algorithm != algorithm:
+                continue
+            shape = self._shapes.get(dataset)
+            if shape is None:
+                continue
+            reference = self.heuristic(shape, category)
+            if reference > 0:
+                ratios.append(
+                    (sum(values) / len(values)) / reference
+                )
+        if not ratios:
+            return None
+        return float(statistics.median(ratios))
+
+    def estimate(
+        self,
+        algorithm: str,
+        dataset: str,
+        shape: Sequence[int] | None = None,
+        category: str = "miscellaneous",
+    ) -> CellEstimate:
+        """Best available estimate: measured > calibrated > heuristic."""
+        if shape is None:
+            shape = self._shapes.get(dataset)
+        measured = self._history.get((algorithm, dataset))
+        if measured:
+            return CellEstimate(
+                algorithm,
+                dataset,
+                sum(measured) / len(measured),
+                "measured",
+            )
+        fallback = self.heuristic(shape, category)
+        factor = self._calibration_factor(algorithm, category)
+        if factor is not None:
+            return CellEstimate(
+                algorithm, dataset, fallback * factor, "calibrated"
+            )
+        return CellEstimate(algorithm, dataset, fallback, "heuristic")
+
+
+# ---------------------------------------------------------------------------
+# Dispatch order and shard partitioning.
+
+
+def lpt_order(
+    cells: Sequence[tuple[str, str]],
+    seconds: dict[tuple[str, str], float],
+) -> list[tuple[str, str]]:
+    """Longest-processing-time-first order, canonical position on ties.
+
+    ``cells`` must already be in canonical (dataset-major) order — the
+    tie-break preserves it, so equal estimates dispatch exactly as FIFO
+    would and the order is fully deterministic.
+    """
+    indexed = list(enumerate(cells))
+    indexed.sort(key=lambda pair: (-seconds.get(pair[1], 0.0), pair[0]))
+    return [cell for _, cell in indexed]
+
+
+def partition_cells(
+    cells: Sequence[tuple[str, str]],
+    seconds: dict[tuple[str, str], float],
+    n_shards: int,
+) -> list[list[tuple[str, str]]]:
+    """Pack cells into ``n_shards`` cost-balanced bins (LPT greedy).
+
+    Cells are taken longest-first and each lands in the currently
+    lightest bin (lowest index on ties) — the classic makespan greedy.
+    Every bin is returned with its cells restored to canonical order.
+    Deterministic: a pure function of the cell list and the estimates,
+    so every shard of a split run computes the identical partition.
+    """
+    if n_shards < 1:
+        raise ConfigurationError(
+            f"shard count must be >= 1, got {n_shards}"
+        )
+    bins: list[set[tuple[str, str]]] = [set() for _ in range(n_shards)]
+    loads = [0.0] * n_shards
+    for cell in lpt_order(cells, seconds):
+        lightest = min(range(n_shards), key=lambda i: (loads[i], i))
+        bins[lightest].add(cell)
+        loads[lightest] += seconds.get(cell, 0.0)
+    return [[cell for cell in cells if cell in members] for members in bins]
+
+
+def resolve_workers(requested: int | str) -> int:
+    """Resolve a worker/shard count request to a concrete positive int.
+
+    ``"auto"`` resolves to the cores this process may actually run on
+    (:func:`repro.core.pool.available_cores` — the scheduling affinity
+    mask, not ``os.cpu_count()``), which clamps to **1 worker on a
+    1-core box**: the CPU-bound grid loses under oversubscription
+    (BENCH_PERF records 0.23x at 4 workers on 1 core), so auto never
+    oversubscribes. Explicit integers are taken at face value.
+    """
+    if isinstance(requested, str):
+        if requested != "auto":
+            raise ConfigurationError(
+                f"workers must be a positive integer or 'auto', "
+                f"got {requested!r}"
+            )
+        return available_cores()
+    workers = int(requested)
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+# ---------------------------------------------------------------------------
+# Shard identity and checkpoint-directory layout.
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Which bin of an ``n``-way split this process runs: ``index/count``."""
+
+    index: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ConfigurationError(
+                f"shard count must be >= 1, got {self.count}"
+            )
+        if not 0 <= self.index < self.count:
+            raise ConfigurationError(
+                f"shard index must be in [0, {self.count}), got {self.index}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "ShardSpec":
+        """Parse ``"i/n"`` (0-based index), e.g. ``"0/2"``, ``"1/2"``."""
+        match = re.fullmatch(r"(\d+)/(\d+)", text.strip())
+        if match is None:
+            raise ConfigurationError(
+                f"shard must look like I/N (0-based), e.g. 0/2; got {text!r}"
+            )
+        return cls(index=int(match.group(1)), count=int(match.group(2)))
+
+    @property
+    def owner(self) -> str:
+        return f"shard-{self.index}"
+
+    def __str__(self) -> str:
+        return f"{self.index}/{self.count}"
+
+
+def shard_checkpoint_path(directory: str | os.PathLike, index: int) -> Path:
+    """The checkpoint file shard ``index`` writes inside ``directory``."""
+    return Path(directory) / f"shard-{index}.jsonl"
+
+
+def find_shard_checkpoints(directory: str | os.PathLike) -> list[Path]:
+    """All ``shard-*.jsonl`` files in ``directory``, by shard index."""
+    directory = Path(directory)
+    found: list[tuple[int, Path]] = []
+    if directory.is_dir():
+        for entry in directory.iterdir():
+            match = _SHARD_FILE_RE.match(entry.name)
+            if match is not None:
+                found.append((int(match.group(1)), entry))
+    return [path for _, path in sorted(found)]
+
+
+def claims_directory(directory: str | os.PathLike) -> Path:
+    """Where a shard directory keeps its atomic claim records."""
+    return Path(directory) / CLAIMS_DIRNAME
+
+
+class ClaimBoard:
+    """Atomic per-cell ownership records shared by sibling shards.
+
+    A claim is a marker file created with ``O_CREAT | O_EXCL`` — the
+    POSIX primitive that makes exactly one creator win, even across
+    machines on a shared filesystem. Claiming is idempotent for the
+    owner (re-claiming your own cell after a resume succeeds), and a
+    cell claimed by a sibling is simply skipped — its outcome will
+    arrive through that sibling's checkpoint at merge time.
+    """
+
+    def __init__(self, directory: str | os.PathLike, owner: str) -> None:
+        self.directory = Path(directory)
+        self.owner = owner
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, algorithm: str, dataset: str) -> Path:
+        digest = hashlib.sha1(
+            f"{algorithm}\x1f{dataset}".encode("utf-8")
+        ).hexdigest()[:16]
+        readable = re.sub(r"[^A-Za-z0-9._-]", "_", f"{algorithm}--{dataset}")
+        return self.directory / f"{readable[:60]}-{digest}.claim"
+
+    def claim(self, algorithm: str, dataset: str) -> bool:
+        """Try to take the cell; ``True`` iff this owner now holds it."""
+        path = self._path(algorithm, dataset)
+        payload = json.dumps(
+            {"algorithm": algorithm, "dataset": dataset, "owner": self.owner},
+            sort_keys=True,
+        )
+        try:
+            descriptor = os.open(
+                path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+            )
+        except FileExistsError:
+            return self.owner_of(algorithm, dataset) == self.owner
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        return True
+
+    def owner_of(self, algorithm: str, dataset: str) -> str | None:
+        """Who holds the cell (``None`` when unclaimed)."""
+        path = self._path(algorithm, dataset)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError):
+            # A half-written claim (writer died mid-write): somebody
+            # holds it, identity unknown — treat as foreign, never steal.
+            return "<unreadable>"
+        return payload.get("owner", "<unreadable>")
+
+    def claimed_by_other(self, algorithm: str, dataset: str) -> bool:
+        """Whether a *different* owner holds the cell."""
+        holder = self.owner_of(algorithm, dataset)
+        return holder is not None and holder != self.owner
+
+
+# ---------------------------------------------------------------------------
+# Merging shard checkpoints back into one canonical artifact.
+
+
+def grid_cells(fingerprint: dict[str, Any]) -> list[tuple[str, str]]:
+    """The full canonical (dataset-major) cell list of a fingerprint."""
+    return [
+        (algorithm, dataset)
+        for dataset in fingerprint.get("datasets", [])
+        for algorithm in fingerprint.get("algorithms", [])
+    ]
+
+
+def merge_checkpoint_states(
+    states: Sequence[CheckpointState],
+) -> CheckpointState:
+    """Combine shard states into one; earliest shard wins conflicts.
+
+    All fingerprints must be equal (the shards must describe the same
+    grid) or :class:`~repro.exceptions.CheckpointMismatchError` is
+    raised. Cell evaluation is deterministic, so a conflict — two shards
+    both completing a cell, possible when a resumed shard re-ran work a
+    sibling stole — carries identical fold payloads either way; the
+    first-shard-wins rule just keeps the timing fields deterministic
+    given fixed inputs.
+    """
+    if not states:
+        raise CheckpointError("no shard checkpoints to merge")
+    merged = CheckpointState(fingerprint=states[0].fingerprint)
+    for state in states:
+        state.validate_fingerprint(merged.fingerprint)
+        for name, categories in state.categories.items():
+            merged.categories.setdefault(name, categories)
+        for name, frequency in state.frequencies.items():
+            merged.frequencies.setdefault(name, frequency)
+        for key, result in state.results.items():
+            if key in merged.results or key in merged.failures:
+                continue
+            merged.results[key] = result
+            if key in state.timings:
+                merged.timings[key] = state.timings[key]
+        for key, reason in state.failures.items():
+            if key in merged.results or key in merged.failures:
+                continue
+            merged.failures[key] = reason
+            merged.failure_kinds[key] = state.failure_kinds.get(
+                key, "permanent"
+            )
+            if key in state.failure_attempts:
+                merged.failure_attempts[key] = state.failure_attempts[key]
+            if key in state.timings:
+                merged.timings[key] = state.timings[key]
+    return merged
+
+
+def missing_cells(state: CheckpointState) -> list[tuple[str, str]]:
+    """Grid cells the state has no outcome for, in canonical order."""
+    completed = state.completed_keys()
+    return [cell for cell in grid_cells(state.fingerprint) if cell not in completed]
+
+
+def load_shard_checkpoints(
+    directory: str | os.PathLike,
+) -> list[CheckpointState]:
+    """Load every ``shard-*.jsonl`` in ``directory`` (by shard index)."""
+    paths = find_shard_checkpoints(directory)
+    if not paths:
+        raise CheckpointError(
+            f"no shard checkpoints (shard-*.jsonl) found in {directory}"
+        )
+    return [load_checkpoint(path) for path in paths]
+
+
+def write_canonical_checkpoint(
+    state: CheckpointState, path: str | os.PathLike
+) -> None:
+    """Re-serialise a (merged) state exactly as one serial run would.
+
+    Dataset-major, registry algorithm order, dataset row before its
+    cells — line-for-line the layout a single uninterrupted checkpointed
+    run produces, so the merged file is byte-identical to it whenever
+    the recorded timings are (they are under the frozen-clock tests; in
+    wall-clock runs the timing fields carry whichever shard ran the
+    cell, everything else still matches).
+    """
+    fingerprint = state.fingerprint
+    with CheckpointWriter(path, fingerprint) as writer:
+        for dataset in fingerprint.get("datasets", []):
+            # Load-failed datasets have no categorisation row — exactly
+            # like the serial writer, their cells appear as failures only.
+            if dataset in state.categories:
+                writer.write_dataset(
+                    dataset,
+                    state.categories[dataset],
+                    state.frequencies.get(dataset),
+                )
+            for algorithm in fingerprint.get("algorithms", []):
+                key = (algorithm, dataset)
+                timings = state.timings.get(key, {})
+                if key in state.results:
+                    writer.write_result(
+                        algorithm,
+                        dataset,
+                        state.results[key],
+                        wall_seconds=timings.get("wall_seconds"),
+                        cpu_seconds=timings.get("cpu_seconds"),
+                    )
+                elif key in state.failures:
+                    writer.write_failure(
+                        algorithm,
+                        dataset,
+                        state.failures[key],
+                        state.failure_kinds.get(key, "permanent"),
+                        state.failure_attempts.get(key, 1),
+                        wall_seconds=timings.get("wall_seconds"),
+                        cpu_seconds=timings.get("cpu_seconds"),
+                    )
+
+
+def report_from_state(state: CheckpointState):
+    """Build the canonical :class:`~repro.core.runner.RunReport`.
+
+    Results and failures are inserted in dataset-major order — the
+    insertion order :func:`repro.core.results.save_report` preserves —
+    so the saved report of a merged sharded run is byte-identical to
+    the single-run report.
+    """
+    from .runner import RunReport  # local: avoid a module cycle
+
+    report = RunReport()
+    fingerprint = state.fingerprint
+    for dataset in fingerprint.get("datasets", []):
+        if dataset in state.categories:
+            report.categories[dataset] = state.categories[dataset]
+        if dataset in state.frequencies:
+            report._frequencies[dataset] = state.frequencies[dataset]
+        for algorithm in fingerprint.get("algorithms", []):
+            key = (algorithm, dataset)
+            if key in state.results:
+                report.results[key] = state.results[key]
+            elif key in state.failures:
+                report.failures[key] = state.failures[key]
+    return report

@@ -25,6 +25,25 @@ from .faults import parse_fleet_fault_specs
 __all__ = ["main", "build_parser", "replicate_scenario"]
 
 
+def _shards_argument(text: str) -> int:
+    """``--shards`` accepts a positive integer or the literal ``auto``.
+
+    ``auto`` resolves through :func:`repro.core.pool.available_cores`
+    (the scheduling-affinity mask, not ``os.cpu_count()``), so a 1-core
+    container gets 1 shard instead of an oversubscribed fleet.
+    """
+    if text == "auto":
+        from ..core.pool import available_cores
+
+        return available_cores()
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {text!r}"
+        ) from None
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``serve-fleet`` argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -51,8 +70,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="list bundled scenarios, then exit",
     )
     parser.add_argument(
-        "--shards", type=int, default=2, metavar="N",
-        help="shard workers in the fleet (default 2)",
+        "--shards", type=_shards_argument, default=2, metavar="N",
+        help=(
+            "shard workers in the fleet (default 2), or 'auto' to match "
+            "the cores this process may actually use (sched_getaffinity; "
+            "clamps to 1 on a 1-core box)"
+        ),
     )
     parser.add_argument(
         "--max-active", type=int, default=64, metavar="N",

@@ -336,6 +336,20 @@ def metrics_from_spans(spans: Iterable[Any]) -> MetricsRegistry:
                     registry.counter("serve.consult_timeouts").inc()
                 else:
                     registry.counter("serve.consult_failures").inc()
+            elif name == "sched_cell":
+                # The grid scheduler stamps one sched_cell event per
+                # dispatched cell on the grid span, mirroring the live
+                # sched.* instruments exactly (repro.core.sched) — the
+                # rollup==live parity contract the serve/fleet counters
+                # follow.
+                registry.counter("sched.cells_scheduled").inc()
+                if attrs.get("stolen"):
+                    registry.counter("sched.steals").inc()
+                error_pct = attrs.get("error_pct")
+                if error_pct is not None:
+                    registry.timer("sched.estimate_error_pct").observe(
+                        float(error_pct)
+                    )
             elif name == "corrupted_push":
                 # One event per corrupted point, its ``ops`` attribute the
                 # comma-joined operators that fired — mirroring the live

@@ -127,4 +127,10 @@ def harmonic_mean(accuracy_value: float, earliness_value: float) -> float:
     timeliness = 1.0 - earliness_value
     if accuracy_value + timeliness == 0.0:
         return 0.0
-    return 2.0 * accuracy_value * timeliness / (accuracy_value + timeliness)
+    value = 2.0 * accuracy_value * timeliness / (accuracy_value + timeliness)
+    if value == 0.0 and accuracy_value > 0.0 and timeliness > 0.0:
+        # The 2·a·t numerator can underflow to zero for subnormal
+        # accuracy even though the true harmonic mean is bounded below
+        # by min(a, t) > 0; clamp so zero remains "degenerate only".
+        value = min(accuracy_value, timeliness)
+    return value

@@ -85,8 +85,11 @@ def _run(tmp_path, workers, tag, **runner_kwargs):
 
 @pytest.fixture
 def frozen_clock(monkeypatch):
-    """Pin perf_counter so timings are 0.0 in the parent and all forks."""
+    """Pin wall and CPU clocks so every timing field — including the
+    checkpoint rows' wall/cpu seconds — is 0.0 in the parent and all
+    forks."""
     monkeypatch.setattr(time, "perf_counter", lambda: 0.0)
+    monkeypatch.setattr(time, "process_time", lambda: 0.0)
 
 
 class TestByteIdenticalMerge:
